@@ -1,0 +1,63 @@
+"""Ablation: scanning from inside the Great Firewall (paper Sec. 4.3).
+
+"Chinese vantage points are most likely affected by the GFW injection as
+well but on the complete opposite set of addresses, namely targets
+outside Chinese networks."  Two otherwise-identical runs differing only
+in vantage location must therefore flag complementary AS populations.
+"""
+
+import dataclasses
+
+import pytest
+from conftest import once
+
+from repro.analysis.formatting import ascii_table, percent, si_format
+from repro.gfw.impact import impact_report
+from repro.hitlist import HitlistService
+from repro.simnet import build_internet, small_config
+
+
+def _run(config):
+    world = build_internet(config)
+    era = world.gfw.eras[0]
+    scan_days = list(range(era.start_day - 14, era.start_day + 49, 7))
+    service = HitlistService(world, config)
+    history = service.run(scan_days)
+    rib = world.routing.snapshot_at(scan_days[-1])
+    report = impact_report(history.gfw.ever_injected, rib, world.registry)
+    return report
+
+
+def test_ablation_vantage_location(benchmark, emit):
+    def run_both():
+        outside = _run(small_config(seed=17))
+        inside = _run(
+            dataclasses.replace(small_config(seed=17), vantage_inside_gfw=True)
+        )
+        return outside, inside
+
+    outside, inside = once(benchmark, run_both)
+
+    def top_rows(report, label):
+        return [
+            [label, row.name, si_format(row.addresses),
+             percent(row.share_percent, 1), "CN" if row.is_chinese else "non-CN"]
+            for row in report.top(5)
+        ]
+
+    rendered = ascii_table(
+        ["vantage", "AS", "# addresses", "%", "location"],
+        top_rows(outside, "Germany (paper)") + top_rows(inside, "inside GFW"),
+        title="GFW impact by vantage location (Sec. 4.3)",
+    )
+    emit("ablation_vantage", rendered)
+
+    assert outside.total_addresses > 0
+    assert inside.total_addresses > 0
+    # the German vantage flags Chinese ASes …
+    assert outside.chinese_share_of_top(5) == 1.0
+    # … the Chinese vantage flags the complement
+    assert inside.chinese_share_of_top(5) == 0.0
+    outside_asns = {row.asn for row in outside.rows}
+    inside_asns = {row.asn for row in inside.rows}
+    assert not outside_asns & inside_asns, "impact sets are complementary"

@@ -1,0 +1,34 @@
+"""Figure 10: overlap of responsive addresses between protocols.
+
+Paper reference: TCP and UDP responders are mostly also ICMP-responsive;
+TCP/80, TCP/443 and UDP/443 overlap heavily with each other; UDP/53 is
+the most independent set (name-server infrastructure).
+"""
+
+from conftest import once
+
+from repro.analysis import protocol_overlap
+from repro.analysis.formatting import ascii_matrix
+
+
+def test_fig10_protocol_overlap(benchmark, run, emit):
+    names, matrix = once(benchmark, protocol_overlap, run.final)
+
+    rendered = ascii_matrix(
+        names, matrix,
+        title="Figure 10 — % of row protocol's responders also answering column",
+    )
+    emit("fig10_protocol_overlap", rendered +
+         "\npaper: TCP/UDP mostly ⊂ ICMP; TCP/80 ↔ TCP/443 ↔ UDP/443 overlap "
+         "heavily; UDP/53 most independent")
+
+    index = {name: i for i, name in enumerate(names)}
+    # TCP responders are almost all ICMP-responsive
+    assert matrix[index["TCP/80"]][index["ICMP"]] > 80.0
+    assert matrix[index["TCP/443"]][index["ICMP"]] > 80.0
+    # the HTTPS/HTTP pair overlaps heavily
+    assert matrix[index["TCP/443"]][index["TCP/80"]] > 80.0
+    # UDP/443 (QUIC) deployments also run HTTPS
+    assert matrix[index["UDP/443"]][index["TCP/443"]] > 60.0
+    # ICMP is the superset: its share inside others is small
+    assert matrix[index["ICMP"]][index["UDP/53"]] < 30.0

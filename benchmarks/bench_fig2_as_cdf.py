@@ -1,0 +1,72 @@
+"""Figure 2: distribution of input addresses across ASes.
+
+Paper reference (Sec. 4.1/4.2): Amazon covers 32 % of the raw input and
+is ~99.6 % removed by the alias filter; after alias filtering, 80 % of
+the input sits in 10 ASes (ANTEL 16 %, DTAG 10 %); the GFW-impacted set
+concentrates 93 % in 10 Chinese ASes; the *responsive* set is much
+flatter — top AS (Linode) 7.9 %, 50 % within 14 ASes.
+"""
+
+from conftest import once
+
+from repro.analysis import as_distribution, ascii_table
+from repro.analysis.formatting import percent, si_format
+
+
+def _figure2(run, world, rib):
+    apd = run.apd
+    input_all = run.input_ever
+    input_no_alias = {a for a in input_all if not apd.is_aliased_address(a)}
+    gfw_impacted = run.gfw.ever_injected
+    responsive = run.final.cleaned_any()
+    return {
+        "input (all)": as_distribution(input_all, rib, "input"),
+        "input w/o aliased": as_distribution(input_no_alias, rib, "no-alias"),
+        "GFW impacted": as_distribution(gfw_impacted, rib, "gfw"),
+        "responsive": as_distribution(responsive, rib, "responsive"),
+    }
+
+
+def test_fig2_as_cdf(benchmark, run, world, final_rib, emit):
+    distributions = once(benchmark, _figure2, run, world, final_rib)
+
+    rows = []
+    for label, dist in distributions.items():
+        top = dist.describe_top(world.registry, count=1)
+        top_text = f"{top[0][0]} ({top[0][2]:.1f}%)" if top else "-"
+        rows.append([
+            label,
+            si_format(dist.total_addresses),
+            dist.as_count,
+            top_text,
+            dist.asns_covering(0.5),
+            dist.asns_covering(0.8),
+        ])
+    table = ascii_table(
+        ["set", "addresses", "ASes", "top AS", "ASes@50%", "ASes@80%"],
+        rows,
+        title="Figure 2 — input/responsive AS distributions (measured)",
+    )
+    paper = (
+        "paper: raw input top AS = Amazon 32 % (99.6 % alias-filtered);\n"
+        "       input w/o aliased: 80 % within 10 ASes (ANTEL 16 %, DTAG 10 %);\n"
+        "       GFW set: 93 % within 10 Chinese ASes; responsive: top AS 7.9 %,"
+        " 50 % within 14 ASes"
+    )
+    emit("fig2_as_cdf", table + "\n" + paper)
+
+    raw = distributions["input (all)"]
+    clean = distributions["input w/o aliased"]
+    responsive = distributions["responsive"]
+    # shape assertions: the paper's qualitative findings must hold
+    amazon_share = dict(raw.ranked).get(16509, 0) / raw.total_addresses
+    assert amazon_share > 0.15, "Amazon must dominate the raw input"
+    amazon_clean = dict(clean.ranked).get(16509, 0) / clean.total_addresses
+    assert amazon_clean < amazon_share / 5, "alias filter must strip Amazon"
+    assert responsive.share(0) < 0.15, "responsive set must be flat"
+    assert responsive.asns_covering(0.5) > 5
+    # the paper: 80 % of the alias-filtered input within 10 ASes; at our
+    # AS-count compression the knee sits within a few dozen ASes, far
+    # more concentrated than the responsive set
+    assert clean.asns_covering(0.8) <= 60, "input remains AS-concentrated"
+    assert clean.asns_covering(0.8) < responsive.asns_covering(0.8)

@@ -1,0 +1,80 @@
+"""Figure 5: distribution of aliased prefix sizes over the years.
+
+Paper reference: the distribution is similar every year, >90 % of
+aliased prefixes are /64, a small share sits between /28 and /60 (the
+shortest are EpicUp's /28s), some are longer than /64; the 2022 plot
+excludes Trafficforce (66.4 k prefixes, 61.6 %, all /64).
+"""
+
+from conftest import once
+
+from repro._util import day_to_date
+from repro.analysis import alias_size_histogram
+from repro.analysis.formatting import ascii_table
+
+
+def _histograms(run, rib):
+    result = {}
+    for day in sorted(run.retained):
+        aliases = run.retained[day].aliased_prefixes
+        exclude = {212144} if day >= 1300 else set()
+        result[day] = alias_size_histogram(aliases, rib=rib, exclude_asns=exclude)
+    return result
+
+
+def test_fig5_alias_sizes(benchmark, run, final_rib, emit):
+    histograms = once(benchmark, _histograms, run, final_rib)
+
+    lengths = sorted({length for h in histograms.values() for length in h})
+    rows = []
+    for length in lengths:
+        rows.append(
+            [f"/{length}"]
+            + [histograms[day].get(length, 0) for day in sorted(histograms)]
+        )
+    headers = ["length"] + [
+        day_to_date(day).isoformat() for day in sorted(histograms)
+    ]
+    table = ascii_table(headers, rows, title="Figure 5 — aliased prefix sizes "
+                        "(2022 column excludes Trafficforce)")
+    final_day = max(histograms)
+    final = histograms[final_day]
+    total = sum(final.values())
+    slash64_share = final.get(64, 0) / total if total else 0.0
+    text = (
+        f"{table}\n\nmeasured /64 share {slash64_share:.0%} at the final "
+        f"snapshot (paper: 'more than 90 % of aliased prefixes had a "
+        f"length of /64'; shortest prefixes are /28s)"
+    )
+    emit("fig5_alias_sizes", text)
+
+    assert slash64_share > 0.5, "/64 dominates"
+    assert final.get(28, 0) > 0, "EpicUp-style /28s present"
+    assert any(length > 64 for length in final), "longer-than-/64 tail exists"
+    # growth over the years (paper: 12 k -> 42.8 k before Trafficforce)
+    days = sorted(histograms)
+    first_total = sum(histograms[days[0]].values())
+    assert total > 1.5 * first_total
+
+
+def test_fig5_trafficforce_event(benchmark, run, final_rib, emit):
+    """The February 2022 jump: one AS adds tens of percent, all /64."""
+
+    def measure():
+        final = run.final.aliased_prefixes
+        trafficforce = [
+            a for a in final if final_rib.origin_as(a.prefix.value) == 212144
+        ]
+        return final, trafficforce
+
+    final, trafficforce = once(benchmark, measure)
+    share = len(trafficforce) / len(final)
+    text = (
+        f"Trafficforce (AS212144) aliased prefixes: {len(trafficforce)} of "
+        f"{len(final)} ({share:.1%}); all /64: "
+        f"{all(a.prefix.length == 64 for a in trafficforce)}\n"
+        f"paper: 66.4 k of 111.5 k (61.6 %), all /64, ICMP-only"
+    )
+    emit("fig5_trafficforce", text)
+    assert share > 0.25
+    assert all(a.prefix.length == 64 for a in trafficforce)

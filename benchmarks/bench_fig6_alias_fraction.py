@@ -1,0 +1,50 @@
+"""Figure 6: aliased address space per AS vs. announced space.
+
+Paper reference: for many ASes the aliased fraction is below 1 permille,
+but 80 ASes exceed 50 % and 61 exceed 90 %; Fastly reaches 95.3 %,
+Akamai AS33905 and Cloudflare AS209242 100 %; EpicUp's 61 fully
+responsive /28s are the largest aliased address block.
+"""
+
+from conftest import once
+
+from repro.analysis import aliased_fraction_by_as
+from repro.analysis.formatting import ascii_table, si_format
+
+
+def test_fig6_alias_fraction(benchmark, run, world, final_rib, emit):
+    rows = once(
+        benchmark, aliased_fraction_by_as, run.final.aliased_prefixes, final_rib
+    )
+
+    by_asn = {row.asn: row for row in rows}
+    display = []
+    for row in rows[:12]:
+        display.append([
+            world.registry.name(row.asn),
+            f"2^{row.log2_aliased}",
+            f"{row.fraction:.1%}",
+        ])
+    table = ascii_table(
+        ["AS", "aliased addresses", "share of announced"],
+        display,
+        title="Figure 6 — largest aliased address blocks per AS (measured)",
+    )
+    over_half = sum(1 for row in rows if row.fraction > 0.5)
+    over_ninety = sum(1 for row in rows if row.fraction > 0.9)
+    text = (
+        f"{table}\n\nASes with >50 % of announced space aliased: {over_half} "
+        f"(paper: 80); >90 %: {over_ninety} (paper: 61)\n"
+        f"paper anchors: Fastly 95.3 %, Akamai AS33905 100 %, "
+        f"Cloudflare AS209242 100 %, EpicUp /28s largest"
+    )
+    emit("fig6_alias_fraction", text)
+
+    assert rows[0].asn == 397165, "EpicUp's /28s are the largest block"
+    assert by_asn[54113].fraction > 0.85, "Fastly ≈95 % aliased"
+    assert by_asn[33905].fraction > 0.99, "Akamai Technologies fully aliased"
+    assert by_asn[209242].fraction > 0.99, "Cloudflare London fully aliased"
+    assert over_half >= 5
+    # many ASes have tiny aliased fractions (the scatter's bottom band)
+    tiny = sum(1 for row in rows if row.fraction < 0.01)
+    assert tiny > over_half

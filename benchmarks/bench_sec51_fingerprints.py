@@ -1,0 +1,79 @@
+"""Sec. 5.1: TCP fingerprints and the Too Big Trick over aliased prefixes.
+
+Paper reference: TCP fingerprints derivable for 33.5 k prefixes; 99.5 %
+fully uniform; 154 differ only in window size; ≤13 in stronger features.
+TBT measurable for 29.4 k of 111 k prefixes; 93.75 % share one PMTU
+cache (true aliases), 0.85 % share nothing, 5.4 % share partially (2-7
+of 8) — mostly Akamai (1 k) and Cloudflare (268).
+"""
+
+from conftest import once
+
+from repro.analysis import fingerprint_survey, tbt_survey
+from repro.analysis.formatting import ascii_table, percent
+from repro.scan.fingerprint import FingerprintClass
+from repro.scan.tbt import TbtOutcome
+
+
+def test_sec51_fingerprints(benchmark, run, world, config, emit):
+    survey = once(
+        benchmark, fingerprint_survey, world, run.final.aliased_prefixes,
+        config.final_day,
+    )
+    rows = [
+        [verdict.value, survey.counts.get(verdict, 0)]
+        for verdict in FingerprintClass
+    ]
+    rendered = ascii_table(
+        ["verdict", "# prefixes"], rows,
+        title="Sec. 5.1 — TCP fingerprint classes over aliased prefixes",
+    )
+    text = (
+        f"{rendered}\n\nfingerprintable: {survey.fingerprintable} of "
+        f"{survey.total}; uniform share {percent(100 * survey.uniform_share, 1)} "
+        f"(paper: 33.5 k fingerprintable, 99.5 % uniform, window-size-only "
+        f"differences dominate the rest)"
+    )
+    emit("sec51_fingerprints", text)
+
+    assert survey.fingerprintable > 0
+    assert survey.uniform_share > 0.9
+    window_only = survey.counts.get(FingerprintClass.WINDOW_ONLY, 0)
+    diverse = survey.counts.get(FingerprintClass.DIVERSE, 0)
+    assert window_only >= diverse, "window-size is the dominant difference"
+
+
+def test_sec51_tbt(benchmark, run, world, config, final_rib, emit):
+    survey = once(
+        benchmark, tbt_survey, world, run.final.aliased_prefixes,
+        config.final_day, final_rib,
+    )
+    rows = [
+        [outcome.value, survey.counts.get(outcome, 0),
+         percent(100 * survey.share(outcome), 2) if outcome is not TbtOutcome.NOT_APPLICABLE else "-"]
+        for outcome in TbtOutcome
+    ]
+    rendered = ascii_table(
+        ["outcome", "# prefixes", "share of measurable"], rows,
+        title="Sec. 5.1 — Too Big Trick outcomes",
+    )
+    partial_names = [
+        world.registry.name(asn) for asn, _ in survey.partial_by_asn.most_common(3)
+    ]
+    text = (
+        f"{rendered}\n\nmeasurable: {survey.measurable} of {survey.total} "
+        f"(paper: 29.4 k of 111 k); full sharing "
+        f"{percent(100 * survey.share(TbtOutcome.FULL_SHARED), 2)} (paper 93.75 %), "
+        f"none {percent(100 * survey.share(TbtOutcome.NONE_SHARED), 2)} (paper 0.85 %), "
+        f"partial {percent(100 * survey.share(TbtOutcome.PARTIAL_SHARED), 2)} (paper 5.4 %)\n"
+        f"partial sharing concentrates at: {', '.join(partial_names) or '-'} "
+        f"(paper: Akamai, Cloudflare)"
+    )
+    emit("sec51_tbt", text)
+
+    assert survey.measurable < survey.total, "many prefixes not measurable"
+    assert survey.share(TbtOutcome.FULL_SHARED) > 0.5
+    assert 0 < survey.share(TbtOutcome.PARTIAL_SHARED) < 0.45
+    if survey.partial_by_asn:
+        top_partial = {asn for asn, _ in survey.partial_by_asn.most_common(2)}
+        assert top_partial & {20940, 13335}, "Akamai/Cloudflare dominate partial"

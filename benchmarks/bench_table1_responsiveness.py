@@ -1,0 +1,79 @@
+"""Table 1: responsive addresses and covered ASes over four years.
+
+Paper reference (GFW-cleaned):
+
+  2018-07-01: ICMP 1.7 M/10.1 k, TCP/443 550.6 k, TCP/80 832.1 k,
+              UDP/443 31.0 k, UDP/53 129.1 k, total 1.8 M in 10.3 k ASes
+  2022-04-07: ICMP 3.1 M/15.4 k, TCP/443 910.8 k, TCP/80 1.0 M,
+              UDP/443 98.1 k, UDP/53 140.7 k, total 3.2 M in 15.7 k ASes
+  cumulative: ICMP 45.3 M, TCP/443 6.7 M, TCP/80 8.6 M, UDP/443 2.5 M,
+              UDP/53 200 k, total 46.8 M
+"""
+
+from conftest import ADDRESS_SCALE, once
+
+from repro._util import day_to_date
+from repro.analysis import si_format, table1_responsiveness
+from repro.analysis.formatting import ascii_table
+from repro.protocols import ALL_PROTOCOLS, Protocol
+
+#: paper values (addresses) for first/last snapshot + cumulative
+PAPER_FIRST = {Protocol.ICMP: 1_700_000, Protocol.TCP443: 550_600,
+               Protocol.TCP80: 832_100, Protocol.UDP443: 31_000,
+               Protocol.UDP53: 129_100}
+PAPER_LAST = {Protocol.ICMP: 3_100_000, Protocol.TCP443: 910_800,
+              Protocol.TCP80: 1_000_000, Protocol.UDP443: 98_100,
+              Protocol.UDP53: 140_700}
+PAPER_CUMULATIVE = {Protocol.ICMP: 45_300_000, Protocol.TCP443: 6_700_000,
+                    Protocol.TCP80: 8_600_000, Protocol.UDP443: 2_500_000,
+                    Protocol.UDP53: 200_000}
+
+
+def test_table1_responsiveness(benchmark, run, final_rib, emit):
+    table = once(benchmark, table1_responsiveness, run, final_rib)
+
+    headers = ["snapshot"] + [
+        f"{p.label} (paper/1000)" for p in ALL_PROTOCOLS
+    ] + ["total"]
+    rows = []
+    for row in table.rows:
+        cells = [day_to_date(row.day).isoformat()]
+        for protocol in ALL_PROTOCOLS:
+            addresses, asns = row.per_protocol[protocol]
+            cells.append(f"{si_format(addresses)}/{si_format(asns)} ASes")
+        cells.append(f"{si_format(row.total[0])}/{si_format(row.total[1])}")
+        rows.append(cells)
+    cumulative = ["cumulative"] + [
+        si_format(table.cumulative[p]) for p in ALL_PROTOCOLS
+    ] + [si_format(table.cumulative_total)]
+    rows.append(cumulative)
+    rendered = ascii_table(headers, rows, title="Table 1 — measured (addr/ASes)")
+    paper_note = (
+        "paper/1000 anchors: 2018 ICMP 1.7k, 2022 ICMP 3.1k / TCP443 911 / "
+        "TCP80 1.0k / UDP443 98 / UDP53 141, total 3.2k; cumulative ICMP 45.3k"
+    )
+    emit("table1_responsiveness", rendered + "\n" + paper_note)
+
+    first, last = table.rows[0], table.rows[-1]
+    # growth: total roughly 1.8x over the period (paper 1.8 M -> 3.2 M)
+    growth = last.total[0] / first.total[0]
+    assert 1.2 < growth < 3.0, f"growth {growth}"
+    # protocol ordering at the final snapshot
+    final = {p: last.per_protocol[p][0] for p in ALL_PROTOCOLS}
+    assert final[Protocol.ICMP] > final[Protocol.TCP80] > final[Protocol.UDP53]
+    assert final[Protocol.TCP80] >= final[Protocol.TCP443]
+    assert final[Protocol.UDP443] < final[Protocol.TCP443]
+    # factor-accuracy against scaled paper values (within 3x either way)
+    for protocol in ALL_PROTOCOLS:
+        expected = PAPER_LAST[protocol] / ADDRESS_SCALE
+        measured = final[protocol]
+        assert expected / 3.5 < measured < expected * 3.5, (
+            f"{protocol.label}: measured {measured} vs scaled paper {expected}"
+        )
+    # cumulative dwarfs the snapshot (paper 45.3 M vs 3.1 M for ICMP)
+    assert table.cumulative[Protocol.ICMP] > 3 * final[Protocol.ICMP]
+    # UDP/443 grows the fastest (paper: factor 3 over the years)
+    udp443_growth = last.per_protocol[Protocol.UDP443][0] / max(
+        first.per_protocol[Protocol.UDP443][0], 1
+    )
+    assert udp443_growth > 1.5

@@ -1,0 +1,51 @@
+"""Table 3: new candidate sources for the hitlist.
+
+Paper reference: passive sources 356.7 k new addresses / 3.6 k ASes
+(12.5 %); unresponsive re-scan pool 638.6 M / 18.5 k ASes (64.9 %);
+6Graph 125.8 M / 65.2 %; 6Tree 37.6 M / 51.7 %; 6GAN 3.3 M / 0.8 %;
+6VecLM 70.3 k / 0.9 %; distance clustering 5.3 M / 25.0 %.
+"""
+
+from conftest import ADDRESS_SCALE, once
+
+from repro.analysis import table3_new_sources
+from repro.analysis.formatting import ascii_table, percent, si_format
+
+PAPER_ADDRESSES = {
+    "passive": 356_700, "unresponsive": 638_600_000,
+    "6graph": 125_800_000, "6tree": 37_600_000, "6gan": 3_300_000,
+    "6veclm": 70_300, "distance_clustering": 5_300_000,
+}
+
+
+def test_table3_new_sources(benchmark, evaluation, final_rib, emit):
+    rows = once(benchmark, table3_new_sources, evaluation, final_rib)
+
+    by_name = {row.source: row for row in rows}
+    rendered_rows = []
+    for row in sorted(rows, key=lambda r: -r.addresses):
+        paper = PAPER_ADDRESSES.get(row.source)
+        rendered_rows.append([
+            row.source,
+            si_format(row.addresses),
+            row.asns,
+            percent(row.asn_share_percent),
+            si_format(paper / ADDRESS_SCALE) if paper else "-",
+        ])
+    rendered = ascii_table(
+        ["source", "addresses", "ASes", "AS share", "paper (scaled)"],
+        rendered_rows,
+        title="Table 3 — new input sources (measured)",
+    )
+    emit("table3_new_sources", rendered)
+
+    # ordering of candidate volumes matches the paper
+    assert by_name["unresponsive"].addresses > by_name["6graph"].addresses
+    assert by_name["6graph"].addresses > by_name["6tree"].addresses
+    assert by_name["6tree"].addresses > by_name["distance_clustering"].addresses
+    assert by_name["distance_clustering"].addresses > by_name["6veclm"].addresses
+    # scale: 6Graph ≈ 125.8 M / 1000
+    expected = PAPER_ADDRESSES["6graph"] / ADDRESS_SCALE
+    assert expected / 4 < by_name["6graph"].addresses < expected * 4
+    # broad AS coverage for unresponsive + 6graph, narrow for 6GAN/6VecLM
+    assert by_name["unresponsive"].asns > 10 * max(by_name["6veclm"].asns, 1)

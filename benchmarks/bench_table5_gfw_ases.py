@@ -1,0 +1,48 @@
+"""Table 5: top 10 ASes of GFW-impacted addresses.
+
+Paper reference: 134 M impacted addresses total; AS4134 46.44 %,
+AS4812 14.59 %, AS134774 13.88 %, AS134773 8.04 %, ... the top 10 (all
+Chinese) cover 93.91 %; 695 ASes affected overall.
+"""
+
+from conftest import ADDRESS_SCALE, once
+
+from repro.analysis import table5_gfw_ases
+from repro.analysis.formatting import ascii_table, percent, si_format
+
+PAPER_TOTAL = 134_000_000
+PAPER_TOP_SHARES = {4134: 46.44, 4812: 14.59, 134774: 13.88, 134773: 8.04}
+
+
+def test_table5_gfw_ases(benchmark, run, world, final_rib, emit):
+    report = once(benchmark, table5_gfw_ases, run, final_rib, world.registry)
+
+    rows = [
+        [f"AS{row.asn}", row.name, si_format(row.addresses),
+         percent(row.share_percent, 2), percent(row.cdf_percent, 2)]
+        for row in report.top(10)
+    ]
+    rendered = ascii_table(
+        ["ASN", "name", "# addresses", "%", "CDF"],
+        rows,
+        title="Table 5 — top ASes impacted by the GFW (measured)",
+    )
+    text = (
+        f"{rendered}\n\ntotal impacted: {si_format(report.total_addresses)} "
+        f"across {report.total_asns} ASes "
+        f"(paper: {si_format(PAPER_TOTAL)} ≈ "
+        f"{si_format(PAPER_TOTAL // ADDRESS_SCALE)} scaled, 695 ASes; "
+        f"top-10 CDF 93.91 %)"
+    )
+    emit("table5_gfw_ases", text)
+
+    expected_scaled = PAPER_TOTAL / ADDRESS_SCALE
+    assert expected_scaled / 3 < report.total_addresses < expected_scaled * 3
+    # all top-10 ASes are Chinese
+    assert report.chinese_share_of_top(10) == 1.0
+    # the configured share ordering holds at the top
+    top_asns = [row.asn for row in report.top(4)]
+    assert top_asns[0] == 4134, "China Telecom Backbone leads"
+    assert set(top_asns) <= set(PAPER_TOP_SHARES)
+    top10_cdf = report.top(10)[-1].cdf_percent
+    assert top10_cdf > 75, f"top-10 concentration {top10_cdf}"

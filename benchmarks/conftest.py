@@ -1,0 +1,81 @@
+"""Shared benchmark fixtures: one full default-scale world per session.
+
+The expensive parts — building the simulated internet, running the
+hitlist service over the 2018-2022 timeline, and the Sec. 6 new-source
+evaluation — happen once per pytest session.  Each bench then measures
+its own analysis step and prints the regenerated table/figure next to
+the paper's reference values.
+
+Every bench also writes its rendered output to ``benchmarks/results/``
+so the artifacts survive pytest's output capturing.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.hitlist import HitlistService, default_scan_days
+from repro.hitlist.service import ServiceSettings
+from repro.simnet import build_internet, default_config
+from repro.tga import evaluate_new_sources
+from repro.tga.evaluation import default_generators
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: The magnitude scale of the default scenario relative to the paper
+#: (address counts ≈ paper / 1000, prefix counts ≈ paper / 100).
+ADDRESS_SCALE = 1_000
+PREFIX_SCALE = 100
+
+
+@pytest.fixture(scope="session")
+def config():
+    return default_config()
+
+
+@pytest.fixture(scope="session")
+def world(config):
+    return build_internet(config)
+
+
+@pytest.fixture(scope="session")
+def run(world, config):
+    """The full four-year service run (the heavyweight fixture)."""
+    settings = ServiceSettings(
+        gfw_filter_deploy_day=config.gfw_filter_deploy_day,
+        trace_sample_rate=0.5,
+    )
+    service = HitlistService(world, config, settings=settings)
+    return service.run(default_scan_days(config.final_day))
+
+
+@pytest.fixture(scope="session")
+def evaluation(world, run, config):
+    """The Sec. 6 evaluation (TGAs + passive + unresponsive re-scan)."""
+    return evaluate_new_sources(
+        world, run, config, generators=default_generators(config)
+    )
+
+
+@pytest.fixture(scope="session")
+def final_rib(world, config):
+    return world.routing.snapshot_at(config.final_day)
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Print a bench's rendered output and persist it under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _emit(name: str, text: str) -> None:
+        print(f"\n=== {name} ===\n{text}\n")
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _emit
+
+
+def once(benchmark, func, *args, **kwargs):
+    """Run an analysis step exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Quickstart: build a small simulated IPv6 internet, run the hitlist
+pipeline for half a year, and look at what it found.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro._util import day_to_date
+from repro.analysis import si_format
+from repro.hitlist import HitlistService
+from repro.protocols import ALL_PROTOCOLS
+from repro.simnet import build_internet, small_config
+
+
+def main() -> None:
+    # 1. A deterministic miniature internet: ASes, hosts, CDNs with fully
+    #    responsive prefixes, rotating CPE fleets, the Great Firewall.
+    config = small_config(seed=42)
+    internet = build_internet(config)
+    print(f"world: {len(internet.hosts)} hosts, "
+          f"{len(internet.regions)} fully responsive regions, "
+          f"{internet.zone.domain_count} domains")
+
+    # 2. The IPv6 Hitlist service: input accumulation, blocklist, aliased
+    #    prefix detection, 30-day filter, traceroutes, 5-protocol scans.
+    service = HitlistService(internet, config)
+    scan_days = list(range(0, 180, 6))  # one scan every 6 days
+    history = service.run(scan_days)
+
+    # 3. What happened?
+    last = history.snapshots[-1]
+    print(f"\nafter {len(scan_days)} scans "
+          f"(through {day_to_date(last.day).isoformat()}):")
+    print(f"  accumulated input : {si_format(last.input_total)} addresses")
+    print(f"  scan pool         : {si_format(last.scan_target_count)} targets")
+    print(f"  aliased prefixes  : {last.aliased_prefix_count}")
+    print(f"  GFW-injected      : {si_format(history.gfw.impacted_count)} "
+          f"addresses ever flagged")
+
+    print("\nresponsive addresses by protocol (GFW-cleaned):")
+    for protocol in ALL_PROTOCOLS:
+        print(f"  {protocol.label:8s} {si_format(last.cleaned_counts[protocol]):>8}")
+    print(f"  {'Total':8s} {si_format(last.cleaned_total):>8}")
+
+    # 4. The same numbers before cleaning show the DNS injection spike.
+    peak = max(s.published_counts[p] for s in history.snapshots
+               for p in ALL_PROTOCOLS)
+    print(f"\npublished (uncleaned) peak responsive count: {si_format(peak)}")
+    print("That gap is the Great Firewall's DNS injection — the paper's")
+    print("Sec. 4 finding, reproduced end to end.")
+
+
+if __name__ == "__main__":
+    main()

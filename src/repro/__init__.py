@@ -1,0 +1,40 @@
+"""repro — reproduction of "Rusty Clusters? Dusting an IPv6 Research
+Foundation" (Zirngibl et al., ACM IMC 2022).
+
+The package pairs a deterministic simulated IPv6 internet with a faithful
+implementation of the IPv6 Hitlist service and the paper's measurement
+toolchain. The common entry points:
+
+>>> from repro import build_internet, small_config, HitlistService
+>>> internet = build_internet(small_config(seed=1))
+>>> service = HitlistService(internet, small_config(seed=1))
+
+Subpackages
+-----------
+``repro.net``       IPv6 primitives (addresses, prefixes, tries, EUI-64)
+``repro.asn``       AS registry, BGP RIB, routing timeline
+``repro.simnet``    the simulated internet (ground truth)
+``repro.scan``      ZMapv6 / Yarrp / DNS / TBT / fingerprinting
+``repro.hitlist``   the hitlist pipeline (the paper's subject)
+``repro.gfw``       GFW injection detection and filtering
+``repro.tga``       target generation algorithms + Sec. 6 evaluation
+``repro.analysis``  every table and figure
+``repro.cli``       the ``repro-cli`` command line
+"""
+
+from repro.hitlist import HitlistService, default_scan_days
+from repro.protocols import ALL_PROTOCOLS, Protocol
+from repro.simnet import build_internet, default_config, small_config
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_PROTOCOLS",
+    "HitlistService",
+    "Protocol",
+    "__version__",
+    "build_internet",
+    "default_config",
+    "default_scan_days",
+    "small_config",
+]

@@ -1,0 +1,61 @@
+"""Analysis toolkit: every table and figure of the paper, from history.
+
+Each module regenerates one family of results from a finished
+:class:`~repro.hitlist.service.HitlistHistory` (plus, where the paper
+performed dedicated follow-up scans, from the simulated internet):
+
+* :mod:`repro.analysis.distribution` — AS CDFs (Figs. 2, 8, 9)
+* :mod:`repro.analysis.timeline` — responsiveness & churn (Figs. 3, 4)
+* :mod:`repro.analysis.aliased` — aliased prefix studies (Figs. 5, 6,
+  Table 2, Secs. 5.1/5.2)
+* :mod:`repro.analysis.overlap` — protocol/source overlap (Figs. 7, 10)
+* :mod:`repro.analysis.tables` — Tables 1, 3, 4, 5 and the Sec. 4
+  text-level reports (EUI-64, DNS quality control)
+* :mod:`repro.analysis.formatting` — the paper's "3.2 M / 15.7 k"
+  notation and ASCII rendering for benches
+"""
+
+from repro.analysis.coverage import CoverageReport, coverage_report
+from repro.analysis.formatting import ascii_table, si_format
+from repro.analysis.distribution import AsDistribution, as_distribution
+from repro.analysis.timeline import churn_series, responsiveness_series
+from repro.analysis.overlap import overlap_matrix, protocol_overlap
+from repro.analysis.aliased import (
+    alias_size_histogram,
+    aliased_fraction_by_as,
+    aliased_prefix_protocols,
+    domains_in_aliased_prefixes,
+    fingerprint_survey,
+    tbt_survey,
+)
+from repro.analysis.tables import (
+    eui64_report,
+    table1_responsiveness,
+    table3_new_sources,
+    table4_new_responsive,
+    table5_gfw_ases,
+)
+
+__all__ = [
+    "AsDistribution",
+    "CoverageReport",
+    "coverage_report",
+    "alias_size_histogram",
+    "aliased_fraction_by_as",
+    "aliased_prefix_protocols",
+    "as_distribution",
+    "ascii_table",
+    "churn_series",
+    "domains_in_aliased_prefixes",
+    "eui64_report",
+    "fingerprint_survey",
+    "overlap_matrix",
+    "protocol_overlap",
+    "responsiveness_series",
+    "si_format",
+    "table1_responsiveness",
+    "table3_new_sources",
+    "table4_new_responsive",
+    "table5_gfw_ases",
+    "tbt_survey",
+]

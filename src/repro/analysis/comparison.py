@@ -1,0 +1,111 @@
+"""Compare two runs via their JSON summaries (A/B of scenario configs).
+
+The ablation workflow the artefact supports: run `repro-cli simulate`
+twice with different scenario JSONs, then diff the summaries — which
+protocols gained, how the spike changed, where input accumulation
+diverged — without keeping either run's full state alive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from repro.analysis.formatting import ascii_table, si_format
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One compared metric."""
+
+    metric: str
+    a: float
+    b: float
+
+    @property
+    def delta(self) -> float:
+        return self.b - self.a
+
+    @property
+    def ratio(self) -> float:
+        return self.b / self.a if self.a else float("inf")
+
+
+@dataclass
+class RunComparison:
+    """Structured diff of two run summaries."""
+
+    label_a: str
+    label_b: str
+    deltas: List[MetricDelta] = field(default_factory=list)
+
+    def get(self, metric: str) -> MetricDelta:
+        """Lookup one compared metric."""
+        for delta in self.deltas:
+            if delta.metric == metric:
+                return delta
+        raise KeyError(metric)
+
+    def render(self) -> str:
+        rows = []
+        for delta in self.deltas:
+            ratio = f"x{delta.ratio:.2f}" if delta.a else "new"
+            rows.append([
+                delta.metric,
+                si_format(delta.a),
+                si_format(delta.b),
+                si_format(delta.delta),
+                ratio,
+            ])
+        return ascii_table(
+            ["metric", self.label_a, self.label_b, "delta", "ratio"],
+            rows,
+            title="Run comparison",
+        )
+
+
+def _final_snapshot(summary: Dict[str, Any]) -> Dict[str, Any]:
+    snapshots = summary.get("snapshots") or []
+    if not snapshots:
+        raise ValueError("summary contains no snapshots")
+    return snapshots[-1]
+
+
+def _peak_published_udp53(summary: Dict[str, Any]) -> int:
+    return max(
+        (entry["published"].get("UDP/53", 0) for entry in summary["snapshots"]),
+        default=0,
+    )
+
+
+def compare_summaries(
+    summary_a: Dict[str, Any],
+    summary_b: Dict[str, Any],
+    label_a: str = "A",
+    label_b: str = "B",
+) -> RunComparison:
+    """Diff two summaries produced by :mod:`repro.hitlist.history_io`."""
+    comparison = RunComparison(label_a=label_a, label_b=label_b)
+    final_a = _final_snapshot(summary_a)
+    final_b = _final_snapshot(summary_b)
+
+    def add(metric: str, a: float, b: float) -> None:
+        comparison.deltas.append(MetricDelta(metric=metric, a=a, b=b))
+
+    add("scans", len(summary_a["snapshots"]), len(summary_b["snapshots"]))
+    add("accumulated input", summary_a["input_total"], summary_b["input_total"])
+    add("excluded (30-day)", summary_a["excluded_total"], summary_b["excluded_total"])
+    add("GFW impacted", summary_a["gfw_impacted"], summary_b["gfw_impacted"])
+    add("final scan pool", final_a["scan_targets"], final_b["scan_targets"])
+    add("final aliased prefixes", final_a["aliased_prefixes"],
+        final_b["aliased_prefixes"])
+    add("final responsive (cleaned)", final_a["cleaned_total"],
+        final_b["cleaned_total"])
+    for label in final_a["cleaned"]:
+        add(f"final {label} (cleaned)", final_a["cleaned"][label],
+            final_b["cleaned"].get(label, 0))
+    add("peak published UDP/53", _peak_published_udp53(summary_a),
+        _peak_published_udp53(summary_b))
+    add("ever responsive", summary_a["ever_responsive_total"],
+        summary_b["ever_responsive_total"])
+    return comparison

@@ -1,0 +1,60 @@
+"""Input coverage of the routed IPv6 internet (Sec. 4.1).
+
+The paper: the 2022 input covers 22 k ASes — 76 % of all ASes announcing
+an IPv6 prefix — and 97 k announced BGP prefixes, 62 % of all announced
+prefixes (four times the 2018 coverage).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Set
+
+from repro.asn.rib import RibSnapshot
+
+
+@dataclass(frozen=True)
+class CoverageReport:
+    """How much of the routed internet an address set touches."""
+
+    addresses: int
+    covered_asns: int
+    announcing_asns: int
+    covered_prefixes: int
+    announced_prefixes: int
+
+    @property
+    def asn_share(self) -> float:
+        """Fraction of announcing ASes with at least one address."""
+        if not self.announcing_asns:
+            return 0.0
+        return self.covered_asns / self.announcing_asns
+
+    @property
+    def prefix_share(self) -> float:
+        """Fraction of announced prefixes with at least one address."""
+        if not self.announced_prefixes:
+            return 0.0
+        return self.covered_prefixes / self.announced_prefixes
+
+
+def coverage_report(addresses: Iterable[int], rib: RibSnapshot) -> CoverageReport:
+    """Compute AS and prefix coverage of an address set."""
+    covered_asns: Set[int] = set()
+    covered_prefixes: Set = set()
+    count = 0
+    for address in addresses:
+        count += 1
+        prefix = rib.matching_prefix(address)
+        if prefix is not None:
+            covered_prefixes.add(prefix)
+            asn = rib.origin_as(address)
+            if asn is not None:
+                covered_asns.add(asn)
+    return CoverageReport(
+        addresses=count,
+        covered_asns=len(covered_asns),
+        announcing_asns=len(rib.announcing_asns()),
+        covered_prefixes=len(covered_prefixes),
+        announced_prefixes=rib.prefix_count,
+    )

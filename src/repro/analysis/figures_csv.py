@@ -1,0 +1,158 @@
+"""CSV data exports for every figure — the artefact a plotting script eats.
+
+The paper's artefact release ships the analysis data behind each figure;
+these writers produce the equivalent CSV series from a finished run so
+any external plotting tool can regenerate the plots.
+"""
+
+from __future__ import annotations
+
+import csv
+from typing import IO, Dict, Optional
+
+from repro._util import day_to_date
+from repro.analysis.aliased import alias_size_histogram, aliased_fraction_by_as
+from repro.analysis.distribution import as_distribution
+from repro.analysis.overlap import protocol_overlap
+from repro.analysis.timeline import churn_series, responsiveness_series
+from repro.hitlist.service import HitlistHistory
+from repro.protocols import ALL_PROTOCOLS
+
+
+def write_fig2_csv(stream: IO[str], history: HitlistHistory, rib) -> int:
+    """Fig. 2: AS-rank CDF per address set. Columns: set, rank, cdf."""
+    apd = history.apd
+    sets = {
+        "input": history.input_ever,
+        "input_no_alias": {
+            a for a in history.input_ever
+            if apd is None or not apd.is_aliased_address(a)
+        },
+        "responsive": history.final.cleaned_any(),
+    }
+    if history.gfw is not None:
+        sets["gfw_impacted"] = history.gfw.ever_injected
+    writer = csv.writer(stream)
+    writer.writerow(["set", "as_rank", "cumulative_share"])
+    rows = 0
+    for label, addresses in sets.items():
+        for rank, share in as_distribution(addresses, rib, label).cdf():
+            writer.writerow([label, rank, f"{share:.6f}"])
+            rows += 1
+    return rows
+
+
+def write_fig3_csv(stream: IO[str], history: HitlistHistory) -> int:
+    """Fig. 3: per-scan responsiveness, published and cleaned."""
+    writer = csv.writer(stream)
+    header = ["date", "view"] + [p.label for p in ALL_PROTOCOLS] + ["total"]
+    writer.writerow(header)
+    rows = 0
+    for point in responsiveness_series(history):
+        writer.writerow(
+            [point.date, "published"]
+            + [point.published[p] for p in ALL_PROTOCOLS]
+            + [point.published_total]
+        )
+        writer.writerow(
+            [point.date, "cleaned"]
+            + [point.cleaned[p] for p in ALL_PROTOCOLS]
+            + [point.cleaned_total]
+        )
+        rows += 2
+    return rows
+
+
+def write_fig4_csv(stream: IO[str], history: HitlistHistory) -> int:
+    """Fig. 4: churn decomposition per scan."""
+    writer = csv.writer(stream)
+    writer.writerow(["date", "new", "recurring", "gone"])
+    rows = 0
+    for point in churn_series(history):
+        writer.writerow([point.date, point.new, point.recurring, point.gone])
+        rows += 1
+    return rows
+
+
+def write_fig5_csv(stream: IO[str], history: HitlistHistory, rib=None) -> int:
+    """Fig. 5: aliased prefix length histogram per retained snapshot."""
+    writer = csv.writer(stream)
+    writer.writerow(["snapshot", "prefix_length", "count"])
+    rows = 0
+    for day in sorted(history.retained):
+        histogram = alias_size_histogram(history.retained[day].aliased_prefixes)
+        for length, count in sorted(histogram.items()):
+            writer.writerow([day_to_date(day).isoformat(), length, count])
+            rows += 1
+    return rows
+
+
+def write_fig6_csv(stream: IO[str], history: HitlistHistory, rib) -> int:
+    """Fig. 6: per-AS aliased space vs. announced space."""
+    writer = csv.writer(stream)
+    writer.writerow(["asn", "log2_aliased_addresses", "fraction_of_announced"])
+    rows = 0
+    for row in aliased_fraction_by_as(history.final.aliased_prefixes, rib):
+        writer.writerow([row.asn, row.log2_aliased, f"{row.fraction:.6f}"])
+        rows += 1
+    return rows
+
+
+def write_fig10_csv(stream: IO[str], history: HitlistHistory) -> int:
+    """Fig. 10: protocol overlap matrix (row-normalized %)."""
+    names, matrix = protocol_overlap(history.final)
+    writer = csv.writer(stream)
+    writer.writerow(["protocol"] + names)
+    for name, row in zip(names, matrix):
+        writer.writerow([name] + [f"{cell:.2f}" for cell in row])
+    return len(matrix)
+
+
+def write_fig7_csv(stream: IO[str], evaluation) -> int:
+    """Fig. 7: new-source overlap matrix (row-normalized %)."""
+    names, matrix = evaluation.overlap_matrix()
+    writer = csv.writer(stream)
+    writer.writerow(["source"] + names)
+    for name, row in zip(names, matrix):
+        writer.writerow([name] + [f"{cell:.2f}" for cell in row])
+    return len(matrix)
+
+
+def write_fig8_csv(stream: IO[str], evaluation, rib) -> int:
+    """Fig. 8: AS-rank CDF of responsive addresses per new source."""
+    writer = csv.writer(stream)
+    writer.writerow(["source", "as_rank", "cumulative_share"])
+    rows = 0
+    for name, report in evaluation.reports.items():
+        if not report.responsive_any:
+            continue
+        for rank, share in as_distribution(report.responsive_any, rib, name).cdf():
+            writer.writerow([name, rank, f"{share:.6f}"])
+            rows += 1
+    return rows
+
+
+def export_all_figures(
+    directory, history: HitlistHistory, rib, evaluation=None
+) -> Dict[str, int]:
+    """Write every figure's CSV into ``directory``; returns row counts."""
+    import pathlib
+
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: Dict[str, int] = {}
+    jobs = [
+        ("fig2_as_cdf.csv", lambda s: write_fig2_csv(s, history, rib)),
+        ("fig3_timeline.csv", lambda s: write_fig3_csv(s, history)),
+        ("fig4_churn.csv", lambda s: write_fig4_csv(s, history)),
+        ("fig5_alias_sizes.csv", lambda s: write_fig5_csv(s, history)),
+        ("fig6_alias_fraction.csv", lambda s: write_fig6_csv(s, history, rib)),
+        ("fig10_protocol_overlap.csv", lambda s: write_fig10_csv(s, history)),
+    ]
+    if evaluation is not None:
+        jobs.append(("fig7_source_overlap.csv", lambda s: write_fig7_csv(s, evaluation)))
+        jobs.append(("fig8_new_source_as.csv", lambda s: write_fig8_csv(s, evaluation, rib)))
+    for filename, job in jobs:
+        with open(directory / filename, "w", encoding="ascii", newline="") as handle:
+            written[filename] = job(handle)
+    return written

@@ -1,0 +1,86 @@
+"""Rendering helpers: the paper's SI notation and ASCII tables."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def si_format(value: float, digits: int = 1) -> str:
+    """Format counts the way the paper's tables do.
+
+    >>> si_format(1_700_000)
+    '1.7 M'
+    >>> si_format(10_100)
+    '10.1 k'
+    >>> si_format(593)
+    '593'
+    >>> si_format(0)
+    '0'
+    """
+    if value < 0:
+        return "-" + si_format(-value, digits)
+    for threshold, suffix in ((1_000_000_000, "G"), (1_000_000, "M"), (1_000, "k")):
+        if value >= threshold:
+            scaled = value / threshold
+            text = f"{scaled:.{digits}f}".rstrip("0").rstrip(".")
+            return f"{text} {suffix}"
+    if value == int(value):
+        return str(int(value))
+    return f"{value:.{digits}f}"
+
+
+def percent(value: float, digits: int = 1) -> str:
+    """Render a 0-100 percentage like the paper ("46.44 %")."""
+    return f"{value:.{digits}f} %"
+
+
+def ascii_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render a right-padded ASCII table for bench output.
+
+    >>> print(ascii_table(["a", "b"], [[1, "x"]]))
+    a  b
+    -  -
+    1  x
+    """
+    materialized: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip())
+    lines.append("  ".join("-" * w for w in widths))
+    for row in materialized:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+    return "\n".join(lines)
+
+
+def ascii_matrix(
+    names: Sequence[str], matrix: Sequence[Sequence[float]], title: Optional[str] = None
+) -> str:
+    """Render a row-normalized percentage matrix (Figs. 7/10 style)."""
+    headers = [""] + [name[:12] for name in names]
+    rows = []
+    for name, row in zip(names, matrix):
+        rows.append([name[:12]] + [f"{cell:5.1f}" for cell in row])
+    return ascii_table(headers, rows, title=title)
+
+
+def ascii_series(
+    points: Sequence[tuple], label_x: str = "x", label_y: str = "y", width: int = 48
+) -> str:
+    """A crude ASCII sparkline table for timeline figures."""
+    if not points:
+        return "(no data)"
+    peak = max(value for _x, value in points) or 1
+    lines = [f"{label_x:>10}  {label_y}"]
+    for x, value in points:
+        bar = "#" * max(int(width * value / peak), 0)
+        lines.append(f"{str(x):>10}  {si_format(value):>8}  {bar}")
+    return "\n".join(lines)

@@ -1,0 +1,38 @@
+"""Row-normalized overlap matrices (Figures 7 and 10)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.hitlist.service import RetainedScan
+from repro.protocols import ALL_PROTOCOLS
+
+
+def overlap_matrix(
+    sets: Dict[str, Set[int]], order: Sequence[str] = ()
+) -> Tuple[List[str], List[List[float]]]:
+    """``matrix[i][j]`` = % of set i's members also in set j.
+
+    Rows with empty sets are dropped (nothing to normalize by), matching
+    how the paper's heatmaps omit empty sources.
+    """
+    names = [name for name in (order or sets) if sets.get(name)]
+    matrix: List[List[float]] = []
+    for row_name in names:
+        row_set = sets[row_name]
+        matrix.append(
+            [100.0 * len(row_set & sets[col_name]) / len(row_set) for col_name in names]
+        )
+    return names, matrix
+
+
+def protocol_overlap(retained: RetainedScan) -> Tuple[List[str], List[List[float]]]:
+    """Figure 10: overlap of responsive addresses between protocols.
+
+    Uses the GFW-cleaned responder sets of one retained scan.
+    """
+    sets = {
+        protocol.label: set(retained.cleaned_responders(protocol))
+        for protocol in ALL_PROTOCOLS
+    }
+    return overlap_matrix(sets, order=[protocol.label for protocol in ALL_PROTOCOLS])

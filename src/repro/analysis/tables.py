@@ -1,0 +1,255 @@
+"""Builders for the paper's Tables 1, 3, 4, 5 and Sec. 4 text reports."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.distribution import as_distribution
+from repro.asn.registry import AsRegistry
+from repro.asn.rib import RibSnapshot
+from repro.gfw.impact import GfwImpactReport, impact_report
+from repro.hitlist.service import HitlistHistory
+from repro.net.eui64 import is_eui64_interface_id, mac_from_interface_id, oui_of_mac
+from repro.protocols import ALL_PROTOCOLS, Protocol
+from repro.scan.dnsscan import ControlExperimentResult, DnsScanner
+from repro.simnet.internet import SimInternet
+
+_LOW64 = (1 << 64) - 1
+
+
+# ---------------------------------------------------------------------------
+# Table 1
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One year-snapshot row: (addresses, ASes) per protocol + totals."""
+
+    day: int
+    per_protocol: Dict[Protocol, Tuple[int, int]]
+    total: Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class Table1:
+    """Responsiveness development over the four years."""
+
+    rows: Tuple[Table1Row, ...]
+    cumulative: Dict[Protocol, int]
+    cumulative_total: int
+
+
+def table1_responsiveness(history: HitlistHistory, rib: RibSnapshot) -> Table1:
+    """Rebuild Table 1 from the retained yearly snapshots (cleaned view)."""
+    rows: List[Table1Row] = []
+    for day in sorted(history.retained):
+        retained = history.retained[day]
+        per_protocol: Dict[Protocol, Tuple[int, int]] = {}
+        for protocol in ALL_PROTOCOLS:
+            responders = retained.cleaned_responders(protocol)
+            asns = {rib.origin_as(a) for a in responders} - {None}
+            per_protocol[protocol] = (len(responders), len(asns))
+        any_responsive = retained.cleaned_any()
+        total_asns = {rib.origin_as(a) for a in any_responsive} - {None}
+        rows.append(
+            Table1Row(
+                day=day,
+                per_protocol=per_protocol,
+                total=(len(any_responsive), len(total_asns)),
+            )
+        )
+    cumulative = {
+        protocol: len(history.ever_responsive.get(protocol, set()))
+        for protocol in ALL_PROTOCOLS
+    }
+    return Table1(
+        rows=tuple(rows),
+        cumulative=cumulative,
+        cumulative_total=len(history.ever_responsive_any),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table 3
+
+
+@dataclass(frozen=True)
+class Table3Row:
+    """One new-source row: candidate addresses and AS coverage."""
+
+    source: str
+    addresses: int
+    asns: int
+    asn_share_percent: float  # of all ASes announcing IPv6
+
+
+def table3_new_sources(evaluation, rib: RibSnapshot) -> List[Table3Row]:
+    """Table 3 from a finished Sec. 6 evaluation."""
+    announcing = len(rib.announcing_asns()) or 1
+    rows = []
+    for name, report in evaluation.reports.items():
+        if name == "passive":
+            addresses = report.new_candidates
+        else:
+            addresses = report.candidates
+        rows.append(
+            Table3Row(
+                source=name,
+                addresses=addresses,
+                asns=report.candidate_asns,
+                asn_share_percent=100.0 * report.candidate_asns / announcing,
+            )
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Table 4
+
+
+@dataclass(frozen=True)
+class Table4Row:
+    """Responsive addresses per protocol for one source + AS bias."""
+
+    source: str
+    per_protocol: Dict[Protocol, int]
+    total: int
+    top1: Optional[Tuple[str, float]]
+    top2: Optional[Tuple[str, float]]
+    total_asns: int
+
+
+def _bias_row(
+    name: str,
+    responsive: Dict[Protocol, set],
+    responsive_any: set,
+    rib: RibSnapshot,
+    registry: Optional[AsRegistry],
+) -> Table4Row:
+    distribution = as_distribution(responsive_any, rib, label=name)
+    described = distribution.describe_top(registry, count=2)
+    top1 = (described[0][0], described[0][2]) if len(described) > 0 else None
+    top2 = (described[1][0], described[1][2]) if len(described) > 1 else None
+    return Table4Row(
+        source=name,
+        per_protocol={p: len(responsive.get(p, set())) for p in ALL_PROTOCOLS},
+        total=len(responsive_any),
+        top1=top1,
+        top2=top2,
+        total_asns=distribution.as_count,
+    )
+
+
+def table4_new_responsive(
+    evaluation,
+    history: HitlistHistory,
+    rib: RibSnapshot,
+    registry: Optional[AsRegistry] = None,
+) -> List[Table4Row]:
+    """Table 4: per-source responsiveness + the hitlist and total rows."""
+    rows = []
+    ordered = sorted(
+        evaluation.reports.values(), key=lambda r: -len(r.responsive_any)
+    )
+    for report in ordered:
+        rows.append(
+            _bias_row(report.name, report.responsive, report.responsive_any, rib, registry)
+        )
+    combined = evaluation.combined_responsive()
+    combined_any = evaluation.combined_any()
+    rows.append(_bias_row("new_sources", combined, combined_any, rib, registry))
+
+    final = history.final
+    hitlist_sets = {
+        protocol: set(final.cleaned_responders(protocol)) for protocol in ALL_PROTOCOLS
+    }
+    hitlist_any = set(final.cleaned_any())
+    rows.append(_bias_row("ipv6_hitlist", hitlist_sets, hitlist_any, rib, registry))
+
+    total_sets = {
+        protocol: combined.get(protocol, set()) | hitlist_sets[protocol]
+        for protocol in ALL_PROTOCOLS
+    }
+    rows.append(
+        _bias_row("total", total_sets, combined_any | hitlist_any, rib, registry)
+    )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Table 5
+
+
+def table5_gfw_ases(
+    history: HitlistHistory, rib: RibSnapshot, registry: Optional[AsRegistry] = None
+) -> GfwImpactReport:
+    """Table 5: the top ASes of GFW-impacted addresses."""
+    if history.gfw is None:
+        raise ValueError("history carries no GFW filter state")
+    return impact_report(history.gfw.ever_injected, rib, registry)
+
+
+# ---------------------------------------------------------------------------
+# Sec. 4.1: EUI-64 analysis of the accumulated input
+
+
+@dataclass
+class Eui64Report:
+    """The paper's EUI-64 findings over the accumulated input."""
+
+    input_total: int = 0
+    eui64_addresses: int = 0
+    distinct_macs: int = 0
+    macs_seen_once: int = 0
+    top_mac: int = 0
+    top_mac_addresses: int = 0
+    top_mac_vendor: Optional[str] = None
+    top_mac_same_prefix: bool = False
+    addresses_per_mac: Counter = field(default_factory=Counter)
+
+    @property
+    def eui64_share(self) -> float:
+        """Share of input addresses with an EUI-64 interface ID."""
+        return self.eui64_addresses / self.input_total if self.input_total else 0.0
+
+
+def eui64_report(history: HitlistHistory, internet: SimInternet) -> Eui64Report:
+    """Extract MACs from EUI-64 input addresses (Sec. 4.1)."""
+    report = Eui64Report()
+    mac_counts: Counter = Counter()
+    mac_networks: Dict[int, set] = {}
+    for address in history.input_ever:
+        report.input_total += 1
+        iid = address & _LOW64
+        if not is_eui64_interface_id(iid):
+            continue
+        mac = mac_from_interface_id(iid)
+        report.eui64_addresses += 1
+        mac_counts[mac] += 1
+        mac_networks.setdefault(mac, set()).add(address >> 96)  # /32 network
+    report.distinct_macs = len(mac_counts)
+    report.macs_seen_once = sum(1 for count in mac_counts.values() if count == 1)
+    report.addresses_per_mac = mac_counts
+    if mac_counts:
+        top_mac, top_count = mac_counts.most_common(1)[0]
+        report.top_mac = top_mac
+        report.top_mac_addresses = top_count
+        report.top_mac_vendor = internet.oui_registry.vendor(oui_of_mac(top_mac))
+        report.top_mac_same_prefix = len(mac_networks[top_mac]) == 1
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Sec. 4.2: DNS quality of the cleaned UDP/53 responders
+
+
+def dns_quality_report(
+    history: HitlistHistory, internet: SimInternet, day: int
+) -> ControlExperimentResult:
+    """Run the hash-subdomain control experiment on cleaned responders."""
+    retained = history.retained_at(day)
+    targets = sorted(retained.cleaned_responders(Protocol.UDP53))
+    scanner = DnsScanner(internet, seed=day)
+    return scanner.control_experiment(targets, retained.day)

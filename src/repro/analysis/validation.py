@@ -1,0 +1,151 @@
+"""Programmatic validation of a run against the paper's findings.
+
+Collects the qualitative claims the benchmarks assert into one
+structured report: each check records the claim, the paper's reference,
+the measured value and a verdict.  `repro-cli simulate --validate` and
+downstream users get a machine-readable answer to "does my scenario
+still reproduce the paper?" without reading bench output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.analysis.aliased import alias_size_histogram, aliased_fraction_by_as
+from repro.analysis.distribution import as_distribution
+from repro.analysis.formatting import ascii_table
+from repro.analysis.tables import eui64_report, table1_responsiveness
+from repro.analysis.timeline import churn_series, spike_ratio
+from repro.hitlist.service import HitlistHistory
+from repro.protocols import Protocol
+
+
+@dataclass(frozen=True)
+class Check:
+    """One validated claim."""
+
+    claim: str
+    paper: str
+    measured: str
+    passed: bool
+
+
+@dataclass
+class ValidationReport:
+    """All checks for one run."""
+
+    checks: List[Check]
+
+    @property
+    def passed(self) -> bool:
+        """True when every check holds."""
+        return all(check.passed for check in self.checks)
+
+    @property
+    def failures(self) -> List[Check]:
+        return [check for check in self.checks if not check.passed]
+
+    def render(self) -> str:
+        """Human-readable table."""
+        rows = [
+            ["PASS" if check.passed else "FAIL", check.claim,
+             check.paper, check.measured]
+            for check in self.checks
+        ]
+        status = "all checks passed" if self.passed else (
+            f"{len(self.failures)} of {len(self.checks)} checks FAILED"
+        )
+        return ascii_table(
+            ["", "claim", "paper", "measured"], rows,
+            title=f"Paper-shape validation — {status}",
+        )
+
+
+def validate_run(history: HitlistHistory) -> ValidationReport:
+    """Check a finished run against the paper's core findings."""
+    internet = history.internet
+    if internet is None:
+        raise ValueError("history carries no internet reference")
+    final_day = max(history.retained)
+    rib = internet.routing.snapshot_at(final_day)
+    checks: List[Check] = []
+
+    def check(claim: str, paper: str, measured: str, passed: bool) -> None:
+        checks.append(Check(claim=claim, paper=paper, measured=measured,
+                            passed=bool(passed)))
+
+    # --- Sec. 4: GFW -----------------------------------------------------
+    ratio = spike_ratio(history)
+    check("published DNS spike dwarfs cleaned view", "≈700x", f"{ratio:.0f}x",
+          ratio > 20)
+
+    if history.gfw is not None and history.gfw.ever_injected:
+        gfw_dist = as_distribution(history.gfw.ever_injected, rib, "gfw")
+        top10 = gfw_dist.top(10)
+        chinese = sum(
+            1 for asn, _count in top10
+            if (info := internet.registry.get(asn)) and info.is_chinese
+        )
+        check("GFW-impacted addresses concentrate in Chinese ASes",
+              "top 10 all Chinese", f"{chinese}/10 Chinese", chinese >= 8)
+        owners = set(history.gfw.forged_answer_owners)
+        check("forged answers map to unrelated operators",
+              "Facebook/Microsoft/Dropbox", f"{len(owners)} operators",
+              bool(owners))
+
+    # --- Table 1 shapes ---------------------------------------------------
+    table = table1_responsiveness(history, rib)
+    final = table.rows[-1]
+    icmp = final.per_protocol[Protocol.ICMP][0]
+    check("ICMP dominates responsiveness", "96.8 % of total",
+          f"{icmp}/{final.total[0]}", icmp >= 0.8 * final.total[0])
+    ordering = (
+        icmp
+        > final.per_protocol[Protocol.TCP80][0]
+        >= final.per_protocol[Protocol.TCP443][0]
+        > final.per_protocol[Protocol.UDP443][0]
+    )
+    check("protocol ordering ICMP > TCP/80 ≥ TCP/443 > UDP/443",
+          "Table 1", "as measured", ordering)
+    growth = final.total[0] / max(table.rows[0].total[0], 1)
+    check("responsive set grows over the years", "×1.78",
+          f"×{growth:.2f}", 1.1 < growth < 3.5)
+    cumulative_ratio = table.cumulative[Protocol.ICMP] / max(icmp, 1)
+    check("cumulative responsive dwarfs any snapshot", "×14.6",
+          f"×{cumulative_ratio:.1f}", cumulative_ratio > 3)
+
+    # --- Fig. 2 -----------------------------------------------------------
+    responsive_dist = as_distribution(history.final.cleaned_any(), rib, "resp")
+    check("responsive set is flat across ASes", "top AS 7.9 %",
+          f"top AS {100 * responsive_dist.share(0):.1f} %",
+          responsive_dist.share(0) < 0.2)
+
+    # --- Fig. 4 -----------------------------------------------------------
+    churn = churn_series(history)
+    if churn:
+        with_new = sum(1 for point in churn if point.new > 0)
+        check("completely new responsive addresses appear regularly",
+              "every scan", f"{with_new}/{len(churn)} scans",
+              with_new > len(churn) // 2)
+
+    # --- Sec. 5 -----------------------------------------------------------
+    histogram = alias_size_histogram(history.final.aliased_prefixes)
+    total_prefixes = sum(histogram.values())
+    if total_prefixes:
+        slash64 = histogram.get(64, 0) / total_prefixes
+        check("/64 dominates aliased prefixes", ">90 %",
+              f"{slash64:.0%}", slash64 > 0.5)
+        fractions = aliased_fraction_by_as(history.final.aliased_prefixes, rib)
+        fully = sum(1 for row in fractions if row.fraction > 0.9)
+        check("some ASes are (almost) fully aliased", "61 ASes >90 %",
+              f"{fully} ASes >90 %", fully >= 1)
+
+    # --- Sec. 4.1 ----------------------------------------------------------
+    eui64 = eui64_report(history, internet)
+    if eui64.eui64_addresses:
+        reuse = eui64.eui64_addresses / max(eui64.distinct_macs, 1)
+        check("EUI-64 MACs recur across rotated prefixes", "×12.4",
+              f"×{reuse:.1f}", reuse > 2)
+
+    return ValidationReport(checks=checks)

@@ -1,0 +1,28 @@
+"""Autonomous system substrate: registry, BGP routing table, org roster.
+
+The paper anchors every distributional result (Figures 2, 8, 9; Tables 4
+and 5) on a prefix→origin-AS mapping from a RIPE RIS routing table.  This
+subpackage provides the equivalent structures for the simulated internet:
+an AS registry with org metadata, a RIB with longest-prefix matching, a
+routing history able to replay announcement events (e.g. the Trafficforce
+February-2022 event) and the roster of real organizations named in the
+paper.
+"""
+
+from repro.asn.registry import AsCategory, AsInfo, AsRegistry
+from repro.asn.rib import RibSnapshot, RoutingHistory
+from repro.asn.orgs import PAPER_ORGS, OrgProfile, paper_registry
+from repro.asn.topology import GfwBoundary, VantagePoint
+
+__all__ = [
+    "AsCategory",
+    "AsInfo",
+    "AsRegistry",
+    "GfwBoundary",
+    "OrgProfile",
+    "PAPER_ORGS",
+    "RibSnapshot",
+    "RoutingHistory",
+    "VantagePoint",
+    "paper_registry",
+]

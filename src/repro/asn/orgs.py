@@ -1,0 +1,106 @@
+"""Roster of the real organizations named in the paper.
+
+The scenario builder seeds the simulated internet with these identities so
+distributional results (top ASes in Figures 2, 8, 9 and Tables 4, 5) carry
+the same labels as the paper.  Only identity lives here; behavioural
+parameters (how much space an org announces, whether its prefixes are
+fully responsive, GFW impact shares) live in
+:mod:`repro.simnet.config`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.asn.registry import AsCategory, AsInfo, AsRegistry
+
+
+@dataclass(frozen=True)
+class OrgProfile:
+    """Identity of one named organization."""
+
+    asn: int
+    name: str
+    country: str
+    category: AsCategory
+
+    def as_info(self) -> AsInfo:
+        """Convert to the registry record type."""
+        return AsInfo(
+            asn=self.asn, name=self.name, country=self.country, category=self.category
+        )
+
+
+def _org(asn: int, name: str, country: str, category: AsCategory) -> OrgProfile:
+    return OrgProfile(asn=asn, name=name, country=country, category=category)
+
+
+#: Every AS the paper names, keyed by ASN.
+PAPER_ORGS: Dict[int, OrgProfile] = {
+    org.asn: org
+    for org in (
+        # Clouds, CDNs and hosting — drivers of fully responsive prefixes.
+        _org(16509, "Amazon", "US", AsCategory.CLOUD),
+        _org(54113, "Fastly", "US", AsCategory.CDN),
+        _org(13335, "Cloudflare", "US", AsCategory.CDN),
+        _org(209242, "Cloudflare London", "GB", AsCategory.CDN),
+        _org(20940, "Akamai", "US", AsCategory.CDN),
+        _org(33905, "Akamai Technologies", "US", AsCategory.CDN),
+        _org(15169, "Google", "US", AsCategory.CONTENT),
+        _org(397165, "EpicUp", "US", AsCategory.CLOUD),
+        _org(212144, "Trafficforce", "LT", AsCategory.HOSTING),
+        _org(14061, "DigitalOcean", "US", AsCategory.CLOUD),
+        _org(63949, "Linode", "US", AsCategory.CLOUD),
+        _org(50069, "Misaka", "NL", AsCategory.DNS_ANYCAST),
+        _org(208861, "Racktech", "RU", AsCategory.HOSTING),
+        _org(12824, "home.pl", "PL", AsCategory.HOSTING),
+        # Large ISPs accumulating rotating CPE addresses.
+        _org(6057, "ANTEL", "UY", AsCategory.ISP),
+        _org(3320, "DTAG", "DE", AsCategory.ISP),
+        _org(12322, "Free SAS", "FR", AsCategory.ISP),
+        _org(45899, "VNPT", "VN", AsCategory.ISP),
+        _org(60294, "Deutsche Glasfaser", "DE", AsCategory.ISP),
+        _org(3356, "Level3", "US", AsCategory.ISP),
+        _org(2107, "ARNES", "SI", AsCategory.ACADEMIC),
+        _org(513, "CERN", "CH", AsCategory.ACADEMIC),
+        # Chinese networks behind the GFW (Table 5 of the paper).
+        _org(4134, "China Telecom Backbone", "CN", AsCategory.ISP),
+        _org(4812, "China Telecom", "CN", AsCategory.ISP),
+        _org(134774, "ChinaNet Jiangsu", "CN", AsCategory.ISP),
+        _org(134773, "ChinaNet Zhejiang", "CN", AsCategory.ISP),
+        _org(140329, "ChinaNet Shanghai", "CN", AsCategory.ISP),
+        _org(134772, "ChinaNet Hubei", "CN", AsCategory.ISP),
+        _org(4837, "China Unicom", "CN", AsCategory.ISP),
+        _org(136200, "ChinaNet Guangdong", "CN", AsCategory.ISP),
+        _org(140330, "ChinaNet Fujian", "CN", AsCategory.ISP),
+        _org(140316, "ChinaNet Sichuan", "CN", AsCategory.ISP),
+        _org(9808, "China Mobile", "CN", AsCategory.ISP),
+        # Operators whose IPv4 space shows up in GFW-injected answers.
+        _org(32934, "Facebook", "US", AsCategory.CONTENT),
+        _org(8075, "Microsoft", "US", AsCategory.CLOUD),
+        _org(19679, "Dropbox", "US", AsCategory.CONTENT),
+    )
+}
+
+#: The Table 5 top-10 GFW ASes with their share of impacted addresses (%).
+GFW_TOP10_SHARES: Tuple[Tuple[int, float], ...] = (
+    (4134, 46.44),
+    (4812, 14.59),
+    (134774, 13.88),
+    (134773, 8.04),
+    (140329, 2.37),
+    (134772, 1.93),
+    (4837, 1.87),
+    (136200, 1.76),
+    (140330, 1.72),
+    (140316, 1.24),
+)
+
+
+def paper_registry() -> AsRegistry:
+    """A fresh registry pre-populated with every paper-named org."""
+    registry = AsRegistry()
+    for org in PAPER_ORGS.values():
+        registry.add(org.as_info())
+    return registry

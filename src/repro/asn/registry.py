@@ -1,0 +1,91 @@
+"""AS metadata registry."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional
+
+
+class AsCategory(enum.Enum):
+    """Coarse operator categories driving address-assignment behaviour.
+
+    The category determines how the scenario builder populates an AS:
+    ISPs get rotating CPE prefixes with EUI-64 interface IDs, CDNs get
+    fully responsive (aliased-looking) prefixes backed by load balancers,
+    clouds get large aliased regions plus tenant servers, and so on.
+    """
+
+    ISP = "isp"
+    CDN = "cdn"
+    CLOUD = "cloud"
+    HOSTING = "hosting"
+    CONTENT = "content"
+    ACADEMIC = "academic"
+    ENTERPRISE = "enterprise"
+    DNS_ANYCAST = "dns_anycast"
+
+
+@dataclass(frozen=True)
+class AsInfo:
+    """Metadata for one autonomous system."""
+
+    asn: int
+    name: str
+    country: str = "ZZ"
+    category: AsCategory = AsCategory.ENTERPRISE
+
+    @property
+    def is_chinese(self) -> bool:
+        """True for ASes whose probes cross the Great Firewall."""
+        return self.country == "CN"
+
+    def __str__(self) -> str:
+        return f"AS{self.asn} ({self.name})"
+
+
+@dataclass
+class AsRegistry:
+    """A collection of :class:`AsInfo` records keyed by AS number."""
+
+    _records: Dict[int, AsInfo] = field(default_factory=dict)
+
+    def add(self, info: AsInfo) -> AsInfo:
+        """Register an AS; re-registering the same ASN must be identical."""
+        existing = self._records.get(info.asn)
+        if existing is not None and existing != info:
+            raise ValueError(f"conflicting registration for AS{info.asn}")
+        self._records[info.asn] = info
+        return info
+
+    def get(self, asn: int) -> Optional[AsInfo]:
+        """The record for ``asn``, or None when unknown."""
+        return self._records.get(asn)
+
+    def __getitem__(self, asn: int) -> AsInfo:
+        try:
+            return self._records[asn]
+        except KeyError:
+            raise KeyError(f"unknown AS{asn}") from None
+
+    def __contains__(self, asn: int) -> bool:
+        return asn in self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[AsInfo]:
+        return iter(self._records.values())
+
+    def name(self, asn: int) -> str:
+        """Human-readable name, falling back to ``ASxxxx``."""
+        info = self._records.get(asn)
+        return info.name if info is not None else f"AS{asn}"
+
+    def chinese_asns(self) -> frozenset:
+        """All registered ASNs located in China (GFW-affected)."""
+        return frozenset(info.asn for info in self if info.is_chinese)
+
+    def by_category(self, category: AsCategory) -> Iterator[AsInfo]:
+        """Iterate ASes of one category."""
+        return (info for info in self if info.category is category)

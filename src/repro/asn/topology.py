@@ -1,0 +1,62 @@
+"""AS-level path properties relevant to the measurements.
+
+The only topological property the paper's findings hinge on is whether a
+probe crosses the Great Firewall: the hitlist's vantage point is in
+Germany, so probes towards Chinese ASes cross the border (and DNS queries
+for blocked domains get answered by injectors), while a hypothetical
+Chinese vantage point would see the complement (Sec. 4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional
+
+from repro.asn.registry import AsRegistry
+
+
+@dataclass(frozen=True)
+class GfwBoundary:
+    """Decides whether a probe path crosses the Great Firewall.
+
+    ``inside_asns`` is the set of AS numbers inside the firewall.  The
+    vantage point is characterized only by whether it sits inside.
+    """
+
+    inside_asns: FrozenSet[int]
+    vantage_inside: bool = False
+
+    @classmethod
+    def from_registry(
+        cls, registry: AsRegistry, vantage_inside: bool = False
+    ) -> "GfwBoundary":
+        """Build the boundary from the registry's Chinese ASes."""
+        return cls(inside_asns=registry.chinese_asns(), vantage_inside=vantage_inside)
+
+    def crosses(self, destination_asn: Optional[int]) -> bool:
+        """True when a probe to ``destination_asn`` crosses the firewall.
+
+        Probes to unrouted destinations (``None``) never cross.
+        """
+        if destination_asn is None:
+            return False
+        destination_inside = destination_asn in self.inside_asns
+        return destination_inside != self.vantage_inside
+
+
+@dataclass
+class VantagePoint:
+    """The measurement vantage point (identity used for ethics metadata).
+
+    The paper's scans are clearly identified via reverse DNS, WHOIS and an
+    informational website; scanners in :mod:`repro.scan` carry this
+    identity and the simulated internet can honour opt-out requests keyed
+    on it.
+    """
+
+    name: str = "tum-ipv6-hitlist"
+    country: str = "DE"
+    asn: int = 56357
+    reverse_dns: str = "ipv6-research-scan.example.org"
+    info_url: str = "https://ipv6hitlist.github.io/"
+    inside_gfw: bool = field(default=False)

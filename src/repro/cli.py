@@ -1,0 +1,283 @@
+"""Command-line interface for the reproduction toolkit.
+
+Subcommands mirror how the paper's artefacts are used:
+
+* ``simulate`` — build a world, run the hitlist pipeline, publish the
+  responsive/aliased files and a text report into an output directory;
+* ``evaluate`` — additionally run the Sec. 6 new-source evaluation;
+* ``generate`` — run one target generation algorithm over a seed file;
+* ``aggregate`` — aggregate a prefix list (drop nested, merge siblings);
+* ``config`` — dump a scenario configuration as JSON for editing.
+
+Run ``python -m repro.cli --help`` for details.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis.figures_csv import export_all_figures
+from repro.analysis.report import full_report
+from repro.analysis.validation import validate_run
+from repro.hitlist import HitlistService, default_scan_days
+from repro.hitlist.export import (
+    read_address_list,
+    write_address_list,
+    write_aliased_prefixes,
+)
+from repro.hitlist.history_io import save_history_summary
+from repro.hitlist.service import ServiceSettings
+from repro.net.aggregate import merge_adjacent
+from repro.net.prefix import IPv6Prefix
+from repro.simnet import build_internet, default_config, small_config
+from repro.simnet.config_io import load_config, save_config
+from repro.tga import (
+    DistanceClustering,
+    EntropyIp,
+    SixGan,
+    SixGcVae,
+    SixGraph,
+    SixHit,
+    SixTree,
+    SixVecLm,
+    evaluate_new_sources,
+)
+from repro.tga.evaluation import default_generators
+
+_GENERATORS = {
+    "6tree": SixTree,
+    "6graph": SixGraph,
+    "6gan": SixGan,
+    "6veclm": SixVecLm,
+    "6gcvae": SixGcVae,
+    "6hit": SixHit,
+    "distance-clustering": DistanceClustering,
+    "entropy-ip": EntropyIp,
+}
+
+
+def _resolve_config(args: argparse.Namespace):
+    if getattr(args, "config", None):
+        with open(args.config, "r", encoding="ascii") as handle:
+            return load_config(handle)
+    preset = getattr(args, "preset", "small")
+    if preset == "default":
+        config = default_config()
+    else:
+        config = small_config()
+    if getattr(args, "seed", None) is not None:
+        config = config.with_seed(args.seed)
+    return config
+
+
+def _scan_days(args: argparse.Namespace, config) -> List[int]:
+    until = args.days if getattr(args, "days", None) else config.final_day
+    step = getattr(args, "interval", None)
+    if step:
+        return list(range(0, until + 1, step))
+    return [day for day in default_scan_days(config.final_day) if day <= until]
+
+
+def _run_pipeline(args: argparse.Namespace):
+    config = _resolve_config(args)
+    internet = build_internet(config)
+    settings = ServiceSettings(gfw_filter_deploy_day=config.gfw_filter_deploy_day)
+    service = HitlistService(internet, config, settings=settings)
+    history = service.run(_scan_days(args, config))
+    return config, internet, history
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    config, internet, history = _run_pipeline(args)
+    outdir = pathlib.Path(args.output)
+    outdir.mkdir(parents=True, exist_ok=True)
+    with open(outdir / "responsive.txt", "w", encoding="ascii") as handle:
+        count = write_address_list(handle, history.final.cleaned_any())
+    with open(outdir / "aliased-prefixes.txt", "w", encoding="ascii") as handle:
+        aliased = write_aliased_prefixes(
+            handle, (alias.prefix for alias in history.final.aliased_prefixes)
+        )
+    report = full_report(history)
+    (outdir / "report.txt").write_text(report)
+    with open(outdir / "scenario.json", "w", encoding="ascii") as handle:
+        save_config(config, handle)
+    rib = internet.routing.snapshot_at(max(history.retained))
+    export_all_figures(outdir / "figures", history, rib)
+    validation = validate_run(history)
+    (outdir / "validation.txt").write_text(validation.render() + "\n")
+    with open(outdir / "summary.json", "w", encoding="ascii") as handle:
+        save_history_summary(history, handle)
+    print(f"wrote {count} responsive addresses, {aliased} aliased prefixes, "
+          f"report.txt, figures/, validation.txt and scenario.json to {outdir}")
+    if not validation.passed:
+        print(f"validation: {len(validation.failures)} check(s) failed")
+        if args.strict:
+            return 1
+    return 0
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    config, internet, history = _run_pipeline(args)
+    seeds_day = max(history.retained)
+    evaluation = evaluate_new_sources(
+        internet, history, config,
+        generators=default_generators(config),
+        seeds_day=seeds_day,
+        scan_days=[seeds_day + 1, seeds_day + 8],
+    )
+    outdir = pathlib.Path(args.output)
+    outdir.mkdir(parents=True, exist_ok=True)
+    report = full_report(history, evaluation)
+    (outdir / "report.txt").write_text(report)
+    with open(outdir / "new-responsive.txt", "w", encoding="ascii") as handle:
+        count = write_address_list(handle, evaluation.combined_any())
+    rib = internet.routing.snapshot_at(max(history.retained))
+    export_all_figures(outdir / "figures", history, rib, evaluation)
+    print(f"wrote report.txt, figures/ and {count} new responsive addresses "
+          f"to {outdir}")
+    return 0
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    generator_cls = _GENERATORS[args.algorithm]
+    generator = generator_cls(budget=args.budget)
+    with open(args.seeds, "r", encoding="ascii") as handle:
+        seeds = sorted(read_address_list(handle))
+    if not seeds:
+        print("seed file contains no addresses", file=sys.stderr)
+        return 1
+    result = generator.generate(seeds)
+    with open(args.output, "w", encoding="ascii") as handle:
+        count = write_address_list(handle, result.candidates)
+    print(f"{generator.name}: {len(seeds)} seeds -> {count} candidates "
+          f"({args.output})")
+    return 0
+
+
+def cmd_aggregate(args: argparse.Namespace) -> int:
+    with open(args.prefixes, "r", encoding="ascii") as handle:
+        prefixes = [
+            IPv6Prefix.from_string(line.strip())
+            for line in handle
+            if line.strip() and not line.startswith("#")
+        ]
+    merged = merge_adjacent(prefixes)
+    with open(args.output, "w", encoding="ascii") as handle:
+        count = write_aliased_prefixes(handle, merged)
+    print(f"aggregated {len(prefixes)} prefixes into {count}")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    from repro.analysis.comparison import compare_summaries
+    from repro.hitlist.history_io import load_history_summary
+
+    with open(args.summary_a, "r", encoding="ascii") as handle:
+        summary_a = load_history_summary(handle)
+    with open(args.summary_b, "r", encoding="ascii") as handle:
+        summary_b = load_history_summary(handle)
+    comparison = compare_summaries(
+        summary_a, summary_b,
+        label_a=pathlib.Path(args.summary_a).parent.name or "A",
+        label_b=pathlib.Path(args.summary_b).parent.name or "B",
+    )
+    print(comparison.render())
+    return 0
+
+
+def cmd_describe(args: argparse.Namespace) -> int:
+    from repro.simnet.describe import describe_world
+
+    config = _resolve_config(args)
+    internet = build_internet(config)
+    print(describe_world(internet).render())
+    return 0
+
+
+def cmd_config(args: argparse.Namespace) -> int:
+    config = _resolve_config(args)
+    if args.output == "-":
+        save_config(config, sys.stdout)
+    else:
+        with open(args.output, "w", encoding="ascii") as handle:
+            save_config(config, handle)
+        print(f"wrote {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-cli",
+        description="IPv6 Hitlist reproduction toolkit (IMC 2022)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_world_args(p):
+        p.add_argument("--preset", choices=("small", "default"), default="small",
+                       help="scenario scale (default: small)")
+        p.add_argument("--config", help="JSON scenario file (overrides preset)")
+        p.add_argument("--seed", type=int, help="override the scenario seed")
+        p.add_argument("--days", type=int,
+                       help="simulate only the first N days")
+        p.add_argument("--interval", type=int,
+                       help="fixed scan interval in days")
+
+    p_sim = sub.add_parser("simulate", help="run the hitlist pipeline")
+    add_world_args(p_sim)
+    p_sim.add_argument("--output", "-o", default="repro-out",
+                       help="output directory")
+    p_sim.add_argument("--strict", action="store_true",
+                       help="exit non-zero when paper-shape validation fails")
+    p_sim.set_defaults(func=cmd_simulate)
+
+    p_eval = sub.add_parser("evaluate",
+                            help="run the pipeline plus the Sec. 6 evaluation")
+    add_world_args(p_eval)
+    p_eval.add_argument("--output", "-o", default="repro-out",
+                        help="output directory")
+    p_eval.set_defaults(func=cmd_evaluate)
+
+    p_gen = sub.add_parser("generate", help="run a target generation algorithm")
+    p_gen.add_argument("algorithm", choices=sorted(_GENERATORS))
+    p_gen.add_argument("seeds", help="file with one IPv6 address per line")
+    p_gen.add_argument("--budget", type=int, default=10_000)
+    p_gen.add_argument("--output", "-o", default="candidates.txt")
+    p_gen.set_defaults(func=cmd_generate)
+
+    p_agg = sub.add_parser("aggregate", help="aggregate a prefix list")
+    p_agg.add_argument("prefixes", help="file with one CIDR prefix per line")
+    p_agg.add_argument("--output", "-o", default="aggregated.txt")
+    p_agg.set_defaults(func=cmd_aggregate)
+
+    p_cmp = sub.add_parser("compare", help="diff two runs' summary.json files")
+    p_cmp.add_argument("summary_a")
+    p_cmp.add_argument("summary_b")
+    p_cmp.set_defaults(func=cmd_compare)
+
+    p_desc = sub.add_parser("describe", help="summarize a built world")
+    p_desc.add_argument("--preset", choices=("small", "default"), default="small")
+    p_desc.add_argument("--config", help="JSON scenario file (overrides preset)")
+    p_desc.add_argument("--seed", type=int)
+    p_desc.set_defaults(func=cmd_describe)
+
+    p_cfg = sub.add_parser("config", help="dump a scenario config as JSON")
+    p_cfg.add_argument("--preset", choices=("small", "default"), default="small")
+    p_cfg.add_argument("--config", help="round-trip an existing JSON config")
+    p_cfg.add_argument("--seed", type=int)
+    p_cfg.add_argument("--output", "-o", default="-")
+    p_cfg.set_defaults(func=cmd_config)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,120 @@
+"""Classify DNS responses as GFW-injected.
+
+The detector only uses observable evidence (the paper's Sec. 4.2):
+
+* the scan asks for a AAAA record, but the response carries an **A
+  record** — genuine resolvers do not answer a AAAA query with A data;
+* the response's AAAA answer is a **Teredo** address (deprecated
+  tunnelling scheme, RFC 4380) embedding an IPv4 that public WHOIS data
+  maps to an operator unrelated to the queried domain;
+* **multiple responses** arrive for a single query (several injectors on
+  the path answer independently).
+
+Ground-truth flags (``DnsResponse.injected``) are never consulted.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+from repro.net.teredo import decode_teredo, is_teredo
+from repro.protocols import DnsResponse, DnsStatus, RecordType
+
+
+class InjectionEvidence(enum.Enum):
+    """Why a response looks forged."""
+
+    A_FOR_AAAA = "a_for_aaaa"
+    TEREDO_ANSWER = "teredo_answer"
+    MULTIPLE_RESPONSES = "multiple_responses"
+    UNRELATED_OWNER = "unrelated_owner"
+
+
+@dataclass(frozen=True)
+class Ipv4Whois:
+    """Public IPv4 allocation data: range -> owner ASN.
+
+    Mirrors what the paper gets from WHOIS/routing data when checking
+    that injected answers belong to Facebook/Microsoft/Dropbox rather
+    than Google.  Entries are ``(base, prefix_len, owner_asn)``.
+    """
+
+    ranges: Tuple[Tuple[int, int, int], ...]
+
+    def owner_of(self, ipv4: int) -> Optional[int]:
+        """The ASN whose allocation contains ``ipv4``, if known."""
+        for base, length, owner in self.ranges:
+            if base <= ipv4 < base + (1 << (32 - length)):
+                return owner
+        return None
+
+
+#: WHOIS view of the ranges observed in forged answers during the study
+#: (public data; equals the injector pool because both model reality).
+DEFAULT_WHOIS = Ipv4Whois(
+    ranges=(
+        (0x1F0D5800, 21, 32934),  # Facebook
+        (0x0D6B4000, 18, 8075),  # Microsoft
+        (0xA27D0000, 16, 19679),  # Dropbox
+    )
+)
+
+
+def classify_response(
+    response: DnsResponse,
+    expected_rtype: RecordType = RecordType.AAAA,
+    whois: Ipv4Whois = DEFAULT_WHOIS,
+    domain_owner_asns: Iterable[int] = (15169,),  # www.google.com -> Google
+) -> Optional[InjectionEvidence]:
+    """Evidence of forgery carried by a single response, if any."""
+    if response.status is not DnsStatus.NOERROR:
+        return None
+    owners = set(domain_owner_asns)
+    for answer in response.answers:
+        if answer.rtype is RecordType.A and expected_rtype is RecordType.AAAA:
+            return InjectionEvidence.A_FOR_AAAA
+        if answer.rtype is RecordType.AAAA and is_teredo(answer.address):
+            return InjectionEvidence.TEREDO_ANSWER
+        if answer.rtype is RecordType.A:
+            owner = whois.owner_of(answer.address)
+            if owner is not None and owner not in owners:
+                return InjectionEvidence.UNRELATED_OWNER
+    return None
+
+
+def classify_target(
+    responses: Sequence[DnsResponse],
+    expected_rtype: RecordType = RecordType.AAAA,
+    whois: Ipv4Whois = DEFAULT_WHOIS,
+) -> Dict[InjectionEvidence, int]:
+    """Aggregate forgery evidence across all responses to one probe.
+
+    Returns a (possibly empty) evidence histogram.  A target with any
+    evidence is treated as injection-affected for this scan.
+    """
+    evidence: Dict[InjectionEvidence, int] = {}
+    if len(responses) > 1:
+        evidence[InjectionEvidence.MULTIPLE_RESPONSES] = len(responses)
+    for response in responses:
+        kind = classify_response(response, expected_rtype, whois)
+        if kind is not None:
+            evidence[kind] = evidence.get(kind, 0) + 1
+    return evidence
+
+
+def is_injected_target(
+    responses: Sequence[DnsResponse],
+    expected_rtype: RecordType = RecordType.AAAA,
+    whois: Ipv4Whois = DEFAULT_WHOIS,
+) -> bool:
+    """True when a probe's responses carry *record-level* forgery evidence.
+
+    Multiple responses alone are treated as corroborating, not
+    sufficient: retransmissions can legitimately duplicate answers.
+    """
+    return any(
+        classify_response(response, expected_rtype, whois) is not None
+        for response in responses
+    )

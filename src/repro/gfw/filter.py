@@ -1,0 +1,103 @@
+"""The GFW filter added to the hitlist pipeline (Fig. 1, green box).
+
+Two roles, matching the paper's deployment in February 2022:
+
+* **post-scan cleaning**: immediately after each UDP/53 scan, responders
+  whose responses carry forgery evidence are removed from the DNS
+  results, so freshly scanned addresses are only counted DNS-responsive
+  when they really answered.  Addresses responsive to other protocols
+  stay in the input; pure-injection addresses then age out through the
+  30-day filter.
+* **historical cleaning**: addresses that ever showed injection but
+  never answered any other protocol are dropped from the accumulated
+  input outright (the paper's one-time removal of 134 M addresses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Set
+
+from repro.gfw.detector import (
+    DEFAULT_WHOIS,
+    InjectionEvidence,
+    Ipv4Whois,
+    classify_target,
+    is_injected_target,
+)
+from repro.net.teredo import decode_teredo, is_teredo
+from repro.protocols import RecordType
+from repro.scan.zmap import Udp53Result
+
+
+@dataclass
+class ScanCleaningResult:
+    """Outcome of cleaning one UDP/53 scan."""
+
+    day: int
+    clean_responders: Set[int] = field(default_factory=set)
+    injected_responders: Set[int] = field(default_factory=set)
+    evidence_counts: Dict[InjectionEvidence, int] = field(default_factory=dict)
+
+
+class GfwFilter:
+    """Stateful injection bookkeeping across the service lifetime."""
+
+    def __init__(self, whois: Ipv4Whois = DEFAULT_WHOIS) -> None:
+        #: addresses that showed injection evidence in at least one scan
+        self.ever_injected: Set[int] = set()
+        #: addresses that ever genuinely answered a non-DNS probe
+        self.ever_other_protocol: Set[int] = set()
+        #: forged answers attributed to their (unrelated) IPv4 owners —
+        #: the paper's Facebook/Microsoft/Dropbox observation
+        self.forged_answer_owners: Dict[int, int] = {}
+        self._whois = whois
+
+    def _attribute_answers(self, responses) -> None:
+        for response in responses:
+            for answer in response.answers:
+                if answer.rtype is RecordType.A:
+                    ipv4 = answer.address
+                elif answer.rtype is RecordType.AAAA and is_teredo(answer.address):
+                    ipv4 = decode_teredo(answer.address).client_ipv4
+                else:
+                    continue
+                owner = self._whois.owner_of(ipv4)
+                if owner is not None:
+                    self.forged_answer_owners[owner] = (
+                        self.forged_answer_owners.get(owner, 0) + 1
+                    )
+
+    def clean_scan(self, result: Udp53Result) -> ScanCleaningResult:
+        """Split one scan's responders into clean and injected."""
+        cleaning = ScanCleaningResult(day=result.day)
+        for responder in result.responders:
+            responses = result.responses.get(responder, ())
+            if is_injected_target(responses):
+                cleaning.injected_responders.add(responder)
+                for kind, count in classify_target(responses).items():
+                    cleaning.evidence_counts[kind] = (
+                        cleaning.evidence_counts.get(kind, 0) + count
+                    )
+                self._attribute_answers(responses)
+            else:
+                cleaning.clean_responders.add(responder)
+        self.ever_injected.update(cleaning.injected_responders)
+        return cleaning
+
+    def note_other_protocol_responders(self, responders: Set[int]) -> None:
+        """Record genuine responsiveness to any non-DNS protocol."""
+        self.ever_other_protocol.update(responders)
+
+    def historical_filter_set(self) -> Set[int]:
+        """Addresses to purge from the input (Sec. 4.2's 134 M).
+
+        Injection-only addresses: at least one injected response across
+        the service history and never any other-protocol response.
+        """
+        return self.ever_injected - self.ever_other_protocol
+
+    @property
+    def impacted_count(self) -> int:
+        """Total addresses that ever showed injection."""
+        return len(self.ever_injected)

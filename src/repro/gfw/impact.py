@@ -1,0 +1,76 @@
+"""Per-AS accounting of GFW-impacted addresses (Table 5, Appendix A)."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+from repro.asn.registry import AsRegistry
+from repro.asn.rib import RibSnapshot
+
+
+@dataclass(frozen=True)
+class GfwImpactRow:
+    """One row of the Table 5 reproduction."""
+
+    asn: int
+    name: str
+    addresses: int
+    share_percent: float
+    cdf_percent: float
+    is_chinese: bool
+
+
+@dataclass(frozen=True)
+class GfwImpactReport:
+    """Aggregate view over all impacted addresses."""
+
+    total_addresses: int
+    total_asns: int
+    rows: Tuple[GfwImpactRow, ...]
+
+    def top(self, count: int = 10) -> Tuple[GfwImpactRow, ...]:
+        """The top-N rows by impacted address count."""
+        return self.rows[:count]
+
+    def chinese_share_of_top(self, count: int = 10) -> float:
+        """Fraction of the top-N ASes located in China."""
+        rows = self.top(count)
+        if not rows:
+            return 0.0
+        return sum(1 for row in rows if row.is_chinese) / len(rows)
+
+
+def impact_report(
+    impacted: Iterable[int],
+    rib: RibSnapshot,
+    registry: Optional[AsRegistry] = None,
+) -> GfwImpactReport:
+    """Build the per-AS impact table from a set of impacted addresses."""
+    counter: Counter = Counter()
+    total = 0
+    for address in impacted:
+        total += 1
+        asn = rib.origin_as(address)
+        if asn is not None:
+            counter[asn] += 1
+    rows: List[GfwImpactRow] = []
+    cumulative = 0.0
+    for asn, count in counter.most_common():
+        share = 100.0 * count / total if total else 0.0
+        cumulative += share
+        info = registry.get(asn) if registry is not None else None
+        rows.append(
+            GfwImpactRow(
+                asn=asn,
+                name=info.name if info else f"AS{asn}",
+                addresses=count,
+                share_percent=share,
+                cdf_percent=cumulative,
+                is_chinese=bool(info and info.is_chinese),
+            )
+        )
+    return GfwImpactReport(
+        total_addresses=total, total_asns=len(counter), rows=tuple(rows)
+    )

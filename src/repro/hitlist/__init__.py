@@ -1,0 +1,44 @@
+"""The IPv6 Hitlist service pipeline — the paper's primary subject.
+
+Reproduces the service of Gasser et al. (Fig. 1 of the paper): input
+accumulation from many sources, blocklist filter, the newly added GFW
+filter, multi-level aliased prefix detection, the 30-day unresponsive
+filter, Yarrp traceroutes and five-protocol ZMapv6 scans — run over the
+2018-07-01 → 2022-04-07 timeline against the simulated internet.
+"""
+
+from repro.hitlist.apd import AliasedPrefixDetection, DetectedAlias
+from repro.hitlist.representatives import alias_representatives
+from repro.hitlist.sources import (
+    AtlasSource,
+    CloudEndpointSource,
+    DnsZoneSource,
+    InputSource,
+    RdnsBatchSource,
+    StaticSource,
+    default_sources,
+)
+from repro.hitlist.service import (
+    HitlistHistory,
+    HitlistService,
+    ScanSnapshot,
+    ServiceSettings,
+    default_scan_days,
+)
+
+__all__ = [
+    "AliasedPrefixDetection",
+    "AtlasSource",
+    "CloudEndpointSource",
+    "DetectedAlias",
+    "DnsZoneSource",
+    "HitlistHistory",
+    "HitlistService",
+    "InputSource",
+    "RdnsBatchSource",
+    "ScanSnapshot",
+    "ServiceSettings",
+    "StaticSource",
+    "alias_representatives",
+    "default_scan_days",
+]

@@ -1,0 +1,81 @@
+"""Publication formats of the IPv6 Hitlist service.
+
+The real service publishes newline-separated responsive addresses and a
+list of aliased prefixes; downstream studies consume exactly these
+files.  These helpers write and parse that format so the reproduction's
+outputs are directly exchangeable.
+"""
+
+from __future__ import annotations
+
+from typing import IO, Iterable, List, Set
+
+from repro.hitlist.service import HitlistHistory
+from repro.net.address import format_ipv6, parse_ipv6
+from repro.net.prefix import IPv6Prefix
+from repro.protocols import ALL_PROTOCOLS, Protocol
+
+
+def write_address_list(stream: IO[str], addresses: Iterable[int]) -> int:
+    """Write sorted, deduplicated addresses, one per line."""
+    count = 0
+    for address in sorted(set(addresses)):
+        stream.write(format_ipv6(address) + "\n")
+        count += 1
+    return count
+
+
+def read_address_list(stream: IO[str]) -> Set[int]:
+    """Parse a newline-separated address file (blank lines, # comments ok)."""
+    addresses: Set[int] = set()
+    for line in stream:
+        line = line.strip()
+        if line and not line.startswith("#"):
+            addresses.add(parse_ipv6(line))
+    return addresses
+
+
+def write_aliased_prefixes(stream: IO[str], prefixes: Iterable[IPv6Prefix]) -> int:
+    """Write aliased prefixes in CIDR notation, one per line."""
+    count = 0
+    for prefix in sorted(set(prefixes)):
+        stream.write(str(prefix) + "\n")
+        count += 1
+    return count
+
+
+def read_aliased_prefixes(stream: IO[str]) -> List[IPv6Prefix]:
+    """Parse a CIDR-per-line aliased prefix file."""
+    prefixes = []
+    for line in stream:
+        line = line.strip()
+        if line and not line.startswith("#"):
+            prefixes.append(IPv6Prefix.from_string(line))
+    return prefixes
+
+
+def publish(history: HitlistHistory, streams: dict) -> dict:
+    """Write the service's publication set from a finished run.
+
+    ``streams`` maps names to writable text streams; recognized names:
+    ``responsive`` (cleaned union), one per protocol label (e.g.
+    ``ICMP``, ``UDP/53``), and ``aliased``.  Returns per-name line
+    counts.
+    """
+    final = history.final
+    written = {}
+    for name, stream in streams.items():
+        if name == "responsive":
+            written[name] = write_address_list(stream, final.cleaned_any())
+        elif name == "aliased":
+            written[name] = write_aliased_prefixes(
+                stream, (alias.prefix for alias in final.aliased_prefixes)
+            )
+        else:
+            protocol = next((p for p in ALL_PROTOCOLS if p.label == name), None)
+            if protocol is None:
+                raise ValueError(f"unknown publication stream: {name}")
+            written[name] = write_address_list(
+                stream, final.cleaned_responders(protocol)
+            )
+    return written

@@ -1,0 +1,64 @@
+"""Input hygiene: pruning outdated rotating addresses (Sec. 4.3).
+
+The paper: "we plan to frequently clean the overall input of specific
+addresses, such as outdated EUI-64 based addresses" — CPE devices keep
+their MAC-derived interface ID across ISP prefix rotations, so every
+EUI-64 address that shares a MAC with a more recently seen address is a
+stale rotation artefact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.net.eui64 import is_eui64_interface_id, mac_from_interface_id
+
+_LOW64 = (1 << 64) - 1
+
+
+@dataclass
+class HygieneReport:
+    """Outcome of one input-cleaning pass."""
+
+    scanned: int = 0
+    eui64_addresses: int = 0
+    stale: Set[int] = field(default_factory=set)
+    macs_with_rotations: int = 0
+
+    @property
+    def removable_share(self) -> float:
+        """Share of the scanned input identified as stale rotations."""
+        return len(self.stale) / self.scanned if self.scanned else 0.0
+
+
+def stale_eui64_rotations(
+    sightings: Iterable[Tuple[int, int]],
+    grace_days: int = 0,
+) -> HygieneReport:
+    """Identify outdated EUI-64 rotations in ``(address, last_seen_day)``.
+
+    For every embedded MAC, the most recently seen address is kept;
+    earlier sightings older than ``grace_days`` relative to the newest
+    are stale.  Non-EUI-64 addresses are never flagged.
+    """
+    report = HygieneReport()
+    by_mac: Dict[int, List[Tuple[int, int]]] = {}
+    for address, day in sightings:
+        report.scanned += 1
+        iid = address & _LOW64
+        if not is_eui64_interface_id(iid):
+            continue
+        report.eui64_addresses += 1
+        mac = mac_from_interface_id(iid)
+        by_mac.setdefault(mac, []).append((day, address))
+    for entries in by_mac.values():
+        if len(entries) < 2:
+            continue
+        report.macs_with_rotations += 1
+        entries.sort()
+        newest_day, _newest_address = entries[-1]
+        for day, address in entries[:-1]:
+            if newest_day - day >= grace_days:
+                report.stale.add(address)
+    return report

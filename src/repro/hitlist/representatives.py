@@ -1,0 +1,41 @@
+"""Representative addresses for fully responsive prefixes.
+
+The paper's Sec. 5.3/7 suggestion: even though aliased prefixes are
+excluded from scans, *one address per prefix* should stay in the hitlist
+— "even if the complete prefix is an alias for a single host, it is an
+actual host [...] and should thus be represented".  Known addresses
+(from DNS or passive sources) are preferred over synthetic ones because
+operators actively announce them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.hitlist.apd import AliasedPrefixDetection
+from repro.net.prefix import IPv6Prefix
+from repro.net.random_addr import pseudo_random_address
+
+
+def alias_representatives(
+    apd: AliasedPrefixDetection,
+    known_addresses: Optional[Iterable[int]] = None,
+    nonce: int = 0,
+) -> Dict[IPv6Prefix, int]:
+    """One scan target per detected aliased prefix.
+
+    For every currently detected alias, prefer an address from
+    ``known_addresses`` (e.g. the accumulated input: DNS-announced or
+    passively observed addresses inside the prefix); fall back to a
+    deterministic pseudo-random address.
+    """
+    chosen: Dict[IPv6Prefix, int] = {}
+    if known_addresses is not None:
+        for address in known_addresses:
+            alias = apd.covering_alias(address)
+            if alias is not None and alias.prefix not in chosen:
+                chosen[alias.prefix] = address
+    for alias in apd.aliased_prefixes:
+        if alias.prefix not in chosen:
+            chosen[alias.prefix] = pseudo_random_address(alias.prefix, nonce=nonce)
+    return chosen

@@ -1,0 +1,478 @@
+"""The IPv6 Hitlist service run over the four-year timeline.
+
+Pipeline per scan (paper Fig. 1): collect source input → blocklist
+filter → GFW filter (after its February 2022 deployment) → aliased
+prefix detection → 30-day unresponsive filter → Yarrp traceroutes (fed
+back as input) → ZMapv6 scans of five protocols.
+
+The service records a :class:`ScanSnapshot` per scan (counts for the
+published and the GFW-cleaned view, churn decomposition) and retains
+full responder sets plus the aliased prefix list at the paper's yearly
+snapshot days so Tables 1/2 and Figures 2-10 can be regenerated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.gfw.filter import GfwFilter
+from repro.hitlist.apd import AliasedPrefixDetection, DetectedAlias
+from repro.hitlist.sources import InputSource, default_sources
+from repro.protocols import ALL_PROTOCOLS, Protocol
+from repro.scan.blocklist import Blocklist
+from repro.scan.yarrp import YarrpTracer
+from repro.scan.zmap import ZMapScanner
+from repro.simnet.config import DAY_2021_12_01, SNAPSHOT_DAYS, ScenarioConfig
+from repro.simnet.internet import SimInternet
+
+
+def default_scan_days(final_day: int) -> List[int]:
+    """Scan schedule: cadence degrades as runtime grows (Sec. 3.1).
+
+    Daily scans initially (modelled at 2-day granularity), then every
+    3, 5 and finally 7 days as the growing input stretches runs over
+    multiple days.
+    """
+    days: List[int] = []
+    day = 0
+    while day <= final_day:
+        days.append(day)
+        if day < 365:
+            day += 2
+        elif day < 730:
+            day += 3
+        elif day < 1095:
+            day += 5
+        else:
+            day += 7
+    if days[-1] != final_day:
+        days.append(final_day)
+    return days
+
+
+@dataclass(frozen=True)
+class ServiceSettings:
+    """Tunables of the service run."""
+
+    qname: str = "www.google.com"
+    unresponsive_days: int = 30
+    gfw_filter_deploy_day: Optional[int] = None  # None = never deployed
+    loss_rate: float = 0.03
+    trace_sample_rate: float = 1.0
+    #: probe budget per day for adaptive scheduling (Sec. 3.1: the growing
+    #: input stretched scans from daily to multi-day runs).  Five probes
+    #: per target per scan; None disables the runtime model.
+    probes_per_day: Optional[int] = None
+    apd_min_longer_addresses: int = 100
+    apd_reconfirm_interval: int = 30
+    #: days whose full responder sets are kept: the paper's Table 1
+    #: snapshots plus December 2021 (the TGA seed set of Sec. 6).
+    retain_days: Tuple[int, ...] = tuple(sorted(SNAPSHOT_DAYS + (DAY_2021_12_01,)))
+
+
+@dataclass
+class ScanSnapshot:
+    """Bookkeeping of one service scan."""
+
+    day: int
+    input_total: int
+    scan_target_count: int
+    aliased_prefix_count: int
+    published_counts: Dict[Protocol, int] = field(default_factory=dict)
+    cleaned_counts: Dict[Protocol, int] = field(default_factory=dict)
+    published_total: int = 0
+    cleaned_total: int = 0
+    injected_count: int = 0
+    churn_new: int = 0
+    churn_recurring: int = 0
+    churn_gone: int = 0
+    excluded_now: int = 0
+
+
+@dataclass
+class RetainedScan:
+    """Full data kept at the paper's snapshot days."""
+
+    day: int
+    responders: Dict[Protocol, FrozenSet[int]]
+    injected: FrozenSet[int]
+    aliased_prefixes: Tuple[DetectedAlias, ...]
+
+    def cleaned_responders(self, protocol: Protocol) -> FrozenSet[int]:
+        """Responders with GFW-forged DNS results removed.
+
+        Injection only poisons UDP/53 results; a Chinese host genuinely
+        answering ICMP stays responsive in the cleaned view (Sec. 4.2:
+        "individual addresses should remain in the IPv6 Hitlist if
+        responsive to other protocols").
+        """
+        responders = self.responders.get(protocol, frozenset())
+        if protocol is Protocol.UDP53:
+            return responders - self.injected
+        return responders
+
+    def cleaned_any(self) -> FrozenSet[int]:
+        """Addresses responsive to at least one protocol, cleaned."""
+        union: Set[int] = set()
+        for protocol in ALL_PROTOCOLS:
+            union |= self.cleaned_responders(protocol)
+        return frozenset(union)
+
+
+@dataclass
+class HitlistHistory:
+    """Everything the analysis layer consumes after a run."""
+
+    snapshots: List[ScanSnapshot] = field(default_factory=list)
+    retained: Dict[int, RetainedScan] = field(default_factory=dict)
+    input_ever: Set[int] = field(default_factory=set)
+    excluded: Set[int] = field(default_factory=set)
+    per_source_counts: Dict[str, int] = field(default_factory=dict)
+    ever_responsive: Dict[Protocol, Set[int]] = field(default_factory=dict)
+    ever_responsive_any: Set[int] = field(default_factory=set)
+    gfw: Optional[GfwFilter] = None
+    apd: Optional[AliasedPrefixDetection] = None
+    internet: Optional[SimInternet] = None
+
+    def retained_at(self, day: int) -> RetainedScan:
+        """The retained scan closest to ``day``."""
+        if not self.retained:
+            raise ValueError("no retained scans")
+        best = min(self.retained, key=lambda d: abs(d - day))
+        return self.retained[best]
+
+    @property
+    def final(self) -> RetainedScan:
+        """The last retained scan (the paper's 2022-04-07 state)."""
+        return self.retained[max(self.retained)]
+
+
+class HitlistService:
+    """Runs the pipeline across a scan schedule."""
+
+    def __init__(
+        self,
+        internet: SimInternet,
+        config: ScenarioConfig,
+        settings: Optional[ServiceSettings] = None,
+        sources: Optional[Sequence[InputSource]] = None,
+        blocklist: Optional[Blocklist] = None,
+    ) -> None:
+        self.internet = internet
+        self.config = config
+        self.settings = settings or ServiceSettings(
+            gfw_filter_deploy_day=config.gfw_filter_deploy_day
+        )
+        self.blocklist = blocklist or Blocklist()
+        self.scanner = ZMapScanner(
+            internet, blocklist=self.blocklist,
+            loss_rate=self.settings.loss_rate, seed=config.seed,
+        )
+        self.tracer = YarrpTracer(
+            internet, blocklist=self.blocklist,
+            sample_rate=self.settings.trace_sample_rate, seed=config.seed,
+        )
+        self.apd = AliasedPrefixDetection(
+            ZMapScanner(internet, blocklist=self.blocklist, loss_rate=self.settings.loss_rate,
+                        seed=config.seed ^ 0xA11A5),
+            min_longer_addresses=self.settings.apd_min_longer_addresses,
+            reconfirm_interval=self.settings.apd_reconfirm_interval,
+        )
+        self.gfw_filter = GfwFilter()
+        self.sources: List[InputSource] = list(
+            sources if sources is not None else default_sources(internet, config)
+        )
+
+        self.history = HitlistHistory(
+            gfw=self.gfw_filter, apd=self.apd, internet=internet
+        )
+        self.history.ever_responsive = {protocol: set() for protocol in ALL_PROTOCOLS}
+
+        # live pipeline state
+        self._scan_pool: Set[int] = set()
+        self._pending_apd_input: Set[int] = set()
+        self._slash64_members: Dict[int, List[int]] = {}
+        self._first_seen: Dict[int, int] = {}
+        self._last_responsive: Dict[int, int] = {}
+        self._prev_responsive_any: Set[int] = set()
+        self._gfw_purge_applied = False
+
+        # seed the accumulated input
+        initial = internet.ground_truth.get("initial_input")
+        self._ingest("initial_seed", initial, day=0)
+
+    # ------------------------------------------------------------------
+
+    def _ingest(self, source_name: str, addresses: Iterable[int], day: int) -> Set[int]:
+        """Add new candidates to the accumulated input and the scan pool."""
+        history = self.history
+        new: Set[int] = set()
+        for address in addresses:
+            if address in history.input_ever:
+                continue
+            history.input_ever.add(address)
+            new.add(address)
+            self._pending_apd_input.add(address)
+            self._slash64_members.setdefault(address >> 64, []).append(address)
+            if self.blocklist.is_blocked(address):
+                continue
+            if self.apd.is_aliased_address(address):
+                continue
+            self._scan_pool.add(address)
+            self._first_seen[address] = day
+        if new:
+            history.per_source_counts[source_name] = (
+                history.per_source_counts.get(source_name, 0) + len(new)
+            )
+        return new
+
+    def _apply_30day_filter(self, day: int) -> int:
+        """Drop addresses unresponsive for more than the threshold."""
+        threshold = self.settings.unresponsive_days
+        history = self.history
+        to_remove = []
+        for address in self._scan_pool:
+            reference = self._last_responsive.get(
+                address, self._first_seen.get(address, day)
+            )
+            if day - reference > threshold:
+                to_remove.append(address)
+        for address in to_remove:
+            self._scan_pool.discard(address)
+            self._first_seen.pop(address, None)
+            self._last_responsive.pop(address, None)
+            history.excluded.add(address)
+        return len(to_remove)
+
+    def _apply_gfw_historical_purge(self) -> None:
+        """The one-time removal of injection-only addresses (Sec. 4.2)."""
+        purge = self.gfw_filter.historical_filter_set()
+        self._scan_pool -= purge
+        for address in purge:
+            self._first_seen.pop(address, None)
+            self._last_responsive.pop(address, None)
+        self.history.excluded.update(purge)
+        self._gfw_purge_applied = True
+
+    def _drop_newly_aliased(self) -> None:
+        """Remove scan-pool members now covered by detected aliases."""
+        apd = self.apd
+        self._scan_pool = {
+            address for address in self._scan_pool
+            if not apd.is_aliased_address(address)
+        }
+
+    # ------------------------------------------------------------------
+
+    def run_scan(self, day: int, prev_day: int) -> ScanSnapshot:
+        """Execute one full pipeline iteration."""
+        settings = self.settings
+        history = self.history
+
+        # 1. input collection
+        for source in self.sources:
+            collected = source.collect(prev_day, day)
+            self._ingest(source.name, collected, day)
+
+        # 2. aliased prefix detection (incremental).  Everything ingested
+        # since the last detection round — sources, the initial seed, and
+        # the previous scan's traceroute hops — is candidate input.
+        rib = self.internet.routing.snapshot_at(day)
+        pending = self._pending_apd_input
+        self._pending_apd_input = set()
+        changed = self.apd.run(day, pending, self._slash64_members, rib)
+        if changed:
+            self._drop_newly_aliased()
+
+        # 3. GFW historical purge once the filter deploys
+        deploy = settings.gfw_filter_deploy_day
+        gfw_active = deploy is not None and day >= deploy
+        if gfw_active and not self._gfw_purge_applied:
+            self._apply_gfw_historical_purge()
+
+        # 4. 30-day unresponsive filter
+        excluded_now = self._apply_30day_filter(day)
+
+        # 5. scans
+        targets = list(self._scan_pool)
+        results, udp53 = self.scanner.scan_all_protocols(targets, day, settings.qname)
+        cleaning = self.gfw_filter.clean_scan(udp53)
+
+        other_responders: Set[int] = set()
+        for protocol in (Protocol.ICMP, Protocol.TCP80, Protocol.TCP443, Protocol.UDP443):
+            other_responders |= results[protocol].responders
+        self.gfw_filter.note_other_protocol_responders(other_responders)
+
+        udp53_effective = (
+            cleaning.clean_responders if gfw_active else set(udp53.responders)
+        )
+
+        # 6. responsiveness bookkeeping
+        for address in other_responders | udp53_effective:
+            self._last_responsive[address] = day
+
+        responders: Dict[Protocol, FrozenSet[int]] = {
+            Protocol.ICMP: results[Protocol.ICMP].responders,
+            Protocol.TCP80: results[Protocol.TCP80].responders,
+            Protocol.TCP443: results[Protocol.TCP443].responders,
+            Protocol.UDP443: results[Protocol.UDP443].responders,
+            Protocol.UDP53: frozenset(udp53.responders),
+        }
+        injected = frozenset(cleaning.injected_responders)
+
+        published_counts = {
+            protocol: len(
+                responders[protocol] if not (gfw_active and protocol is Protocol.UDP53)
+                else udp53_effective
+            )
+            for protocol in ALL_PROTOCOLS
+        }
+        cleaned_counts = {
+            protocol: len(
+                responders[protocol] - injected
+                if protocol is Protocol.UDP53
+                else responders[protocol]
+            )
+            for protocol in ALL_PROTOCOLS
+        }
+
+        published_any: Set[int] = set()
+        cleaned_any: Set[int] = set()
+        for protocol in ALL_PROTOCOLS:
+            if gfw_active and protocol is Protocol.UDP53:
+                published_any |= udp53_effective
+            else:
+                published_any |= responders[protocol]
+            if protocol is Protocol.UDP53:
+                cleaned_any |= responders[protocol] - injected
+            else:
+                cleaned_any |= responders[protocol]
+
+        # churn (cleaned view), relative to the previous scan
+        prev = self._prev_responsive_any
+        ever = history.ever_responsive_any
+        appeared = cleaned_any - prev
+        churn_new = len(appeared - ever)
+        churn_recurring = len(appeared & ever)
+        churn_gone = len(prev - cleaned_any)
+        self._prev_responsive_any = cleaned_any
+        ever |= cleaned_any
+        for protocol in ALL_PROTOCOLS:
+            if protocol is Protocol.UDP53:
+                history.ever_responsive[protocol] |= responders[protocol] - injected
+            else:
+                history.ever_responsive[protocol] |= responders[protocol]
+
+        # 7. the service's own traceroutes feed the next scan's input
+        trace_result = self.tracer.trace_targets(targets, day)
+        self._ingest("yarrp", trace_result.hops, day)
+
+        # stash full sets so a retention request for this day reuses the
+        # actual scan instead of re-probing a mutated pool
+        self._last_scan_full = (day, responders, injected)
+
+        snapshot = ScanSnapshot(
+            day=day,
+            input_total=len(history.input_ever),
+            scan_target_count=len(targets),
+            aliased_prefix_count=self.apd.aliased_count,
+            published_counts=published_counts,
+            cleaned_counts=cleaned_counts,
+            published_total=len(published_any),
+            cleaned_total=len(cleaned_any),
+            injected_count=len(injected),
+            churn_new=churn_new,
+            churn_recurring=churn_recurring,
+            churn_gone=churn_gone,
+            excluded_now=excluded_now,
+        )
+        history.snapshots.append(snapshot)
+        return snapshot
+
+    def bootstrap(self, day: int) -> None:
+        """Warm up the aliased prefix detection before the first scan.
+
+        The real service started with the 2018 paper's aliased prefix
+        list; a cold start here would let single-probe losses pollute the
+        first published snapshot.  Two detection rounds over the seeded
+        input (attempt-varied probes) bring the miss rate to ~0.02 %.
+        """
+        pending = self._pending_apd_input
+        self._pending_apd_input = set()
+        rib = self.internet.routing.snapshot_at(day)
+        self.apd.run(day, pending, self._slash64_members, rib)
+        self.apd.retest_followups(day)
+        self._drop_newly_aliased()
+
+    def run(self, scan_days: Optional[Sequence[int]] = None) -> HitlistHistory:
+        """Run the whole schedule and return the recorded history."""
+        if scan_days is None:
+            scan_days = default_scan_days(self.config.final_day)
+        retain_pending = sorted(self.settings.retain_days)
+        if scan_days:
+            self.bootstrap(scan_days[0])
+        prev_day = -1
+        for day in scan_days:
+            self.run_scan(day, prev_day)
+            while retain_pending and day >= retain_pending[0]:
+                self._retain(day)
+                retain_pending.pop(0)
+            prev_day = day
+        if scan_days and scan_days[-1] not in self.history.retained:
+            self._retain(scan_days[-1])
+        return self.history
+
+    def run_adaptive(
+        self,
+        until_day: int,
+        start_day: int = 0,
+        base_interval: int = 1,
+    ) -> HitlistHistory:
+        """Run with self-pacing scans: the next scan starts only after the
+        current one *finishes*.
+
+        Scan runtime = 5 probes per target / ``settings.probes_per_day``
+        (rounded up to whole days).  With a growing input the cadence
+        degrades exactly as the paper describes — daily scans stretch to
+        multi-day runs, and injection-era pool growth slows the service
+        further.  Requires ``settings.probes_per_day``.
+        """
+        rate = self.settings.probes_per_day
+        if rate is None or rate <= 0:
+            raise ValueError("run_adaptive requires settings.probes_per_day")
+        retain_pending = sorted(self.settings.retain_days)
+        self.bootstrap(start_day)
+        day = start_day
+        prev_day = -1
+        while day <= until_day:
+            snapshot = self.run_scan(day, prev_day)
+            while retain_pending and day >= retain_pending[0]:
+                self._retain(day)
+                retain_pending.pop(0)
+            prev_day = day
+            runtime_days = -(-5 * snapshot.scan_target_count // rate)  # ceil
+            day += max(base_interval, runtime_days)
+        if prev_day >= 0 and prev_day not in self.history.retained:
+            self._retain(prev_day)
+        return self.history
+
+    def _retain(self, day: int) -> None:
+        """Store full responder sets for the scan that just ran."""
+        stashed = getattr(self, "_last_scan_full", None)
+        if stashed is None or stashed[0] != day:
+            raise ValueError(f"no scan data to retain for day {day}")
+        _day, responders, injected = stashed
+        self.history.retained[day] = RetainedScan(
+            day=day,
+            responders=dict(responders),
+            injected=injected,
+            aliased_prefixes=self.apd.aliased_prefixes,
+        )
+
+    # ------------------------------------------------------------------
+
+    @property
+    def scan_pool(self) -> FrozenSet[int]:
+        """The current post-filter scan targets."""
+        return frozenset(self._scan_pool)

@@ -1,0 +1,201 @@
+"""Input sources feeding the hitlist's candidate accumulation.
+
+The service "uses *all* collected addresses as input" (Sec. 3.1): once an
+address is seen by any source it stays in the accumulated input forever.
+Sources here model the paper's mix: DNS AAAA resolutions (ramping in as
+domains are first resolved), RIPE-Atlas-style external traceroutes, the
+service's own Yarrp hops (fed back by the service itself), rotating CDN
+endpoints surfacing in DNS/CT data, and the one-time rDNS batch.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Iterable, List, Sequence, Set
+
+from repro._util import mix64
+from repro.simnet.config import ScenarioConfig
+from repro.simnet.internet import SimInternet
+
+
+class InputSource(abc.ABC):
+    """A producer of candidate addresses over time."""
+
+    #: short identifier used in per-source accounting
+    name: str = "source"
+
+    @abc.abstractmethod
+    def collect(self, start_day: int, end_day: int) -> Set[int]:
+        """New candidates that surfaced during ``(start_day, end_day]``."""
+
+
+class StaticSource(InputSource):
+    """A fixed set that becomes available at one day (e.g. a snapshot)."""
+
+    def __init__(self, name: str, addresses: Iterable[int], available_day: int = 0) -> None:
+        self.name = name
+        self._addresses = set(addresses)
+        self._available_day = available_day
+
+    def collect(self, start_day: int, end_day: int) -> Set[int]:
+        if start_day < self._available_day <= end_day:
+            return set(self._addresses)
+        return set()
+
+
+class RdnsBatchSource(StaticSource):
+    """The one-shot rDNS import (Fiebig et al. style) of Sec. 4.2."""
+
+    def __init__(self, addresses: Iterable[int], available_day: int) -> None:
+        super().__init__("rdns", addresses, available_day)
+
+
+class ScheduledSource(InputSource):
+    """Addresses with individual availability days."""
+
+    def __init__(self, name: str, availability: Dict[int, int]) -> None:
+        self.name = name
+        self._by_day: Dict[int, List[int]] = {}
+        for address, day in availability.items():
+            self._by_day.setdefault(day, []).append(address)
+        self._days = sorted(self._by_day)
+
+    def collect(self, start_day: int, end_day: int) -> Set[int]:
+        collected: Set[int] = set()
+        for day in self._days:
+            if start_day < day <= end_day:
+                collected.update(self._by_day[day])
+            elif day > end_day:
+                break
+        return collected
+
+
+class DnsZoneSource(InputSource):
+    """AAAA resolutions of the domain universe, ramping in over a year.
+
+    Each address becomes available at a deterministic day in
+    ``[0, ramp_days)``, modelling the institutional scans' gradual
+    coverage of CZDS/CT/cc-TLD data.  Addresses of hosts born later
+    become available only after their host exists.
+    """
+
+    name = "dns_aaaa"
+
+    def __init__(
+        self, internet: SimInternet, ramp_days: int = 365, seed: int = 0
+    ) -> None:
+        self._availability: Dict[int, List[int]] = {}
+        zone = internet.zone
+        hosts = internet.hosts
+        for domain in zone.domains():
+            for address in domain.addresses:
+                day = mix64(address ^ mix64(seed ^ 0xD45)) % ramp_days
+                host = hosts.get(address)
+                if host is not None:
+                    day = max(day, host.born_day)
+                self._availability.setdefault(day, []).append(address)
+        self._days = sorted(self._availability)
+
+    def collect(self, start_day: int, end_day: int) -> Set[int]:
+        collected: Set[int] = set()
+        for day in self._days:
+            if start_day < day <= end_day:
+                collected.update(self._availability[day])
+            elif day > end_day:
+                break
+        # day-0 availability for the very first collection window
+        if start_day < 0 <= end_day and 0 in self._availability:
+            collected.update(self._availability[0])
+        return collected
+
+
+class AtlasSource(InputSource):
+    """External traceroute platforms observing rotating CPE addresses."""
+
+    name = "atlas"
+
+    def __init__(self, internet: SimInternet) -> None:
+        self._internet = internet
+
+    def collect(self, start_day: int, end_day: int) -> Set[int]:
+        collected: Set[int] = set()
+        for day in range(max(start_day + 1, 0), end_day + 1):
+            collected.update(self._internet.topology.atlas_sample(day))
+        return collected
+
+
+class CloudEndpointSource(InputSource):
+    """Rotating CDN/cloud endpoints surfacing in DNS & CT data.
+
+    New addresses appear daily inside Amazon's ELB subnets (the pool of
+    /64s grows over the timeline) plus a trickle in other CDN prefixes —
+    the mechanism behind Amazon's 32 % share of the raw input (Fig. 2).
+    """
+
+    name = "cloud_endpoints"
+
+    def __init__(self, internet: SimInternet, config: ScenarioConfig) -> None:
+        self._subnets: Sequence[int] = internet.ground_truth.data.get(
+            "amazon_endpoint_subnets", ()
+        )
+        self._config = config
+        cdn_prefixes = []
+        for label in ("cloudflare_prefixes", "google_prefixes"):
+            cdn_prefixes.extend(internet.ground_truth.data.get(label, ()))
+        self._cdn_prefixes = cdn_prefixes
+        self._seed = config.seed
+
+    def _subnet_pool_size(self, day: int) -> int:
+        config = self._config
+        start = config.amazon_endpoint_subnets_2018
+        end = len(self._subnets)
+        if config.final_day <= 0:
+            return end
+        progress = min(max(day / config.final_day, 0.0), 1.0)
+        return max(int(start + (end - start) * progress), 1)
+
+    def collect(self, start_day: int, end_day: int) -> Set[int]:
+        collected: Set[int] = set()
+        config = self._config
+        for day in range(max(start_day + 1, 0), end_day + 1):
+            pool = self._subnets[: self._subnet_pool_size(day)]
+            if pool:
+                for index in range(config.amazon_endpoints_per_day):
+                    draw = mix64(mix64(day ^ self._seed ^ 0xE19) ^ index)
+                    subnet = pool[draw % len(pool)]
+                    collected.add(subnet | (draw >> 8) | 1)
+            if self._cdn_prefixes:
+                for index in range(config.cdn_endpoints_per_day):
+                    draw = mix64(mix64(day ^ self._seed ^ 0xE20) ^ index)
+                    prefix = self._cdn_prefixes[draw % len(self._cdn_prefixes)]
+                    # endpoints concentrate in two front-end /64s per
+                    # prefix (new addresses, bounded subnet diversity)
+                    subnet = (draw >> 4) % 2
+                    iid = (draw >> 8) & 0xFFFFFFFF
+                    collected.add(prefix.value | (subnet << 64) | iid)
+        return collected
+
+
+def default_sources(internet: SimInternet, config: ScenarioConfig) -> List[InputSource]:
+    """The source mix the service runs with (excluding its own Yarrp)."""
+    truth = internet.ground_truth
+    sources: List[InputSource] = [
+        DnsZoneSource(internet, seed=config.seed),
+        AtlasSource(internet),
+        CloudEndpointSource(internet, config),
+        RdnsBatchSource(truth.get("rdns_batch"), config.rdns_batch_day),
+    ]
+    # Hosts discovered later (new deployments appearing in DNS/CT data).
+    ramp_hosts = {}
+    hosts = internet.hosts
+    for address in truth.get("discovered_ramp") | {
+        a for a in truth.get("farm_discovered") if hosts[a].born_day > 0
+    }:
+        ramp_hosts[address] = hosts[address].born_day + 3
+    sources.append(ScheduledSource("new_deployments", ramp_hosts))
+    # Members of generic aliased regions (including the dense populations
+    # inside longer-than-/64 regions) surface once the region is live.
+    availability = truth.data.get("alias_member_availability")
+    if availability:
+        sources.append(ScheduledSource("hosted_services", dict(availability)))
+    return sources

@@ -1,0 +1,64 @@
+"""IPv6 primitives used by every other subsystem.
+
+This subpackage implements addresses, prefixes, tries, EUI-64 and Teredo
+handling from scratch on top of plain integers.  Hot paths throughout the
+reproduction (scanners, aliased prefix detection, target generation) operate
+on raw ``int`` address values; :class:`IPv6Address` and :class:`IPv6Prefix`
+are thin, hashable wrappers for the public API.
+"""
+
+from repro.net.address import (
+    MAX_ADDRESS,
+    IPv6Address,
+    format_ipv6,
+    parse_ipv6,
+)
+from repro.net.prefix import IPv6Prefix, parse_prefix
+from repro.net.trie import PrefixTrie
+from repro.net.eui64 import (
+    OuiRegistry,
+    eui64_interface_id,
+    is_eui64_interface_id,
+    mac_from_interface_id,
+)
+from repro.net.teredo import (
+    TEREDO_PREFIX,
+    TeredoAddress,
+    decode_teredo,
+    encode_teredo,
+    is_teredo,
+)
+from repro.net.nibbles import (
+    NIBBLES_PER_ADDRESS,
+    address_from_nibbles,
+    nibble,
+    nibble_entropy,
+    nibbles,
+)
+from repro.net.random_addr import pseudo_random_address, spread_addresses
+
+__all__ = [
+    "MAX_ADDRESS",
+    "IPv6Address",
+    "IPv6Prefix",
+    "NIBBLES_PER_ADDRESS",
+    "OuiRegistry",
+    "PrefixTrie",
+    "TEREDO_PREFIX",
+    "TeredoAddress",
+    "address_from_nibbles",
+    "decode_teredo",
+    "encode_teredo",
+    "eui64_interface_id",
+    "format_ipv6",
+    "is_eui64_interface_id",
+    "is_teredo",
+    "mac_from_interface_id",
+    "nibble",
+    "nibble_entropy",
+    "nibbles",
+    "parse_ipv6",
+    "parse_prefix",
+    "pseudo_random_address",
+    "spread_addresses",
+]

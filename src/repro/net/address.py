@@ -1,0 +1,210 @@
+"""IPv6 address parsing, formatting and a hashable wrapper type.
+
+Addresses are 128-bit unsigned integers.  The module-level functions
+:func:`parse_ipv6` and :func:`format_ipv6` operate on plain ``int`` values
+and are used on hot paths; :class:`IPv6Address` wraps an ``int`` for
+user-facing APIs.
+
+Formatting follows RFC 5952: lowercase hex, the longest run of two or more
+zero groups is compressed to ``::`` (leftmost run on ties).
+"""
+
+from __future__ import annotations
+
+import functools
+
+MAX_ADDRESS = (1 << 128) - 1
+
+_GROUP_COUNT = 8
+_GROUP_BITS = 16
+
+
+class AddressError(ValueError):
+    """Raised when an IPv6 address string or value is malformed."""
+
+
+def _parse_ipv4_tail(text: str) -> int:
+    """Parse a dotted-quad IPv4 suffix into its 32-bit value."""
+    parts = text.split(".")
+    if len(parts) != 4:
+        raise AddressError(f"invalid IPv4 suffix: {text!r}")
+    value = 0
+    for part in parts:
+        if not part.isdigit() or (len(part) > 1 and part[0] == "0"):
+            raise AddressError(f"invalid IPv4 octet: {part!r}")
+        octet = int(part)
+        if octet > 255:
+            raise AddressError(f"IPv4 octet out of range: {part!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def _parse_groups(chunks: list[str], allow_v4_tail: bool = True) -> list[int]:
+    """Parse hex groups, expanding a trailing dotted-quad into two groups."""
+    groups: list[int] = []
+    for index, chunk in enumerate(chunks):
+        if "." in chunk:
+            if not allow_v4_tail or index != len(chunks) - 1:
+                raise AddressError("IPv4 suffix must be the final group")
+            v4 = _parse_ipv4_tail(chunk)
+            groups.append(v4 >> 16)
+            groups.append(v4 & 0xFFFF)
+            continue
+        if not chunk or len(chunk) > 4:
+            raise AddressError(f"invalid group: {chunk!r}")
+        try:
+            groups.append(int(chunk, 16))
+        except ValueError as exc:
+            raise AddressError(f"invalid group: {chunk!r}") from exc
+    return groups
+
+
+def parse_ipv6(text: str) -> int:
+    """Parse an IPv6 address string into its 128-bit integer value.
+
+    Accepts full, compressed (``::``) and IPv4-mapped notations.
+
+    >>> parse_ipv6("::1")
+    1
+    >>> hex(parse_ipv6("2001:db8::ff"))
+    '0x20010db80000000000000000000000ff'
+    """
+    text = text.strip()
+    if not text:
+        raise AddressError("empty address")
+    if "%" in text:  # zone identifiers are not meaningful here
+        raise AddressError(f"zone identifier not supported: {text!r}")
+
+    if text.count("::") > 1:
+        raise AddressError(f"multiple '::' in {text!r}")
+
+    if "::" in text:
+        head_text, tail_text = text.split("::", 1)
+        head = (
+            _parse_groups(head_text.split(":"), allow_v4_tail=False)
+            if head_text
+            else []
+        )
+        tail = _parse_groups(tail_text.split(":")) if tail_text else []
+        missing = _GROUP_COUNT - len(head) - len(tail)
+        if missing < 1:
+            raise AddressError(f"'::' expands to nothing in {text!r}")
+        groups = head + [0] * missing + tail
+    else:
+        groups = _parse_groups(text.split(":"))
+        if len(groups) != _GROUP_COUNT:
+            raise AddressError(
+                f"expected {_GROUP_COUNT} groups, got {len(groups)}: {text!r}"
+            )
+
+    value = 0
+    for group in groups:
+        value = (value << _GROUP_BITS) | group
+    return value
+
+
+def _longest_zero_run(groups: tuple[int, ...]) -> tuple[int, int]:
+    """Return (start, length) of the longest run of zero groups; length 0 if none."""
+    best_start, best_len = -1, 0
+    run_start, run_len = -1, 0
+    for index, group in enumerate(groups):
+        if group == 0:
+            if run_len == 0:
+                run_start = index
+            run_len += 1
+            if run_len > best_len:
+                best_start, best_len = run_start, run_len
+        else:
+            run_len = 0
+    return best_start, best_len
+
+
+@functools.lru_cache(maxsize=200_000)
+def format_ipv6(value: int) -> str:
+    """Format a 128-bit integer as an RFC 5952 compressed IPv6 string.
+
+    >>> format_ipv6(1)
+    '::1'
+    >>> format_ipv6(0x20010db8000000000000000000000001)
+    '2001:db8::1'
+    """
+    if not 0 <= value <= MAX_ADDRESS:
+        raise AddressError(f"address value out of range: {value!r}")
+    groups = tuple((value >> (_GROUP_BITS * shift)) & 0xFFFF for shift in range(7, -1, -1))
+    start, length = _longest_zero_run(groups)
+    if length < 2:
+        return ":".join(f"{g:x}" for g in groups)
+    head = ":".join(f"{g:x}" for g in groups[:start])
+    tail = ":".join(f"{g:x}" for g in groups[start + length:])
+    return f"{head}::{tail}"
+
+
+@functools.total_ordering
+class IPv6Address:
+    """A hashable, ordered IPv6 address wrapping a 128-bit integer.
+
+    >>> IPv6Address("2001:db8::1").value == parse_ipv6("2001:db8::1")
+    True
+    >>> str(IPv6Address(1))
+    '::1'
+    """
+
+    __slots__ = ("_value",)
+
+    def __init__(self, value: "int | str | IPv6Address") -> None:
+        if isinstance(value, IPv6Address):
+            self._value = value._value
+        elif isinstance(value, str):
+            self._value = parse_ipv6(value)
+        elif isinstance(value, int):
+            if not 0 <= value <= MAX_ADDRESS:
+                raise AddressError(f"address value out of range: {value!r}")
+            self._value = value
+        else:
+            raise TypeError(f"cannot build IPv6Address from {type(value).__name__}")
+
+    @property
+    def value(self) -> int:
+        """The 128-bit integer value."""
+        return self._value
+
+    @property
+    def interface_id(self) -> int:
+        """The low 64 bits (interface identifier)."""
+        return self._value & ((1 << 64) - 1)
+
+    @property
+    def network_id(self) -> int:
+        """The high 64 bits (routing prefix + subnet)."""
+        return self._value >> 64
+
+    def exploded(self) -> str:
+        """Full 8-group, zero-padded representation."""
+        groups = ((self._value >> (16 * shift)) & 0xFFFF for shift in range(7, -1, -1))
+        return ":".join(f"{g:04x}" for g in groups)
+
+    def __str__(self) -> str:
+        return format_ipv6(self._value)
+
+    def __repr__(self) -> str:
+        return f"IPv6Address({str(self)!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, IPv6Address):
+            return self._value == other._value
+        if isinstance(other, int):
+            return self._value == other
+        return NotImplemented
+
+    def __lt__(self, other: "IPv6Address") -> bool:
+        if isinstance(other, IPv6Address):
+            return self._value < other._value
+        if isinstance(other, int):
+            return self._value < other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._value)
+
+    def __int__(self) -> int:
+        return self._value

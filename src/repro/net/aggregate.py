@@ -1,0 +1,109 @@
+"""Prefix aggregation: minimal covers for address and prefix sets.
+
+The hitlist service publishes aliased-prefix lists; consumers routinely
+aggregate them (merge adjacent /64s, drop nested entries) before loading
+them into scanner blocklists.  These helpers implement that tooling.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.net.prefix import IPv6Prefix
+
+
+def drop_nested(prefixes: Iterable[IPv6Prefix]) -> List[IPv6Prefix]:
+    """Remove prefixes fully covered by another prefix in the set.
+
+    >>> outer = IPv6Prefix.from_string("2001:db8::/32")
+    >>> inner = IPv6Prefix.from_string("2001:db8:1::/48")
+    >>> drop_nested([inner, outer]) == [outer]
+    True
+    """
+    ordered = sorted(set(prefixes))
+    result: List[IPv6Prefix] = []
+    for prefix in ordered:
+        if result and result[-1].contains_prefix(prefix):
+            continue
+        result.append(prefix)
+    return result
+
+
+def merge_adjacent(prefixes: Iterable[IPv6Prefix]) -> List[IPv6Prefix]:
+    """Aggregate siblings into their parent until a fixpoint.
+
+    Nested prefixes are dropped first; the result is the minimal prefix
+    set covering exactly the same address space.
+
+    >>> a = IPv6Prefix.from_string("2001:db8::/33")
+    >>> b = IPv6Prefix.from_string("2001:db8:8000::/33")
+    >>> [str(p) for p in merge_adjacent([a, b])]
+    ['2001:db8::/32']
+    """
+    current = drop_nested(prefixes)
+    while True:
+        merged: List[IPv6Prefix] = []
+        changed = False
+        index = 0
+        while index < len(current):
+            this = current[index]
+            if index + 1 < len(current):
+                sibling = current[index + 1]
+                if (
+                    this.length == sibling.length
+                    and this.length > 0
+                    and this.supernet(this.length - 1)
+                    == sibling.supernet(sibling.length - 1)
+                    and this.value != sibling.value
+                ):
+                    merged.append(this.supernet(this.length - 1))
+                    index += 2
+                    changed = True
+                    continue
+            merged.append(this)
+            index += 1
+        current = merged
+        if not changed:
+            return current
+
+
+def summarize_addresses(addresses: Iterable[int], max_prefixes: int) -> List[IPv6Prefix]:
+    """A short prefix cover of an address set (lossy, superset).
+
+    Starts from /128s and repeatedly merges the two entries whose common
+    supernet wastes the least address space until at most
+    ``max_prefixes`` remain.  Useful for compact opt-out requests and
+    scan summaries; the result always covers every input address.
+    """
+    if max_prefixes < 1:
+        raise ValueError("max_prefixes must be positive")
+    current = merge_adjacent(IPv6Prefix(a, 128) for a in set(addresses))
+    while len(current) > max_prefixes:
+        best_index = -1
+        best_length = -1
+        for index in range(len(current) - 1):
+            a, b = current[index], current[index + 1]
+            common = _common_supernet(a, b)
+            if common.length > best_length:
+                best_length = common.length
+                best_index = index
+        a, b = current[best_index], current[best_index + 1]
+        current[best_index : best_index + 2] = [_common_supernet(a, b)]
+        current = merge_adjacent(current)
+    return current
+
+
+def _common_supernet(a: IPv6Prefix, b: IPv6Prefix) -> IPv6Prefix:
+    """The longest prefix containing both ``a`` and ``b``."""
+    length = min(a.length, b.length)
+    while length > 0:
+        candidate = IPv6Prefix(a.value, length)
+        if candidate.contains_prefix(b):
+            return candidate
+        length -= 1
+    return IPv6Prefix(0, 0)
+
+
+def covered_addresses(prefixes: Iterable[IPv6Prefix]) -> int:
+    """Total addresses covered by a (non-overlapping after cleanup) set."""
+    return sum(prefix.num_addresses for prefix in drop_nested(prefixes))

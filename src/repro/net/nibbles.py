@@ -1,0 +1,97 @@
+"""Nibble-level views of IPv6 addresses.
+
+Target generation algorithms (6Tree, 6Graph, 6VecLM, distance clustering)
+all operate on the 32-nibble hexadecimal representation of an address;
+this module provides the conversions and the per-position entropy measure
+used to pick expansion dimensions.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Iterable, Sequence, Tuple
+
+NIBBLES_PER_ADDRESS = 32
+
+
+def nibbles(address: int) -> Tuple[int, ...]:
+    """The 32 nibbles of an address, most significant first.
+
+    >>> nibbles(0x20010db8 << 96)[:8]
+    (2, 0, 0, 1, 0, 13, 11, 8)
+    """
+    return tuple((address >> (4 * shift)) & 0xF for shift in range(31, -1, -1))
+
+
+def nibble(address: int, position: int) -> int:
+    """The nibble at ``position`` (0 = most significant).
+
+    >>> nibble(0x2 << 124, 0)
+    2
+    """
+    if not 0 <= position < NIBBLES_PER_ADDRESS:
+        raise ValueError(f"nibble position out of range: {position}")
+    return (address >> (4 * (31 - position))) & 0xF
+
+
+def address_from_nibbles(values: Sequence[int]) -> int:
+    """Rebuild an address from its 32 nibbles.
+
+    >>> address_from_nibbles(nibbles(12345)) == 12345
+    True
+    """
+    if len(values) != NIBBLES_PER_ADDRESS:
+        raise ValueError(f"expected {NIBBLES_PER_ADDRESS} nibbles, got {len(values)}")
+    value = 0
+    for item in values:
+        if not 0 <= item <= 0xF:
+            raise ValueError(f"nibble out of range: {item}")
+        value = (value << 4) | item
+    return value
+
+
+def set_nibble(address: int, position: int, value: int) -> int:
+    """Return the address with the nibble at ``position`` replaced."""
+    if not 0 <= value <= 0xF:
+        raise ValueError(f"nibble out of range: {value}")
+    shift = 4 * (31 - position)
+    return (address & ~(0xF << shift)) | (value << shift)
+
+
+def nibble_entropy(addresses: Iterable[int], position: int) -> float:
+    """Shannon entropy (bits) of the nibble at ``position`` across addresses.
+
+    0.0 means the nibble is constant; 4.0 means uniformly random.
+
+    >>> nibble_entropy([0x0, 0x1, 0x2, 0x3], 31) == 2.0
+    True
+    """
+    counts = Counter(nibble(address, position) for address in addresses)
+    total = sum(counts.values())
+    if total == 0:
+        return 0.0
+    entropy = 0.0
+    for count in counts.values():
+        probability = count / total
+        entropy -= probability * math.log2(probability)
+    return entropy
+
+
+def entropy_profile(addresses: Sequence[int]) -> Tuple[float, ...]:
+    """Per-position nibble entropy across all 32 positions."""
+    if not addresses:
+        return (0.0,) * NIBBLES_PER_ADDRESS
+    counters = [Counter() for _ in range(NIBBLES_PER_ADDRESS)]
+    for address in addresses:
+        for position in range(NIBBLES_PER_ADDRESS):
+            counters[position][(address >> (4 * (31 - position))) & 0xF] += 1
+    total = len(addresses)
+    profile = []
+    for counter in counters:
+        entropy = 0.0
+        for count in counter.values():
+            probability = count / total
+            entropy -= probability * math.log2(probability)
+        profile.append(entropy)
+    return tuple(profile)

@@ -1,0 +1,139 @@
+"""IPv6 prefixes (CIDR blocks) as ``(network_value, length)`` pairs."""
+
+from __future__ import annotations
+
+import functools
+import random
+from typing import Iterator
+
+from repro.net.address import MAX_ADDRESS, AddressError, format_ipv6, parse_ipv6
+
+
+@functools.total_ordering
+class IPv6Prefix:
+    """An immutable IPv6 CIDR prefix.
+
+    The network value always has its host bits zeroed; constructing a prefix
+    from an address inside the block is allowed and truncates.
+
+    >>> p = IPv6Prefix.from_string("2001:db8::/32")
+    >>> p.contains(parse_ipv6("2001:db8::1"))
+    True
+    >>> str(p)
+    '2001:db8::/32'
+    """
+
+    __slots__ = ("_value", "_length")
+
+    def __init__(self, value: int, length: int) -> None:
+        if not 0 <= length <= 128:
+            raise AddressError(f"prefix length out of range: {length}")
+        if not 0 <= value <= MAX_ADDRESS:
+            raise AddressError(f"prefix value out of range: {value}")
+        self._length = length
+        self._value = value & self._network_mask(length)
+
+    @staticmethod
+    def _network_mask(length: int) -> int:
+        return MAX_ADDRESS ^ ((1 << (128 - length)) - 1)
+
+    @classmethod
+    def from_string(cls, text: str) -> "IPv6Prefix":
+        """Parse ``"2001:db8::/32"`` notation."""
+        try:
+            address_text, length_text = text.strip().rsplit("/", 1)
+        except ValueError as exc:
+            raise AddressError(f"missing '/length' in prefix: {text!r}") from exc
+        if not length_text.isdigit():
+            raise AddressError(f"invalid prefix length: {length_text!r}")
+        return cls(parse_ipv6(address_text), int(length_text))
+
+    @property
+    def value(self) -> int:
+        """Network address as a 128-bit integer (host bits zero)."""
+        return self._value
+
+    @property
+    def length(self) -> int:
+        """Prefix length in bits (0-128)."""
+        return self._length
+
+    @property
+    def first(self) -> int:
+        """Lowest address in the block."""
+        return self._value
+
+    @property
+    def last(self) -> int:
+        """Highest address in the block."""
+        return self._value | ((1 << (128 - self._length)) - 1)
+
+    @property
+    def num_addresses(self) -> int:
+        """Number of addresses covered (2**(128-length))."""
+        return 1 << (128 - self._length)
+
+    def contains(self, address: int) -> bool:
+        """True if the integer address falls inside this prefix."""
+        return self._value <= address <= self.last
+
+    def contains_prefix(self, other: "IPv6Prefix") -> bool:
+        """True if ``other`` is equal to or more specific than this prefix."""
+        return other._length >= self._length and self.contains(other._value)
+
+    def supernet(self, new_length: int) -> "IPv6Prefix":
+        """The covering prefix of the given, shorter length."""
+        if new_length > self._length:
+            raise AddressError(
+                f"supernet length {new_length} longer than /{self._length}"
+            )
+        return IPv6Prefix(self._value, new_length)
+
+    def subprefixes(self, new_length: int) -> Iterator["IPv6Prefix"]:
+        """Iterate all more-specific prefixes of the given length.
+
+        >>> [str(p) for p in IPv6Prefix.from_string("2001:db8::/32").subprefixes(34)]
+        ['2001:db8::/34', '2001:db8:4000::/34', '2001:db8:8000::/34', '2001:db8:c000::/34']
+        """
+        if new_length < self._length:
+            raise AddressError(
+                f"subprefix length {new_length} shorter than /{self._length}"
+            )
+        step = 1 << (128 - new_length)
+        for index in range(1 << (new_length - self._length)):
+            yield IPv6Prefix(self._value + index * step, new_length)
+
+    def nth_subprefix(self, new_length: int, index: int) -> "IPv6Prefix":
+        """The ``index``-th more-specific prefix of the given length."""
+        count = 1 << (new_length - self._length)
+        if not 0 <= index < count:
+            raise AddressError(f"subprefix index {index} out of range (<{count})")
+        return IPv6Prefix(self._value + index * (1 << (128 - new_length)), new_length)
+
+    def random_address(self, rng: random.Random) -> int:
+        """A uniformly random address within the block."""
+        return self._value + rng.getrandbits(128 - self._length)
+
+    def __str__(self) -> str:
+        return f"{format_ipv6(self._value)}/{self._length}"
+
+    def __repr__(self) -> str:
+        return f"IPv6Prefix.from_string({str(self)!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, IPv6Prefix):
+            return self._value == other._value and self._length == other._length
+        return NotImplemented
+
+    def __lt__(self, other: "IPv6Prefix") -> bool:
+        if not isinstance(other, IPv6Prefix):
+            return NotImplemented
+        return (self._value, self._length) < (other._value, other._length)
+
+    def __hash__(self) -> int:
+        return hash((self._value, self._length))
+
+
+def parse_prefix(text: str) -> IPv6Prefix:
+    """Shorthand for :meth:`IPv6Prefix.from_string`."""
+    return IPv6Prefix.from_string(text)

@@ -1,0 +1,98 @@
+"""Teredo (RFC 4380) address encoding and decoding.
+
+Teredo tunnels IPv6 over UDP/IPv4 and embeds both the Teredo server's IPv4
+address and the client's (obfuscated) IPv4 address and port into a
+``2001:0::/32`` IPv6 address.  The GFW's third injection era returned AAAA
+records carrying Teredo addresses; decoding the embedded client IPv4 lets
+the detector map the answer to an unrelated operator (Sec. 4.2 of the
+paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.prefix import IPv6Prefix
+
+TEREDO_PREFIX = IPv6Prefix.from_string("2001::/32")
+
+_FLAG_CONE = 0x8000
+
+
+@dataclass(frozen=True)
+class TeredoAddress:
+    """Decoded components of a Teredo IPv6 address."""
+
+    server_ipv4: int
+    flags: int
+    client_port: int
+    client_ipv4: int
+
+    @property
+    def cone_nat(self) -> bool:
+        """True if the client sits behind a cone NAT (legacy flag bit)."""
+        return bool(self.flags & _FLAG_CONE)
+
+
+def is_teredo(address: int) -> bool:
+    """True if the address falls inside the Teredo prefix ``2001::/32``.
+
+    >>> is_teredo(encode_teredo(0x01020304, 0x05060708, 1234))
+    True
+    >>> is_teredo(0x20010db8 << 96)
+    False
+    """
+    return TEREDO_PREFIX.contains(address)
+
+
+def encode_teredo(
+    server_ipv4: int,
+    client_ipv4: int,
+    client_port: int,
+    flags: int = 0,
+) -> int:
+    """Build a Teredo IPv6 address from its components.
+
+    Port and client address are embedded in ones-complement (obfuscated)
+    form, per RFC 4380 section 4.
+
+    >>> addr = encode_teredo(0xC0000201, 0xCB007101, 40000)
+    >>> decode_teredo(addr).client_ipv4 == 0xCB007101
+    True
+    """
+    for name, value, bits in (
+        ("server_ipv4", server_ipv4, 32),
+        ("client_ipv4", client_ipv4, 32),
+        ("client_port", client_port, 16),
+        ("flags", flags, 16),
+    ):
+        if not 0 <= value < (1 << bits):
+            raise ValueError(f"{name} out of range: {value:#x}")
+    obfuscated_port = client_port ^ 0xFFFF
+    obfuscated_client = client_ipv4 ^ 0xFFFFFFFF
+    return (
+        (TEREDO_PREFIX.value)
+        | (server_ipv4 << 64)
+        | (flags << 48)
+        | (obfuscated_port << 32)
+        | obfuscated_client
+    )
+
+
+def decode_teredo(address: int) -> TeredoAddress:
+    """Decode a Teredo address into its components.
+
+    Raises :class:`ValueError` for addresses outside ``2001::/32``.
+    """
+    if not is_teredo(address):
+        raise ValueError("not a Teredo address")
+    server_ipv4 = (address >> 64) & 0xFFFFFFFF
+    flags = (address >> 48) & 0xFFFF
+    client_port = ((address >> 32) & 0xFFFF) ^ 0xFFFF
+    client_ipv4 = (address & 0xFFFFFFFF) ^ 0xFFFFFFFF
+    return TeredoAddress(
+        server_ipv4=server_ipv4,
+        flags=flags,
+        client_port=client_port,
+        client_ipv4=client_ipv4,
+    )

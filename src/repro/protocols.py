@@ -1,0 +1,166 @@
+"""Probe protocols and shared wire-level record types.
+
+The IPv6 Hitlist service probes five protocols (Sec. 3.1 of the paper):
+ICMP, TCP/80 (HTTP), TCP/443 (HTTPS), UDP/53 (DNS) and UDP/443 (QUIC).
+Host responsiveness is stored as a bitmask over :class:`Protocol` for
+compactness (the simulation tracks hundreds of thousands of hosts).
+
+DNS answer records live here because they are produced by the simulated
+internet (name servers and the Great Firewall injectors) and consumed by
+both the scanner and the GFW response classifier.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, Tuple
+
+
+class Protocol(enum.IntFlag):
+    """Probe protocols as combinable bit flags.
+
+    >>> mask = Protocol.ICMP | Protocol.TCP80
+    >>> Protocol.ICMP in mask
+    True
+    >>> Protocol.UDP53 in mask
+    False
+    """
+
+    NONE = 0
+    ICMP = 1
+    TCP80 = 2
+    TCP443 = 4
+    UDP53 = 8
+    UDP443 = 16
+
+    @property
+    def label(self) -> str:
+        """The paper's label for this protocol (e.g. ``TCP/80``)."""
+        return _LABELS[self]
+
+
+_LABELS = {
+    Protocol.ICMP: "ICMP",
+    Protocol.TCP80: "TCP/80",
+    Protocol.TCP443: "TCP/443",
+    Protocol.UDP53: "UDP/53",
+    Protocol.UDP443: "UDP/443",
+}
+
+#: Scan order used throughout tables (matches the paper's Table 1 columns).
+ALL_PROTOCOLS: Tuple[Protocol, ...] = (
+    Protocol.ICMP,
+    Protocol.TCP443,
+    Protocol.TCP80,
+    Protocol.UDP443,
+    Protocol.UDP53,
+)
+
+#: The protocols used by the aliased prefix detection (Sec. 3.1).
+APD_PROTOCOLS: Tuple[Protocol, ...] = (Protocol.ICMP, Protocol.TCP80)
+
+
+def protocols_in(mask: int) -> FrozenSet[Protocol]:
+    """The set of protocols contained in a bitmask.
+
+    >>> sorted(p.label for p in protocols_in(Protocol.ICMP | Protocol.UDP53))
+    ['ICMP', 'UDP/53']
+    """
+    return frozenset(protocol for protocol in ALL_PROTOCOLS if protocol & mask)
+
+
+def mask_of(protocols: Iterable[Protocol]) -> int:
+    """Combine protocols into a bitmask."""
+    mask = 0
+    for protocol in protocols:
+        mask |= protocol
+    return int(mask)
+
+
+class RecordType(enum.Enum):
+    """DNS resource record types used by the reproduction."""
+
+    A = "A"
+    AAAA = "AAAA"
+    NS = "NS"
+    MX = "MX"
+
+
+class DnsStatus(enum.Enum):
+    """DNS response status codes (subset relevant to the paper)."""
+
+    NOERROR = 0
+    SERVFAIL = 2
+    NXDOMAIN = 3
+    REFUSED = 5
+
+
+@dataclass(frozen=True)
+class DnsAnswer:
+    """One answer record in a DNS response.
+
+    ``address`` is a 32-bit value for A records and a 128-bit value for
+    AAAA records; NS/MX answers carry a target name instead.
+    """
+
+    rtype: RecordType
+    address: int = 0
+    target: str = ""
+
+
+@dataclass(frozen=True)
+class DnsResponse:
+    """A DNS response as observed by the scanner.
+
+    ``responder`` is the IPv6 source address of the response packet; the
+    GFW injects responses whose responder equals the probed target, which
+    is exactly why ZMap counts them as successes (Sec. 4.2).
+    """
+
+    responder: int
+    qname: str
+    status: DnsStatus = DnsStatus.NOERROR
+    answers: Tuple[DnsAnswer, ...] = field(default_factory=tuple)
+    injected: bool = False  # ground-truth flag, never visible to detectors
+
+    @property
+    def answer_addresses(self) -> Tuple[int, ...]:
+        """Addresses of all A/AAAA answers."""
+        return tuple(
+            answer.address
+            for answer in self.answers
+            if answer.rtype in (RecordType.A, RecordType.AAAA)
+        )
+
+
+@dataclass(frozen=True)
+class TcpFingerprint:
+    """TCP handshake features used for alias fingerprinting (Sec. 5.1).
+
+    ``options_text`` is the order-preserving string representation of TCP
+    options; ``ittl`` is the initial TTL inferred by rounding the observed
+    hop-limit up to the next power of two.
+    """
+
+    options_text: str
+    window_size: int
+    window_scale: int
+    mss: int
+    ittl: int
+
+    def matches(self, other: "TcpFingerprint", ignore_window: bool = False) -> bool:
+        """Feature-wise comparison, optionally ignoring the window size.
+
+        The window size legitimately varies between connections to one
+        host, so Sec. 5.1 treats a window-size-only difference as weak
+        evidence of distinct hosts.
+        """
+        if (
+            self.options_text != other.options_text
+            or self.window_scale != other.window_scale
+            or self.mss != other.mss
+            or self.ittl != other.ittl
+        ):
+            return False
+        return ignore_window or self.window_size == other.window_size

@@ -1,0 +1,65 @@
+"""Request-based scan blocklist (measurement ethics, Sec. 3.3).
+
+Operators can request exclusion of their prefixes; every scanner in this
+package consults the blocklist before emitting probes.  The paper seeds
+its blocklist from the existing IPv6 Hitlist service's list so opted-out
+networks stay untouched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Set
+
+from repro.net.prefix import IPv6Prefix
+from repro.net.trie import PrefixTrie
+
+
+@dataclass(frozen=True)
+class BlocklistEntry:
+    """One opt-out request."""
+
+    prefix: IPv6Prefix
+    reason: str = "operator request"
+
+
+class Blocklist:
+    """A set of never-scan prefixes with containment checks."""
+
+    def __init__(self, entries: Iterable[BlocklistEntry] = ()) -> None:
+        self._trie: PrefixTrie[BlocklistEntry] = PrefixTrie()
+        self._entries: List[BlocklistEntry] = []
+        for entry in entries:
+            self._add_entry(entry)
+
+    def _add_entry(self, entry: BlocklistEntry) -> None:
+        if entry.prefix not in self._trie:
+            self._trie[entry.prefix] = entry
+            self._entries.append(entry)
+
+    def add(self, prefix: IPv6Prefix, reason: str = "operator request") -> None:
+        """Honour a new opt-out request."""
+        self._add_entry(BlocklistEntry(prefix=prefix, reason=reason))
+
+    def seed_from(self, other: "Blocklist") -> None:
+        """Copy all entries from an existing service's blocklist."""
+        for entry in other:
+            self._add_entry(entry)
+
+    def is_blocked(self, address: int) -> bool:
+        """True when any opt-out prefix covers ``address``."""
+        if not self._entries:
+            return False
+        return self._trie.covers(address)
+
+    def filter(self, addresses: Iterable[int]) -> Set[int]:
+        """The scannable subset of ``addresses``."""
+        if not self._entries:
+            return set(addresses)
+        return {address for address in addresses if not self._trie.covers(address)}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[BlocklistEntry]:
+        return iter(self._entries)

@@ -1,0 +1,82 @@
+"""TCP fingerprinting of fully responsive prefixes (Sec. 5.1).
+
+Samples addresses inside a prefix, completes TCP handshakes and compares
+the features (Optionstext, window size, window scale, MSS, iTTL).  Equal
+features do not prove one host, but differing features indicate multiple
+hosts; a window-size-only difference is treated as weak evidence because
+the window can vary between connections to the same machine.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.net.prefix import IPv6Prefix
+from repro.net.random_addr import spread_addresses
+from repro.protocols import TcpFingerprint
+from repro.simnet.internet import SimInternet
+
+
+class FingerprintClass(enum.Enum):
+    """Verdict for one prefix."""
+
+    NO_TCP = "no_tcp"  # nothing fingerprintable (ICMP-only prefixes)
+    UNIFORM = "uniform"  # all sampled features identical
+    WINDOW_ONLY = "window_only"  # only the window size differs
+    DIVERSE = "diverse"  # stronger features differ: multiple hosts
+
+
+@dataclass(frozen=True)
+class PrefixFingerprint:
+    """Fingerprint evidence collected for one prefix."""
+
+    prefix: IPv6Prefix
+    verdict: FingerprintClass
+    samples: Tuple[TcpFingerprint, ...] = ()
+
+    @property
+    def sample_count(self) -> int:
+        """Number of handshakes that completed."""
+        return len(self.samples)
+
+
+class TcpFingerprinter:
+    """Collects and classifies per-prefix TCP fingerprints."""
+
+    def __init__(self, internet: SimInternet, samples_per_prefix: int = 16) -> None:
+        if samples_per_prefix < 2:
+            raise ValueError("need at least two samples to compare")
+        self._internet = internet
+        self._samples = samples_per_prefix
+
+    def fingerprint_prefix(
+        self, prefix: IPv6Prefix, day: int, nonce: int = 0
+    ) -> PrefixFingerprint:
+        """Handshake a spread of addresses inside ``prefix`` and classify."""
+        spread = 16 if self._samples <= 16 else self._samples
+        candidates = spread_addresses(prefix, spread, nonce=nonce)[: self._samples]
+        collected: List[TcpFingerprint] = []
+        for address in candidates:
+            fingerprint = self._internet.tcp_fingerprint(address, day)
+            if fingerprint is not None:
+                collected.append(fingerprint)
+        if len(collected) < 2:
+            return PrefixFingerprint(prefix=prefix, verdict=FingerprintClass.NO_TCP)
+        return PrefixFingerprint(
+            prefix=prefix,
+            verdict=self.classify(collected),
+            samples=tuple(collected),
+        )
+
+    @staticmethod
+    def classify(samples: List[TcpFingerprint]) -> FingerprintClass:
+        """Compare collected fingerprints feature-wise."""
+        reference = samples[0]
+        strong_uniform = all(s.matches(reference, ignore_window=True) for s in samples)
+        if not strong_uniform:
+            return FingerprintClass.DIVERSE
+        if all(s.window_size == reference.window_size for s in samples):
+            return FingerprintClass.UNIFORM
+        return FingerprintClass.WINDOW_ONLY

@@ -1,0 +1,66 @@
+"""Yarrp-style randomized traceroute engine.
+
+The hitlist service traceroutes all scan targets to discover new
+candidate addresses (Fig. 1 of the paper).  Discovered hops — especially
+rotating last-hop CPE addresses — are the paper's main input-bias and
+GFW-trigger mechanism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Set
+
+from repro._util import mix64
+from repro.scan.blocklist import Blocklist
+from repro.simnet.internet import SimInternet
+
+
+@dataclass
+class TraceRunResult:
+    """Hops discovered by one traceroute run."""
+
+    day: int
+    targets_traced: int = 0
+    hops: Set[int] = field(default_factory=set)
+
+
+class YarrpTracer:
+    """Traces batches of targets and collects hop addresses."""
+
+    def __init__(
+        self,
+        internet: SimInternet,
+        blocklist: Optional[Blocklist] = None,
+        sample_rate: float = 1.0,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 < sample_rate <= 1.0:
+            raise ValueError(f"sample rate out of range: {sample_rate}")
+        self._internet = internet
+        self._blocklist = blocklist or Blocklist()
+        self._sample_rate = sample_rate
+        self._sample_threshold = int(sample_rate * float(1 << 64))
+        self._seed = seed
+
+    def _sampled(self, target: int, day: int) -> bool:
+        if self._sample_rate >= 1.0:
+            return True
+        draw = mix64(
+            (target & 0xFFFFFFFFFFFFFFFF) ^ (target >> 64) ^ mix64(day ^ self._seed)
+        )
+        return draw < self._sample_threshold
+
+    def trace_targets(self, targets: Iterable[int], day: int) -> TraceRunResult:
+        """Traceroute every (sampled, non-blocked) target once."""
+        result = TraceRunResult(day=day)
+        internet = self._internet
+        blocklist = self._blocklist
+        for target in targets:
+            if blocklist.is_blocked(target) or not self._sampled(target, day):
+                continue
+            result.targets_traced += 1
+            for hop in internet.trace(target, day):
+                if not blocklist.is_blocked(hop):
+                    result.hops.add(hop)
+        return result

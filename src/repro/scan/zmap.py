@@ -1,0 +1,188 @@
+"""A ZMapv6-like scanner over the simulated internet.
+
+One probe module per hitlist protocol (ICMP echo, TCP SYN 80/443, UDP
+DNS 53, QUIC initial 443).  The scanner adds the real-world artefact the
+oracle does not model: per-probe packet loss, deterministic per
+(address, protocol, day) so re-running a scan reproduces it while
+*different* scans lose different probes — exactly the noise the APD's
+merge-with-previous-scans logic exists to absorb.
+
+Like the real ZMap, the UDP/53 module counts **any** DNS response from
+the target's address as success — which is precisely how GFW-injected
+forgeries poison the hitlist (Sec. 4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Set, Tuple
+
+from repro._util import mix64
+from repro.protocols import DnsResponse, Protocol
+from repro.scan.blocklist import Blocklist
+from repro.simnet.internet import SimInternet
+
+_UINT64_SPAN = float(1 << 64)
+
+
+@dataclass(frozen=True)
+class ScanResult:
+    """Outcome of one single-protocol scan."""
+
+    protocol: Protocol
+    day: int
+    targets: int
+    responders: frozenset
+
+    @property
+    def hit_rate(self) -> float:
+        """Responders per probed target."""
+        return len(self.responders) / self.targets if self.targets else 0.0
+
+
+@dataclass
+class Udp53Result:
+    """Outcome of a UDP/53 scan, keeping full responses for inspection.
+
+    ``responders`` contains every target ZMap would report as successful;
+    ``responses`` maps each responder to the responses received (several
+    per target when injectors fire).
+    """
+
+    day: int
+    qname: str
+    targets: int = 0
+    responders: Set[int] = field(default_factory=set)
+    responses: Dict[int, Tuple[DnsResponse, ...]] = field(default_factory=dict)
+
+
+class ZMapScanner:
+    """Stateless scanner issuing probes through the oracle."""
+
+    def __init__(
+        self,
+        internet: SimInternet,
+        blocklist: Optional[Blocklist] = None,
+        loss_rate: float = 0.03,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError(f"loss rate out of range: {loss_rate}")
+        self._internet = internet
+        self._blocklist = blocklist or Blocklist()
+        self._loss_rate = loss_rate
+        self._loss_threshold = int(loss_rate * _UINT64_SPAN)
+        self._seed = seed
+        self.probes_sent = 0
+
+    @property
+    def blocklist(self) -> Blocklist:
+        """The blocklist honoured by every probe."""
+        return self._blocklist
+
+    def _lost(self, address: int, protocol: Protocol, day: int) -> bool:
+        if self._loss_threshold == 0:
+            return False
+        draw = mix64(
+            (address & 0xFFFFFFFFFFFFFFFF)
+            ^ (address >> 64)
+            ^ mix64((day << 8) ^ int(protocol) ^ self._seed)
+        )
+        return draw < self._loss_threshold
+
+    def scan(
+        self, targets: Iterable[int], protocol: Protocol, day: int
+    ) -> ScanResult:
+        """Probe every non-blocked target once with one protocol."""
+        responders = set()
+        count = 0
+        internet = self._internet
+        blocklist = self._blocklist
+        for target in targets:
+            if blocklist.is_blocked(target):
+                continue
+            count += 1
+            if self._lost(target, protocol, day):
+                continue
+            if internet.responds(target, protocol, day):
+                responders.add(target)
+        self.probes_sent += count
+        return ScanResult(
+            protocol=protocol, day=day, targets=count, responders=frozenset(responders)
+        )
+
+    def scan_udp53(
+        self, targets: Iterable[int], day: int, qname: str
+    ) -> Udp53Result:
+        """Probe UDP/53 with an A/AAAA query for ``qname``.
+
+        Responses include GFW forgeries; ZMap's success criterion is
+        "any DNS packet came back from the probed address".
+        """
+        result = Udp53Result(day=day, qname=qname)
+        internet = self._internet
+        blocklist = self._blocklist
+        for target in targets:
+            if blocklist.is_blocked(target):
+                continue
+            result.targets += 1
+            if self._lost(target, Protocol.UDP53, day):
+                continue
+            responses = internet.dns_probe(target, qname, day)
+            if responses:
+                result.responders.add(target)
+                result.responses[target] = tuple(responses)
+        self.probes_sent += result.targets
+        return result
+
+    def scan_all_protocols(
+        self, targets: Iterable[int], day: int, qname: str
+    ) -> Tuple[Dict[Protocol, ScanResult], Udp53Result]:
+        """Run the full hitlist protocol suite against one target set.
+
+        Equivalent to four :meth:`scan` calls plus :meth:`scan_udp53`,
+        but resolves the ground truth once per target.  Loss stays
+        independent per (target, protocol, day): the four probes draw
+        from disjoint 16-bit slices of one 64-bit hash.
+        """
+        fast_protocols = (Protocol.ICMP, Protocol.TCP80, Protocol.TCP443, Protocol.UDP443)
+        responders: Dict[Protocol, set] = {protocol: set() for protocol in fast_protocols}
+        internet = self._internet
+        blocklist = self._blocklist
+        threshold16 = int(self._loss_rate * 65536.0)
+        count = 0
+        scannable = []
+        for target in targets:
+            if blocklist.is_blocked(target):
+                continue
+            scannable.append(target)
+            count += 1
+            mask = internet.response_mask(target, day)
+            if not mask:
+                continue
+            if threshold16:
+                draw = mix64(
+                    (target & 0xFFFFFFFFFFFFFFFF)
+                    ^ (target >> 64)
+                    ^ mix64((day << 8) ^ self._seed ^ 0x5CA11)
+                )
+            else:
+                draw = 0
+            for index, protocol in enumerate(fast_protocols):
+                if not mask & protocol:
+                    continue
+                if threshold16 and ((draw >> (16 * index)) & 0xFFFF) < threshold16:
+                    continue
+                responders[protocol].add(target)
+        self.probes_sent += 4 * count
+        results = {
+            protocol: ScanResult(
+                protocol=protocol,
+                day=day,
+                targets=count,
+                responders=frozenset(found),
+            )
+            for protocol, found in responders.items()
+        }
+        udp53 = self.scan_udp53(scannable, day, qname)
+        return results, udp53

@@ -1,0 +1,40 @@
+"""The simulated IPv6 internet (ground truth substrate).
+
+The paper measures the real internet from a German vantage point over four
+years.  This subpackage provides the synthetic stand-in: autonomous
+systems populated with hosts according to realistic assignment policies,
+fully responsive (aliased-looking) prefixes with CDN load-balancing
+semantics, the Great Firewall's DNS injection behaviour, a DNS zone with
+top lists, rotating CPE fleets feeding traceroute discovery, and churn.
+
+Everything is deterministic under :class:`ScenarioConfig.seed` — probing
+the same address on the same day always yields the same answer.
+"""
+
+from repro.simnet.hosts import DnsBehavior, HostRecord
+from repro.simnet.aliases import FullyResponsiveRegion, RegionKind
+from repro.simnet.gfwsim import GfwEra, GreatFirewall, InjectionMode
+from repro.simnet.dnszone import DnsZone, Domain
+from repro.simnet.routers import CpeFleet, RouterTopology
+from repro.simnet.internet import SimInternet
+from repro.simnet.config import ScenarioConfig, default_config, small_config
+from repro.simnet.builder import build_internet
+
+__all__ = [
+    "CpeFleet",
+    "DnsBehavior",
+    "DnsZone",
+    "Domain",
+    "FullyResponsiveRegion",
+    "GfwEra",
+    "GreatFirewall",
+    "HostRecord",
+    "InjectionMode",
+    "RegionKind",
+    "RouterTopology",
+    "ScenarioConfig",
+    "SimInternet",
+    "build_internet",
+    "default_config",
+    "small_config",
+]

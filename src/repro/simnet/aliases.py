@@ -1,0 +1,110 @@
+"""Ground truth for fully responsive (aliased-looking) prefixes.
+
+The paper's central observation in Sec. 5 is that the multi-level aliased
+prefix detection identifies *fully responsive* prefixes, which are a
+superset of true aliases: some are one host answering for a whole prefix,
+others are CDN load-balancer fleets (Fastly, Cloudflare, Akamai) or
+middleboxes.  The distinction is observable through TCP fingerprints and
+the Too Big Trick (shared vs. disjoint PMTU caches), so each region here
+carries backend and PMTU-cache-group structure.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro._util import mix64
+from repro.net.prefix import IPv6Prefix
+from repro.protocols import TcpFingerprint
+from repro.simnet.hosts import DnsBehavior
+
+
+class RegionKind(enum.Enum):
+    """Why a prefix answers for every address."""
+
+    SINGLE_HOST = "single_host"  # a true alias: one machine, one PMTU cache
+    LOADBALANCED = "loadbalanced"  # CDN fleet; PMTU caches shared per group
+    MIDDLEBOX = "middlebox"  # proxy terminating handshakes preemptively
+
+
+@dataclass(frozen=True)
+class FullyResponsiveRegion:
+    """One fully responsive prefix with its backing infrastructure.
+
+    ``pmtu_groups`` controls Too Big Trick observations: ``1`` means every
+    address shares one PMTU cache (a true alias), ``0`` means every
+    address keeps its own cache (no sharing observable), ``k > 1`` means
+    addresses hash into ``k`` independent caches (the partial sharing the
+    paper sees for Akamai and Cloudflare).
+    """
+
+    region_id: int
+    prefix: IPv6Prefix
+    asn: int
+    protocols: int
+    kind: RegionKind = RegionKind.SINGLE_HOST
+    active_from: int = 0
+    active_until: Optional[int] = None
+    backend_count: int = 1
+    pmtu_groups: int = 1
+    fingerprint: Optional[TcpFingerprint] = None
+    window_varies: bool = False
+    answers_large_echo: bool = True  # replies to 1300 B echo unfragmented
+    dns_behavior: DnsBehavior = DnsBehavior.AUTH_OR_CLOSED
+
+    def __post_init__(self) -> None:
+        if self.backend_count < 1:
+            raise ValueError("backend_count must be >= 1")
+        if self.pmtu_groups < 0:
+            raise ValueError("pmtu_groups must be >= 0")
+
+    def active(self, day: int) -> bool:
+        """True when the region is announced and responsive on ``day``."""
+        if day < self.active_from:
+            return False
+        return self.active_until is None or day < self.active_until
+
+    def backend_of(self, address: int) -> int:
+        """Deterministic load-balancer choice for one address."""
+        if self.backend_count == 1:
+            return 0
+        return mix64(
+            (address & 0xFFFFFFFFFFFFFFFF)
+            ^ (address >> 64)
+            ^ mix64(self.region_id)
+        ) % self.backend_count
+
+    def pmtu_cache_key(self, address: int) -> tuple:
+        """Identity of the PMTU cache consulted when answering ``address``.
+
+        Addresses with equal keys fragment together after one Packet Too
+        Big message — the signal the Too Big Trick measures.
+        """
+        if self.pmtu_groups == 0:
+            return (self.region_id, "addr", address)
+        if self.pmtu_groups == 1:
+            return (self.region_id, "shared", 0)
+        return (self.region_id, "group", self.backend_of(address) % self.pmtu_groups)
+
+    def fingerprint_for(self, address: int) -> Optional[TcpFingerprint]:
+        """The TCP fingerprint shown to a handshake with ``address``.
+
+        Uniform for true aliases; when ``window_varies`` the per-backend
+        window size differs — the dominant discriminating feature seen in
+        Sec. 5.1 (154 of 160 varying prefixes varied only in window size).
+        """
+        if self.fingerprint is None:
+            return None
+        if not self.window_varies or self.backend_count == 1:
+            return self.fingerprint
+        backend = self.backend_of(address)
+        jitter = (mix64(self.region_id ^ backend) % 8) * 1024
+        return TcpFingerprint(
+            options_text=self.fingerprint.options_text,
+            window_size=self.fingerprint.window_size + jitter,
+            window_scale=self.fingerprint.window_scale,
+            mss=self.fingerprint.mss,
+            ittl=self.fingerprint.ittl,
+        )

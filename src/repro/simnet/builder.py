@@ -1,0 +1,976 @@
+"""Construct a complete simulated internet from a :class:`ScenarioConfig`.
+
+The builder is where the paper's qualitative findings are encoded as
+*mechanisms* (structured assignment, CDN fleets, rotating CPE, GFW eras)
+rather than as hard-coded results: the pipeline and the analysis layers
+re-derive the paper's numbers by measuring this world.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro._util import derive_rng, mix64
+from repro.asn.orgs import paper_registry
+from repro.asn.registry import AsCategory, AsInfo, AsRegistry
+from repro.asn.rib import RibSnapshot, RoutingHistory
+from repro.asn.topology import GfwBoundary
+from repro.net.eui64 import OuiRegistry
+from repro.net.prefix import IPv6Prefix
+from repro.protocols import Protocol, TcpFingerprint
+from repro.simnet.aliases import FullyResponsiveRegion, RegionKind
+from repro.simnet.config import ScenarioConfig
+from repro.simnet.dnszone import TOP_LIST_NAMES, DnsZone, Domain
+from repro.simnet.gfwsim import GfwEra, GreatFirewall, InjectionMode
+from repro.simnet.hosts import DnsBehavior, HostRecord
+from repro.simnet.internet import SimInternet
+from repro.simnet.routers import CpeFleet, RouterTopology
+
+_LOW64 = (1 << 64) - 1
+
+# ---------------------------------------------------------------------------
+# TCP fingerprint templates (Sec. 5.1 features).
+
+FP_LINUX = TcpFingerprint("mss;sackOK;ts;nop;wscale", 29200, 7, 1460, 64)
+FP_LINUX_CLOUD = TcpFingerprint("mss;sackOK;ts;nop;wscale", 64240, 8, 1460, 64)
+FP_BSD = TcpFingerprint("mss;nop;wscale;sackOK;ts", 65535, 6, 1440, 64)
+FP_WINDOWS = TcpFingerprint("mss;nop;wscale;nop;nop;sackOK", 8192, 8, 1440, 128)
+FP_CDN_EDGE = TcpFingerprint("mss;sackOK;ts;nop;wscale", 65535, 10, 1400, 255)
+FP_MIDDLEBOX = TcpFingerprint("mss", 16384, 0, 1380, 255)
+
+FINGERPRINT_TABLE: Dict[int, TcpFingerprint] = {
+    1: FP_LINUX,
+    2: FP_LINUX_CLOUD,
+    3: FP_BSD,
+    4: FP_WINDOWS,
+    5: FP_CDN_EDGE,
+    6: FP_MIDDLEBOX,
+}
+
+#: vendors registered in the OUI registry (vendor name -> OUI).
+_VENDOR_OUIS = {
+    "ZTE": 0x001E73,
+    "AVM": 0x3C3786,
+    "Huawei": 0x00259E,
+    "Sagemcom": 0x7C03D8,
+    "TP-Link": 0x14CC20,
+}
+
+
+class PrefixAllocator:
+    """Hands out disjoint prefixes from the global unicast space.
+
+    Starts above the Teredo prefix (2001::/32) so injected Teredo
+    addresses can never collide with allocated space.
+    """
+
+    def __init__(self, start: int = 0x2400 << 112) -> None:
+        self._cursor = start
+
+    def take(self, length: int) -> IPv6Prefix:
+        """Allocate the next free prefix of ``length`` bits."""
+        size = 1 << (128 - length)
+        aligned = (self._cursor + size - 1) & ~(size - 1)
+        self._cursor = aligned + size
+        return IPv6Prefix(aligned, length)
+
+
+def _zipf_weights(count: int, alpha: float, offset: int = 8) -> List[float]:
+    """Normalized Zipf-like weights with a flattened head."""
+    raw = [1.0 / (rank + offset) ** alpha for rank in range(count)]
+    total = sum(raw)
+    return [weight / total for weight in raw]
+
+
+@dataclass
+class _World:
+    """Mutable build state threaded through the construction steps."""
+
+    config: ScenarioConfig
+    registry: AsRegistry
+    allocator: PrefixAllocator = field(default_factory=PrefixAllocator)
+    rib: RibSnapshot = field(default_factory=RibSnapshot)
+    hosts: Dict[int, HostRecord] = field(default_factory=dict)
+    regions: List[FullyResponsiveRegion] = field(default_factory=list)
+    topology: RouterTopology = field(default_factory=RouterTopology)
+    zone: DnsZone = field(default_factory=DnsZone)
+    org_prefixes: Dict[int, List[IPv6Prefix]] = field(default_factory=dict)
+    generic_asns: List[int] = field(default_factory=list)
+    generic_cn_asns: List[int] = field(default_factory=list)
+    labels: Dict[str, Set[int]] = field(default_factory=dict)
+    data: Dict[str, object] = field(default_factory=dict)
+    routing_events: List[Tuple[int, IPv6Prefix, int]] = field(default_factory=list)
+    next_region_id: int = 1
+
+    def label(self, name: str) -> Set[int]:
+        return self.labels.setdefault(name, set())
+
+    def announce(self, asn: int, length: int) -> IPv6Prefix:
+        """Allocate and announce one prefix for an AS."""
+        prefix = self.allocator.take(length)
+        self.rib.announce(prefix, asn)
+        self.org_prefixes.setdefault(asn, []).append(prefix)
+        return prefix
+
+    def allocate_unannounced(self, asn: int, length: int) -> IPv6Prefix:
+        """Allocate address space without announcing it (event pools)."""
+        prefix = self.allocator.take(length)
+        self.org_prefixes.setdefault(asn, []).append(prefix)
+        return prefix
+
+    def add_region(self, **kwargs) -> FullyResponsiveRegion:
+        region = FullyResponsiveRegion(region_id=self.next_region_id, **kwargs)
+        self.next_region_id += 1
+        self.regions.append(region)
+        return region
+
+
+# ---------------------------------------------------------------------------
+# host templates
+
+
+def _profile_protocols(profile: str, rng: random.Random) -> Tuple[int, DnsBehavior]:
+    """Draw a protocol mask (and DNS behaviour) for one host."""
+    behavior = DnsBehavior.NOT_DNS
+    if profile == "mixed":
+        roll = rng.random()
+        if roll < 0.66:
+            mask = Protocol.ICMP
+        elif roll < 0.81:
+            mask = Protocol.ICMP | Protocol.TCP80 | Protocol.TCP443
+            if rng.random() < 0.10:
+                mask |= Protocol.UDP443
+        elif roll < 0.825:
+            mask = Protocol.ICMP | Protocol.TCP80
+        elif roll < 0.90:
+            mask = Protocol.ICMP | Protocol.UDP53
+            if rng.random() < 0.20:
+                mask |= Protocol.TCP80
+            behavior = _draw_dns_behavior(rng)
+        elif roll < 0.908:
+            mask = Protocol.ICMP | Protocol.TCP80 | Protocol.TCP443 | Protocol.UDP443
+        elif roll < 0.923:
+            mask = Protocol.TCP80 | Protocol.TCP443
+        elif roll < 0.928:
+            mask = Protocol.UDP53
+            behavior = _draw_dns_behavior(rng)
+        else:
+            mask = Protocol.ICMP
+    elif profile == "server":
+        mask = Protocol.ICMP | Protocol.TCP80
+        if rng.random() < 0.80:
+            mask |= Protocol.TCP443
+        if rng.random() < 0.08:
+            mask |= Protocol.UDP443
+    elif profile == "gateway":
+        mask = Protocol.ICMP
+        if rng.random() < 0.10:
+            mask |= Protocol.TCP80
+    elif profile == "router":
+        mask = Protocol.ICMP
+    elif profile == "dns":
+        mask = Protocol.ICMP | Protocol.UDP53
+        behavior = _draw_dns_behavior(rng)
+    else:
+        raise ValueError(f"unknown host profile: {profile}")
+    return int(mask), behavior
+
+
+_DNS_BEHAVIOR_CHOICES = (
+    (DnsBehavior.AUTH_OR_CLOSED, 0.938),
+    (DnsBehavior.OPEN_RESOLVER, 0.046),
+    (DnsBehavior.REFERRAL, 0.0042),
+    (DnsBehavior.PROXY_RESOLVER, 0.0002),
+    (DnsBehavior.BROKEN, 0.011),
+)
+
+
+def _draw_dns_behavior(rng: random.Random) -> DnsBehavior:
+    roll = rng.random() * sum(weight for _, weight in _DNS_BEHAVIOR_CHOICES)
+    cumulative = 0.0
+    for behavior, weight in _DNS_BEHAVIOR_CHOICES:
+        cumulative += weight
+        if roll < cumulative:
+            return behavior
+    return DnsBehavior.AUTH_OR_CLOSED
+
+
+def _draw_churn(
+    config: ScenarioConfig, rng: random.Random, always_up: bool
+) -> Tuple[float, int]:
+    if always_up:
+        return 1.0, 30
+    stability = rng.uniform(config.stability_low, config.stability_high)
+    period = rng.randint(config.flap_period_low, config.flap_period_high)
+    return stability, period
+
+
+def _draw_born_day(config: ScenarioConfig, rng: random.Random) -> int:
+    """Some hosts pre-date the service; the rest ramp up linearly."""
+    if rng.random() < config.born_day_zero_share:
+        return 0
+    return rng.randint(1, config.final_day)
+
+
+def _fingerprint_for_mask(mask: int, rng: random.Random) -> int:
+    if not mask & (Protocol.TCP80 | Protocol.TCP443):
+        return 0
+    return rng.choices((1, 2, 3, 4), weights=(0.55, 0.25, 0.12, 0.08))[0]
+
+
+# ---------------------------------------------------------------------------
+# build steps
+
+
+def _build_registry(world: _World) -> None:
+    config = world.config
+    rng = derive_rng(config.seed, "registry")
+    categories = (
+        [AsCategory.ISP] * 55
+        + [AsCategory.HOSTING] * 15
+        + [AsCategory.ENTERPRISE] * 10
+        + [AsCategory.CONTENT] * 8
+        + [AsCategory.ACADEMIC] * 7
+        + [AsCategory.CLOUD] * 5
+    )
+    countries = ["US", "DE", "FR", "GB", "NL", "BR", "JP", "IN", "PL", "SE", "IT", "AU"]
+    for index in range(config.generic_as_count):
+        asn = 100_000 + index
+        info = AsInfo(
+            asn=asn,
+            name=f"Net-{index:04d}",
+            country=rng.choice(countries),
+            category=rng.choice(categories),
+        )
+        world.registry.add(info)
+        world.generic_asns.append(asn)
+    for index in range(config.generic_cn_as_count):
+        asn = 130_000 + index
+        world.registry.add(
+            AsInfo(asn=asn, name=f"CN-Net-{index:03d}", country="CN",
+                   category=AsCategory.ISP)
+        )
+        world.generic_cn_asns.append(asn)
+
+
+def _announce_space(world: _World) -> None:
+    """Give every AS announced space; named orgs get bespoke layouts."""
+    config = world.config
+    rng = derive_rng(config.seed, "announce")
+    # Named orgs with bespoke allocations (handled by their region builders
+    # or below); everything else gets one or two /32s.
+    bespoke = {
+        16509: [29, 29, 31],  # Amazon
+        54113: [32, 36],  # Fastly
+        13335: [32],  # Cloudflare (plus /48s announced separately)
+        209242: [44],  # Cloudflare London
+        20940: [32],  # Akamai (plus /48s)
+        33905: [40],  # Akamai Technologies
+        15169: [32],  # Google (plus /48s)
+        3320: [29, 32],  # DTAG
+        6057: [32],  # ANTEL — the single /32 the ZTE finding lives in
+        12322: [26, 32],  # Free SAS
+        4134: [28, 32],  # China Telecom Backbone
+        4812: [30],  # China Telecom
+        3356: [29],  # Level3
+        9808: [30],  # China Mobile
+        45899: [32],  # VNPT
+        397165: [],  # EpicUp announces only its /28s (below)
+    }
+    for info in world.registry:
+        if info.asn == 212144:  # Trafficforce announces only at its event
+            continue
+        lengths = bespoke.get(info.asn)
+        if lengths is None:
+            lengths = [32] if rng.random() < 0.75 else [32, 40]
+        for length in lengths:
+            world.announce(info.asn, length)
+    # EpicUp's 61 fully responsive /28s are announced individually.
+    for _ in range(config.epicup_prefix_count):
+        world.announce(397165, 28)
+
+
+def _org_prefix(world: _World, asn: int, index: int = 0) -> IPv6Prefix:
+    return world.org_prefixes[asn][index]
+
+
+def _region_active_from(
+    config: ScenarioConfig, rng: random.Random, ramped: bool
+) -> int:
+    """CDN alias prefixes activate over the timeline (growth)."""
+    if not ramped or rng.random() < config.cdn_activation_ramp:
+        return 0
+    return rng.randint(1, config.final_day - 30)
+
+
+def _build_cdn_regions(world: _World) -> None:
+    config = world.config
+    rng = derive_rng(config.seed, "regions")
+
+    def add(prefix: IPv6Prefix, asn: int, **kwargs) -> FullyResponsiveRegion:
+        return world.add_region(prefix=prefix, asn=asn, **kwargs)
+
+    web_mask = int(Protocol.ICMP | Protocol.TCP80 | Protocol.TCP443 | Protocol.UDP443)
+    # Amazon: most but not all of each announced /29 is backed by the
+    # load balancer fleet (the paper: 99.6 % of Amazon's *input* is
+    # alias-filtered, yet its announced prefixes are not fully aliased,
+    # so detection happens at the /64 level, not at BGP level).
+    amazon_regions = []
+    for index in (0, 1):
+        base = _org_prefix(world, 16509, index)
+        for sub_index, sub in enumerate(base.subprefixes(31)):
+            if sub_index == 3:
+                continue  # a quarter of each /29 is ordinary EC2 space
+            amazon_regions.append(
+                add(sub, 16509, protocols=web_mask, kind=RegionKind.LOADBALANCED,
+                    backend_count=64, pmtu_groups=4, fingerprint=FP_LINUX_CLOUD,
+                    answers_large_echo=False)
+            )
+    # Endpoint /64 subnets inside the Amazon regions become the
+    # aliased-/64 detections that grow with the input.
+    subnet_rng = derive_rng(config.seed, "amazon-subnets")
+    subnets = set()
+    while len(subnets) < config.amazon_endpoint_subnets_final:
+        region = amazon_regions[subnet_rng.randrange(len(amazon_regions))]
+        offset = subnet_rng.getrandbits(64 - region.prefix.length)
+        subnets.add(region.prefix.value | (offset << 64))
+    subnets = sorted(subnets)
+    world.data["amazon_endpoint_subnets"] = subnets
+
+    # Fastly: 95.3 % of announced space aliased (whole /32; the /36 stays
+    # clean for origin infrastructure).
+    add(_org_prefix(world, 54113, 0), 54113, protocols=web_mask,
+        kind=RegionKind.LOADBALANCED, backend_count=32, pmtu_groups=1,
+        fingerprint=FP_CDN_EDGE)
+
+    # Cloudflare: /48s announced in BGP, all fully responsive, partial
+    # PMTU sharing.  Most prefixes are web front-ends (incl. QUIC); a
+    # handful serve DNS (1.1.1.1-style anycast) *without* QUIC — the
+    # paper's Table 2 observation that no prefix combined UDP/443 and
+    # UDP/53, and that only Cloudflare covers every probe across its
+    # prefixes.
+    cf_dns_mask = int(
+        Protocol.ICMP | Protocol.TCP80 | Protocol.TCP443 | Protocol.UDP53
+    )
+    cf_prefixes = []
+    for index in range(config.cloudflare_prefix_count):
+        prefix = world.announce(13335, 48)
+        cf_prefixes.append(prefix)
+        serves_dns = index % 8 == 0
+        # a minority of front-end prefixes shows partial PMTU sharing
+        # (the paper: 268 Cloudflare prefixes); half ignore large echoes
+        partial = index % 7 == 0
+        add(prefix, 13335,
+            protocols=cf_dns_mask if serves_dns else web_mask,
+            kind=RegionKind.LOADBALANCED,
+            backend_count=24, pmtu_groups=2 + index % 3 if partial else 1,
+            fingerprint=FP_CDN_EDGE,
+            answers_large_echo=index % 2 == 0,
+            active_from=_region_active_from(config, rng, ramped=True),
+            dns_behavior=DnsBehavior.OPEN_RESOLVER if serves_dns
+            else DnsBehavior.NOT_DNS)
+    world.data["cloudflare_prefixes"] = cf_prefixes
+
+    # Cloudflare London: the whole announced /44 is aliased (100 %).
+    add(_org_prefix(world, 209242, 0), 209242, protocols=web_mask,
+        kind=RegionKind.LOADBALANCED, backend_count=16, pmtu_groups=2,
+        fingerprint=FP_CDN_EDGE)
+
+    # Akamai: /48s with partial PMTU sharing (the paper's dominant
+    # partial-TBT population) plus the incrementally-assigned /48 that
+    # trapped 6Tree.
+    akamai_prefixes = []
+    for index in range(config.akamai_prefix_count):
+        prefix = world.announce(20940, 48)
+        akamai_prefixes.append(prefix)
+        # Akamai dominates the paper's partial-PMTU population (1 k of
+        # 1.6 k partial prefixes) but most of its space still shares
+        partial = index % 3 == 0
+        add(prefix, 20940, protocols=web_mask, kind=RegionKind.LOADBALANCED,
+            backend_count=16, pmtu_groups=2 + index % 2 if partial else 1,
+            fingerprint=FP_CDN_EDGE,
+            answers_large_echo=index % 2 == 0,
+            active_from=_region_active_from(config, rng, ramped=True))
+    trap = world.announce(20940, 48)
+    add(trap, 20940, protocols=web_mask, kind=RegionKind.LOADBALANCED,
+        backend_count=8, pmtu_groups=2, fingerprint=FP_CDN_EDGE)
+    world.data["akamai_trap_prefix"] = trap
+    world.data["akamai_prefixes"] = akamai_prefixes
+
+    # Akamai Technologies: entire /40 aliased (100 %).
+    add(_org_prefix(world, 33905, 0), 33905, protocols=web_mask,
+        kind=RegionKind.LOADBALANCED, backend_count=8, pmtu_groups=1,
+        fingerprint=FP_CDN_EDGE)
+
+    # Google: a couple of dozen /48 front-end prefixes.
+    google_prefixes = []
+    for index in range(config.google_prefix_count):
+        prefix = world.announce(15169, 48)
+        google_prefixes.append(prefix)
+        add(prefix, 15169, protocols=web_mask, kind=RegionKind.LOADBALANCED,
+            backend_count=32, pmtu_groups=1, fingerprint=FP_CDN_EDGE,
+            active_from=_region_active_from(config, rng, ramped=True))
+    world.data["google_prefixes"] = google_prefixes
+
+    # EpicUp: every announced /28 is one fully responsive middlebox.
+    for prefix in world.org_prefixes[397165]:
+        add(prefix, 397165, protocols=int(Protocol.ICMP | Protocol.TCP80 | Protocol.TCP443),
+            kind=RegionKind.MIDDLEBOX, backend_count=1, pmtu_groups=1,
+            fingerprint=FP_MIDDLEBOX)
+
+    # Misaka anycast DNS: one /48 answering UDP/53 (with Cloudflare, the
+    # only aliased prefixes responsive to DNS in Table 2).
+    misaka = world.announce(50069, 48)
+    add(misaka, 50069, protocols=int(Protocol.ICMP | Protocol.UDP53), kind=RegionKind.LOADBALANCED,
+        backend_count=4, pmtu_groups=1, fingerprint=None,
+        dns_behavior=DnsBehavior.AUTH_OR_CLOSED)
+
+    # Trafficforce: ICMP-only /64s announced at the February 2022 event.
+    pool = world.allocate_unannounced(212144, 40)
+    tf_rng = derive_rng(config.seed, "trafficforce")
+    slots = tf_rng.sample(range(1 << 24), config.trafficforce_prefix_count)
+    for slot in slots:
+        prefix = IPv6Prefix(pool.value | (slot << 64), 64)
+        world.routing_events.append((config.trafficforce_event_day, prefix, 212144))
+        add(prefix, 212144, protocols=int(Protocol.ICMP),
+            kind=RegionKind.MIDDLEBOX, backend_count=1, pmtu_groups=1,
+            fingerprint=None, answers_large_echo=False,
+            active_from=config.trafficforce_event_day)
+
+    # Generic hosting aliased prefixes (mostly /64, small tails both ways).
+    count = config.base_alias_final
+    shorter = int(count * config.alias_shorter64_fraction)
+    longer = int(count * config.alias_longer64_fraction)
+    generic_set = set(world.generic_asns)
+    hosting = [
+        info.asn
+        for info in world.registry.by_category(AsCategory.HOSTING)
+        if info.asn in generic_set
+    ] or world.generic_asns
+    active_2018 = config.base_alias_2018
+    dense_members: Set[int] = set()
+    alias_member_availability: Dict[int, int] = {}
+    for index in range(count):
+        asn = hosting[index % len(hosting)]
+        base = world.org_prefixes[asn][0]
+        active_from = 0 if index < active_2018 else rng.randint(1, config.final_day - 40)
+        window_varies = rng.random() < 0.004
+        if index < shorter:
+            length = rng.choice((48, 52, 56, 60))
+        elif index < shorter + longer:
+            length = rng.choice((96, 112, 120))
+        else:
+            length = 64
+        subnet = rng.getrandbits(max(length, 64) - base.length)
+        value = base.value | (subnet << (128 - max(length, 64)))
+        if length > 64:
+            value &= ~((1 << (128 - length)) - 1)
+        prefix = IPv6Prefix(value, length)
+        # ~1 % of fully responsive prefixes share nothing (the paper's
+        # 249 prefixes where every address needed its own error message)
+        pmtu_groups = 0 if rng.random() < 0.012 else 1
+        region = add(prefix, asn,
+                     protocols=int(Protocol.ICMP | Protocol.TCP80 | Protocol.TCP443),
+                     kind=RegionKind.SINGLE_HOST, backend_count=1,
+                     pmtu_groups=pmtu_groups,
+                     fingerprint=FP_LINUX,
+                     window_varies=window_varies,
+                     active_from=active_from,
+                     answers_large_echo=rng.random() < 0.45)
+        if length > 64:
+            # the >100-address APD threshold needs dense input inside these
+            members = {prefix.value | rng.getrandbits(128 - length) for _ in range(130)}
+            dense_members.update(members)
+            for member in members:
+                alias_member_availability[member] = max(active_from, 1)
+        else:
+            # hosted services inside the region surface in DNS once the
+            # region is live, seeding the /64-level APD candidates
+            for _ in range(2):
+                member = prefix.value | rng.getrandbits(128 - prefix.length)
+                alias_member_availability[member] = max(active_from, 1)
+        del region
+    world.label("dense_region_members").update(dense_members)
+    world.data["alias_member_availability"] = alias_member_availability
+
+
+def _spread_host_addresses(
+    world: _World,
+    asn: int,
+    count: int,
+    rng: random.Random,
+    iid_style: str = "low",
+) -> List[int]:
+    """Place ``count`` host addresses in scattered /64s of an AS."""
+    prefixes = world.org_prefixes.get(asn)
+    if not prefixes:
+        return []
+    addresses: List[int] = []
+    for _ in range(count):
+        base = rng.choice(prefixes)
+        subnet = rng.getrandbits(64 - base.length)
+        network = base.value | (subnet << 64)
+        if iid_style == "low":
+            iid = rng.randint(1, 0xFFFF)
+        elif iid_style == "random":
+            iid = rng.getrandbits(64)
+        else:
+            raise ValueError(f"unknown IID style: {iid_style}")
+        addresses.append(network | iid)
+    return addresses
+
+
+def _build_plain_hosts(world: _World) -> None:
+    """Visible responsive hosts outside structured farms."""
+    config = world.config
+    rng = derive_rng(config.seed, "plain-hosts")
+    total = config.initial_responsive_hosts + config.grown_responsive_hosts
+    named_total = 0
+    allocations: List[Tuple[int, int]] = []
+    for asn, share in config.responsive_org_shares.items():
+        count = int(total * share)
+        allocations.append((asn, count))
+        named_total += count
+    remainder = max(total - named_total, 0)
+    weights = _zipf_weights(len(world.generic_asns), 1.05)
+    counts = [int(remainder * weight) for weight in weights]
+    for asn, count in zip(world.generic_asns, counts):
+        if count:
+            allocations.append((asn, count))
+
+    discovered = world.label("discovered_initial")
+    discovered_late = world.label("discovered_ramp")
+    for asn, count in allocations:
+        addresses = _spread_host_addresses(world, asn, count, rng)
+        for address in addresses:
+            born = _draw_born_day(config, rng)
+            always_up = born == 0 and rng.random() < config.always_up_share
+            profile = "dns" if asn == 50069 else "mixed"
+            mask, behavior = _profile_protocols(profile, rng)
+            stability, period = _draw_churn(config, rng, always_up)
+            world.hosts[address] = HostRecord(
+                protocols=mask, born_day=born, stability=stability,
+                flap_period=period, dns_behavior=behavior,
+                fingerprint_id=_fingerprint_for_mask(mask, rng),
+            )
+            if born == 0:
+                discovered.add(address)
+            else:
+                discovered_late.add(address)
+
+    # The one-shot rDNS batch: responsive when added, then partially dying
+    # (the paper's 2019→2020 dip).
+    rdns = world.label("rdns_batch")
+    for _ in range(config.rdns_batch_hosts):
+        asn = rng.choice(world.generic_asns)
+        addresses = _spread_host_addresses(world, asn, 1, rng)
+        if not addresses:
+            continue
+        address = addresses[0]
+        dies = rng.random() < config.rdns_batch_death_share
+        dead_day = rng.randint(config.rdns_batch_day + 60, config.rdns_batch_day + 540) if dies else None
+        mask, behavior = _profile_protocols("mixed", rng)
+        world.hosts[address] = HostRecord(
+            protocols=mask, born_day=0, dead_day=dead_day,
+            stability=0.97, flap_period=30, dns_behavior=behavior,
+            fingerprint_id=_fingerprint_for_mask(mask, rng),
+        )
+        rdns.add(address)
+
+    # Deep flappers: responsive at some point, silent for >30-day
+    # stretches, so the service forgets them until the Sec. 6 re-scan.
+    # Births ramp over the first two-thirds of the timeline — the
+    # unresponsive pool accumulates over the years, it does not start
+    # fully populated.
+    flappers = world.label("deep_flappers")
+    vnpt_count = int(config.deep_flapper_hosts * config.deep_flapper_vnpt_share)
+    birth_horizon = max(config.final_day * 2 // 3, 1)
+    for index in range(config.deep_flapper_hosts):
+        asn = 45899 if index < vnpt_count else rng.choice(world.generic_asns)
+        addresses = _spread_host_addresses(world, asn, 1, rng)
+        if not addresses:
+            continue
+        address = addresses[0]
+        mask, behavior = _profile_protocols("mixed", rng)
+        world.hosts[address] = HostRecord(
+            protocols=mask, born_day=rng.randint(0, birth_horizon),
+            stability=config.deep_flapper_stability,
+            flap_period=config.deep_flapper_period,
+            dns_behavior=behavior,
+            fingerprint_id=_fingerprint_for_mask(mask, rng),
+        )
+        flappers.add(address)
+
+
+def _build_farms(world: _World) -> None:
+    """Structured server farms: the signal TGAs learn from."""
+    config = world.config
+    for farm_index, farm in enumerate(config.farms):
+        rng = derive_rng(config.seed, "farm", farm_index)
+        prefixes = world.org_prefixes.get(farm.asn)
+        if not prefixes:
+            continue
+        base = prefixes[0]
+        subnet_bits = 64 - base.length
+        # A contiguous, structured block of subnets under one /48-aligned
+        # chunk so pattern mining sees low-entropy dimensions.
+        anchor = rng.getrandbits(max(subnet_bits - 16, 0)) << 16 if subnet_bits > 16 else 0
+        subnets = [anchor + index for index in range(farm.subnet_count)]
+        addresses: List[int] = []
+        if farm.pattern == "subnet_one":
+            chosen = rng.sample(subnets, min(farm.assigned_count, len(subnets)))
+            addresses = [base.value | (subnet << 64) | 1 for subnet in chosen]
+        elif farm.pattern == "low_byte":
+            per_subnet = max(farm.assigned_count // max(farm.subnet_count, 1), 1)
+            for subnet in subnets:
+                network = base.value | (subnet << 64)
+                iids = rng.sample(range(1, farm.iid_span), min(per_subnet, farm.iid_span - 1))
+                addresses.extend(network | iid for iid in iids)
+        elif farm.pattern == "cluster":
+            per_subnet = max(farm.assigned_count // max(farm.subnet_count, 1), 1)
+            for subnet in subnets:
+                network = base.value | (subnet << 64)
+                cursor = rng.randint(1, 500)
+                for _ in range(per_subnet):
+                    addresses.append(network | cursor)
+                    cursor += rng.randint(1, 16)  # dense: seed gaps stay below 64
+        else:
+            raise ValueError(f"unknown farm pattern: {farm.pattern}")
+        addresses = addresses[: farm.assigned_count + farm.assigned_count // 10]
+
+        discovered = world.label("farm_discovered")
+        hidden = world.label("farm_hidden")
+        for address in addresses:
+            born = _draw_born_day(config, rng) if farm.born_spread else 0
+            mask, behavior = _profile_protocols(farm.protocols_profile, rng)
+            stability, period = _draw_churn(config, rng, rng.random() < 0.2)
+            world.hosts[address] = HostRecord(
+                protocols=mask, born_day=born, stability=stability,
+                flap_period=period, dns_behavior=behavior,
+                fingerprint_id=_fingerprint_for_mask(mask, rng),
+            )
+            if rng.random() < farm.discovered_fraction:
+                discovered.add(address)
+            else:
+                hidden.add(address)
+
+
+def _build_routers_and_fleets(world: _World) -> None:
+    config = world.config
+    rng = derive_rng(config.seed, "routers")
+    router_label = world.label("routers")
+
+    def add_router_host(address: int) -> None:
+        world.hosts[address] = HostRecord(
+            protocols=int(Protocol.ICMP), born_day=0, stability=0.995,
+            flap_period=60,
+        )
+        router_label.add(address)
+
+    # Transit backbone routers.
+    transit_asns = rng.sample(world.generic_asns, min(12, len(world.generic_asns)))
+    for index in range(config.transit_router_count):
+        asn = transit_asns[index % len(transit_asns)]
+        base = world.org_prefixes[asn][0]
+        address = base.value | (0xFFFF << 64) | (index + 1)
+        world.topology.add_transit_router(address)
+        add_router_host(address)
+
+    fleet_id = 1
+
+    def register_fleet(spec_asn, devices, vendor, oui, eui64, rotation, daily,
+                       shared=0, responsive_share=0.0, trace_groups=16):
+        nonlocal fleet_id
+        pool_base = world.org_prefixes[spec_asn][0]
+        pool_length = max(pool_base.length, 40)
+        pool = IPv6Prefix(pool_base.value, pool_length)
+        fleet = CpeFleet(
+            fleet_id=fleet_id, asn=spec_asn, pool=pool, device_count=devices,
+            oui=oui, vendor=vendor, eui64_iids=eui64,
+            rotation_period=rotation, daily_observations=daily,
+            shared_mac_devices=shared, responsive_share=responsive_share,
+            trace_groups=trace_groups,
+        )
+        fleet_id += 1
+        world.topology.add_fleet(fleet)
+        # two stable core routers per fleet AS
+        for router_index in (1, 2):
+            address = pool_base.value | (0xBBBB << 64) | router_index
+            world.topology.add_core_router(spec_asn, address)
+            add_router_host(address)
+        return fleet
+
+    for spec in config.fleets:
+        register_fleet(spec.asn, spec.device_count, spec.vendor, spec.oui,
+                       spec.eui64, spec.rotation_period,
+                       spec.daily_observations, spec.shared_mac_devices,
+                       spec.responsive_share)
+
+    # Generic EUI-64 fleets across random ISPs.
+    isp_pool = [
+        info.asn for info in world.registry.by_category(AsCategory.ISP)
+        if info.asn >= 100_000
+    ]
+    vendors = list(_VENDOR_OUIS.items())
+    fleet_count = min(config.generic_fleet_count, len(isp_pool))
+    if fleet_count:
+        per_fleet_devices = max(config.generic_fleet_devices // fleet_count, 10)
+        per_fleet_daily = max(config.generic_fleet_daily_observations // fleet_count, 1)
+        for asn in rng.sample(isp_pool, fleet_count):
+            vendor, oui = rng.choice(vendors)
+            register_fleet(asn, per_fleet_devices, vendor, oui, True,
+                           rng.choice((7, 14, 21, 28)), per_fleet_daily,
+                           responsive_share=0.15)
+
+    # Chinese fleets (randomized IIDs) sized by the Table 5 shares.
+    total_share = sum(share for _, share in config.gfw_as_shares)
+    generic_cn_share = max(100.0 - total_share, 0.0)
+    cn_daily_total = config.cn_fleet_total_daily_observations
+    for asn, share in config.gfw_as_shares:
+        daily = max(int(cn_daily_total * share / 100.0), 1)
+        register_fleet(asn, config.cn_fleet_devices_per_as, "Huawei",
+                       _VENDOR_OUIS["Huawei"], False,
+                       config.cn_fleet_rotation_period, daily,
+                       trace_groups=max(int(share / 3.0), 1))
+    if world.generic_cn_asns:
+        # the ~6 % tail outside the paper's top-10 is thin: only a few
+        # generic Chinese ASes host fleets large enough to surface daily
+        with_fleet = world.generic_cn_asns[::5]
+        per_generic = max(
+            int(cn_daily_total * generic_cn_share / 100.0 / max(len(with_fleet), 1)), 1
+        )
+        for asn in with_fleet:
+            register_fleet(asn, config.cn_fleet_devices_per_as // 10, "Huawei",
+                           _VENDOR_OUIS["Huawei"], False,
+                           config.cn_fleet_rotation_period, per_generic,
+                           trace_groups=1)
+
+    # Core routers for named orgs without fleets (traceroute targets).
+    for asn in (63949, 16509, 13335, 15169, 20940, 3356, 54113):
+        prefixes = world.org_prefixes.get(asn)
+        if not prefixes:
+            continue
+        address = prefixes[0].value | (0xBBBB << 64) | 1
+        world.topology.add_core_router(asn, address)
+        add_router_host(address)
+
+    # Extra routers visible only from CAIDA Ark's vantage points.
+    ark_label = world.label("ark_only_routers")
+    for index in range(config.ark_new_router_count):
+        asn = rng.choice(world.generic_asns)
+        base = world.org_prefixes[asn][0]
+        address = base.value | (0xAAAA << 64) | (index + 1)
+        add_router_host(address)
+        ark_label.add(address)
+
+
+def _build_passive_snapshots(world: _World) -> None:
+    """The Sec. 6 passive candidate sets: CAIDA Ark and the DET snapshot."""
+    config = world.config
+    rng = derive_rng(config.seed, "passive-snapshots")
+    ark = world.label("ark_addresses")
+    ark.update(world.label("ark_only_routers"))
+    known_routers = sorted(world.label("routers"))
+    ark.update(rng.sample(known_routers, min(len(known_routers), 200)))
+
+    det = world.label("det_snapshot")
+    discovered = sorted(
+        world.label("discovered_initial") | world.label("farm_discovered")
+    )
+    hidden = sorted(world.label("farm_hidden"))
+    hidden_picks = int(config.det_snapshot_size * config.det_hidden_fraction)
+    det.update(rng.sample(discovered, min(len(discovered),
+                                          config.det_snapshot_size - hidden_picks)))
+    det.update(rng.sample(hidden, min(len(hidden), hidden_picks)))
+
+
+def _build_zone(world: _World) -> None:
+    config = world.config
+    rng = derive_rng(config.seed, "zone")
+    cf_prefixes: List[IPv6Prefix] = list(world.data.get("cloudflare_prefixes", []))
+    other_cdn: List[IPv6Prefix] = list(world.data.get("google_prefixes", []))
+    fastly = world.org_prefixes.get(54113)
+    if fastly:
+        other_cdn.append(fastly[0])
+    amazon_subnets: Sequence[int] = world.data.get("amazon_endpoint_subnets", [])
+
+    # Domains may only reference *discoverable* hosts: pointing DNS at the
+    # hidden farm population would leak it into the hitlist input and
+    # erase the Sec. 6 discovery potential.
+    hidden = world.label("farm_hidden")
+    web_hosts = [
+        address
+        for address, record in world.hosts.items()
+        if record.protocols & Protocol.TCP80 and address not in hidden
+    ]
+    if not web_hosts:
+        web_hosts = [1]
+
+    # Decide names and hosting up front; Cloudflare prefix popularity is
+    # Zipf with one heavy /48 (the paper's 3.94 M-domain prefix).
+    cf_weights = _zipf_weights(len(cf_prefixes), 1.3, offset=1) if cf_prefixes else []
+    aliased_count = int(config.domain_count * config.domains_aliased_fraction)
+    cloudflare_count = int(aliased_count * config.cloudflare_domain_share)
+
+    placements: Dict[str, Tuple[int, ...]] = {}
+    aliased_names: List[str] = []
+    plain_names: List[str] = []
+    for index in range(config.domain_count):
+        name = f"dom{index:07d}.example"
+        if index < cloudflare_count and cf_prefixes:
+            prefix = rng.choices(cf_prefixes, weights=cf_weights)[0]
+            placements[name] = (prefix.value | rng.getrandbits(128 - prefix.length),)
+            aliased_names.append(name)
+        elif index < aliased_count and other_cdn:
+            prefix = rng.choice(other_cdn)
+            placements[name] = (prefix.value | rng.getrandbits(128 - prefix.length),)
+            aliased_names.append(name)
+        else:
+            placements[name] = (rng.choice(web_hosts),)
+            plain_names.append(name)
+    world.data["aliased_domain_names"] = aliased_names
+
+    # Top lists: listed domains hit aliased space at the configured rates.
+    ranks: Dict[str, Dict[str, int]] = {name: {} for name in placements}
+    for top_list in TOP_LIST_NAMES:
+        rate = config.top_list_aliased_rates.get(top_list, 0.15)
+        size = min(config.top_list_size, config.domain_count)
+        aliased_picks = int(size * rate)
+        pool = rng.sample(aliased_names, min(aliased_picks, len(aliased_names)))
+        pool += rng.sample(plain_names, min(size - len(pool), len(plain_names)))
+        rng.shuffle(pool)
+        for rank, name in enumerate(pool, start=1):
+            ranks[name][top_list] = rank
+
+    # NS/MX hosts: 71 % live inside Amazon's aliased endpoint subnets.
+    ns_mx_label = world.label("ns_mx_addresses")
+    hostnames: List[str] = []
+    for index in range(config.ns_mx_host_count):
+        hostname = f"ns{index:04d}.provider.example"
+        if rng.random() < config.ns_mx_amazon_share and amazon_subnets:
+            subnet = rng.choice(amazon_subnets)
+            address = subnet | rng.getrandbits(64)
+        else:
+            address = rng.choice(web_hosts)
+        world.zone.add_host_record(hostname, (address,))
+        ns_mx_label.add(address)
+        hostnames.append(hostname)
+
+    with_ns_mx = set(
+        rng.sample(plain_names, min(len(plain_names), config.ns_mx_host_count * 4))
+    )
+    for name, addresses in placements.items():
+        if name in with_ns_mx and len(hostnames) >= 2:
+            ns_hosts = tuple(rng.sample(hostnames, 2))
+            mx_hosts = (rng.choice(hostnames),)
+        else:
+            ns_hosts, mx_hosts = (), ()
+        world.zone.add_domain(
+            Domain(name=name, addresses=addresses, ns_hosts=ns_hosts,
+                   mx_hosts=mx_hosts, ranks=ranks[name])
+        )
+    world.zone.finalize()
+
+    # The blocked domains must resolve somewhere real (Google space).
+    google = world.org_prefixes.get(15169)
+    if google:
+        google_addr = google[0].value | 0x2004
+        for blocked in config.blocked_domains:
+            world.zone.add_domain(Domain(name=blocked, addresses=(google_addr,)))
+
+
+def _build_gfw(world: _World) -> GreatFirewall:
+    config = world.config
+    boundary = GfwBoundary.from_registry(
+        world.registry, vantage_inside=config.vantage_inside_gfw
+    )
+    eras = tuple(
+        GfwEra(
+            start_day=era.start_day,
+            end_day=era.end_day,
+            mode=InjectionMode.TEREDO if era.teredo else InjectionMode.A_RECORD,
+        )
+        for era in config.gfw_eras
+    )
+    return GreatFirewall(
+        boundary=boundary,
+        eras=eras,
+        blocked_domains=config.blocked_domains,
+        seed=config.seed,
+    )
+
+
+def _build_initial_input(world: _World) -> None:
+    """The 2018-07-01 accumulated input the service starts from."""
+    config = world.config
+    rng = derive_rng(config.seed, "initial-input")
+    seed_input = world.label("initial_input")
+    seed_input.update(world.label("discovered_initial"))
+    seed_input.update(world.label("deep_flappers"))
+    seed_input.update(world.label("routers"))
+    seed_input.update(
+        address for address in world.label("farm_discovered")
+        if world.hosts[address].born_day == 0
+    )
+    # Historical junk: fleet addresses captured before the service epoch.
+    fleets = world.topology.fleets
+    target = config.initial_input_size
+    amazon_subnets: Sequence[int] = world.data.get("amazon_endpoint_subnets", [])
+    endpoint_share = 0.30
+    while len(seed_input) < target * (1 - endpoint_share) and fleets:
+        fleet = fleets[rng.randrange(len(fleets))]
+        device = rng.randrange(fleet.device_count)
+        day = -rng.randint(1, 700)
+        seed_input.add(fleet.address_of(device, day))
+    pool_2018 = amazon_subnets[: config.amazon_endpoint_subnets_2018]
+    while len(seed_input) < target and pool_2018:
+        subnet = rng.choice(pool_2018)
+        seed_input.add(subnet | rng.getrandbits(64))
+
+
+def _finalize_labels(world: _World, internet: SimInternet) -> None:
+    notes = internet.ground_truth
+    for label, addresses in world.labels.items():
+        notes.add(label, addresses)
+    notes.data.update(world.data)
+    notes.add("all_hosts", world.hosts.keys())
+
+
+def build_internet(config: ScenarioConfig) -> SimInternet:
+    """Build the full simulated internet for one scenario."""
+    world = _World(config=config, registry=paper_registry())
+    _build_registry(world)
+    _announce_space(world)
+    _build_cdn_regions(world)
+    _build_plain_hosts(world)
+    _build_farms(world)
+    _build_routers_and_fleets(world)
+    _build_passive_snapshots(world)
+    _build_zone(world)
+    gfw = _build_gfw(world)
+
+    routing = RoutingHistory(world.rib)
+    for day, prefix, asn in world.routing_events:
+        routing.add_event(day, prefix, asn)
+
+    oui_registry = OuiRegistry()
+    for vendor, oui in _VENDOR_OUIS.items():
+        oui_registry.register(oui, vendor)
+
+    internet = SimInternet(
+        registry=world.registry,
+        routing=routing,
+        hosts=world.hosts,
+        regions=world.regions,
+        gfw=gfw,
+        zone=world.zone,
+        topology=world.topology,
+        oui_registry=oui_registry,
+        fingerprint_table=FINGERPRINT_TABLE,
+        seed=config.seed,
+    )
+    _build_initial_input(world)
+    _finalize_labels(world, internet)
+    return internet

@@ -1,0 +1,381 @@
+"""Scenario configuration: every knob of the simulated internet.
+
+Counts default to ≈1/1000 of the paper's magnitudes (790 M accumulated
+input → ≈790 k, 3.2 M responsive → ≈3.2 k, 134 M GFW-impacted → ≈134 k).
+AS counts scale sub-linearly because distribution *shape* is what the
+benches must preserve, not absolute AS totals.
+
+``default_config()`` is the benchmark scenario; ``small_config()`` is a
+drastically shrunk world for fast unit/integration tests.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass, field, replace
+from typing import Dict, Tuple
+
+from repro._util import date_to_day
+
+# ---------------------------------------------------------------------------
+# Timeline landmarks (simulation days since 2018-07-01).
+
+DAY_2018_07_01 = date_to_day(datetime.date(2018, 7, 1))
+DAY_2019_04_01 = date_to_day(datetime.date(2019, 4, 1))
+DAY_2020_04_01 = date_to_day(datetime.date(2020, 4, 1))
+DAY_2021_04_02 = date_to_day(datetime.date(2021, 4, 2))
+DAY_2021_12_01 = date_to_day(datetime.date(2021, 12, 1))
+DAY_2022_01_15 = date_to_day(datetime.date(2022, 1, 15))
+DAY_2022_02_01 = date_to_day(datetime.date(2022, 2, 1))
+DAY_2022_04_07 = date_to_day(datetime.date(2022, 4, 7))
+
+#: The paper's Table 1 snapshot days.
+SNAPSHOT_DAYS: Tuple[int, ...] = (
+    DAY_2018_07_01,
+    DAY_2019_04_01,
+    DAY_2020_04_01,
+    DAY_2021_04_02,
+    DAY_2022_04_07,
+)
+
+
+@dataclass(frozen=True)
+class GfwEraConfig:
+    """One injection era: ``[start_day, end_day)`` and answer mode."""
+
+    start_day: int
+    end_day: int
+    teredo: bool  # False = A-record era, True = Teredo-in-AAAA era
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """Sizing of one rotating CPE fleet (see :class:`~repro.simnet.routers.CpeFleet`)."""
+
+    asn: int
+    device_count: int
+    vendor: str
+    oui: int
+    eui64: bool = True
+    rotation_period: int = 14
+    daily_observations: int = 10
+    shared_mac_devices: int = 0
+    responsive_share: float = 0.15
+
+
+@dataclass(frozen=True)
+class FarmSpec:
+    """One structured server deployment (the TGA training signal).
+
+    A farm spreads ``assigned_count`` hosts over ``subnet_count`` /64
+    subnets of the owner's space with a low-entropy interface-ID pattern.
+    ``pattern`` selects the assignment style:
+
+    * ``low_byte`` — IIDs drawn from ``[1, iid_span)`` (web farms),
+    * ``subnet_one`` — IID fixed at ``::1``, density lives in the subnet
+      nibbles (Free-SAS-style customer gateways),
+    * ``cluster`` — tight runs of consecutive IIDs with small gaps
+      (discoverable by the paper's distance clustering).
+
+    ``discovered_fraction`` of hosts are known to passive sources (and
+    hence the hitlist); the remainder is the hidden population target
+    generation can win.
+    """
+
+    asn: int
+    subnet_count: int
+    assigned_count: int
+    pattern: str = "low_byte"
+    iid_span: int = 4096
+    discovered_fraction: float = 0.35
+    protocols_profile: str = "server"  # see builder host templates
+    born_spread: bool = True  # ramp births over the timeline
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """Complete description of one simulated world."""
+
+    seed: int = 20220407
+    final_day: int = DAY_2022_04_07
+
+    # ---- AS universe -----------------------------------------------------
+    generic_as_count: int = 1300
+    generic_cn_as_count: int = 60
+
+    # ---- visible responsive population (the hitlist's view) --------------
+    #: responsive hosts alive at day 0 (paper: 1.8 M at 2018-07-01).
+    initial_responsive_hosts: int = 1800
+    #: responsive hosts born during the timeline (reaching ≈3.2 k visible
+    #: by the final day after churn; paper: 3.2 M).
+    grown_responsive_hosts: int = 1700
+    #: share of day-0 hosts that never flap (paper: 5.4 % responsive in
+    #: every scan of the four years).
+    always_up_share: float = 0.10
+    #: one-time rDNS-style batch (causes the 2019→2020 dip of Table 1).
+    rdns_batch_hosts: int = 420
+    rdns_batch_day: int = date_to_day(datetime.date(2019, 1, 15))
+    rdns_batch_death_share: float = 0.55
+
+    #: share of hosts already alive when the service starts.
+    born_day_zero_share: float = 0.45
+    #: churn model for ordinary hosts.  Periods stay well below the
+    #: 30-day exclusion threshold so regular flapping causes churn
+    #: (Fig. 4) without flushing stable hosts into the re-scan pool.
+    stability_low: float = 0.90
+    stability_high: float = 0.99
+    flap_period_low: int = 7
+    flap_period_high: int = 28
+
+    #: named-org shares of the visible responsive population (fraction of
+    #: the end-state total) for orgs *without* a structured farm — farm
+    #: ASes get their visible hosts from the farm's discovered share.
+    #: The remainder is spread Zipf-like over generic ASes (paper Fig. 2:
+    #: Linode 7.9 %, China Telecom 7.4 %, 50 % of addresses in 14 ASes).
+    responsive_org_shares: Dict[int, float] = field(
+        default_factory=lambda: {
+            4812: 0.074,  # China Telecom
+            3356: 0.038,  # Level3
+            16509: 0.030,  # Amazon (non-aliased instances)
+            20940: 0.028,  # Akamai (non-aliased)
+            15169: 0.025,  # Google (non-aliased)
+            3320: 0.024,  # DTAG servers
+            4134: 0.022,  # China Telecom Backbone
+            6057: 0.018,  # ANTEL servers
+            45899: 0.017,  # VNPT (stable part)
+            50069: 0.003,  # Misaka anycast DNS
+        }
+    )
+    #: Zipf exponent for the generic-AS tail of responsive hosts.
+    responsive_tail_zipf: float = 1.05
+
+    # ---- hidden populations (Sec. 6 discoveries) --------------------------
+    #: hosts that flap with >30-day down periods; the 30-day filter drops
+    #: them and only the Sec. 6 re-scan finds them again (paper: 1.2 M
+    #: responsive out of 638.6 M re-scanned; VNPT on top with 34.4 %).
+    deep_flapper_hosts: int = 2500
+    deep_flapper_vnpt_share: float = 0.344
+    deep_flapper_stability: float = 0.45
+    deep_flapper_period: int = 70
+
+    # ---- passive new sources (Sec. 6: Ark, DET, NS/MX) ---------------------
+    #: extra routers only CAIDA Ark's vantage points reveal.
+    ark_new_router_count: int = 120
+    #: size of the DET published snapshot and the share of it that points
+    #: at hosts the hitlist has not discovered.
+    det_snapshot_size: int = 700
+    det_hidden_fraction: float = 0.10
+
+    # ---- infrastructure ----------------------------------------------------
+    transit_router_count: int = 40
+
+    #: structured farms whose hidden hosts TGAs can generate.
+    farms: Tuple[FarmSpec, ...] = (
+        # Free SAS: the dominant 6Graph/6Tree signal (52 % / 41 % of their
+        # responsive finds) — customer gateways at ::1 across dense subnets.
+        FarmSpec(asn=12322, subnet_count=9000, assigned_count=2600,
+                 pattern="subnet_one", discovered_fraction=0.06,
+                 protocols_profile="gateway"),
+        # DigitalOcean droplets: low-byte IIDs, moderately discovered.
+        FarmSpec(asn=14061, subnet_count=40, assigned_count=700,
+                 pattern="low_byte", iid_span=2048, discovered_fraction=0.25),
+        # China Mobile + Racktech: tight clusters (distance-clustering bait).
+        FarmSpec(asn=9808, subnet_count=8, assigned_count=420,
+                 pattern="cluster", iid_span=3000, discovered_fraction=0.42,
+                 born_spread=False),
+        FarmSpec(asn=208861, subnet_count=6, assigned_count=300,
+                 pattern="cluster", iid_span=2200, discovered_fraction=0.42,
+                 born_spread=False),
+        # Linode web farms: the known-responsive backbone of the hitlist.
+        FarmSpec(asn=63949, subnet_count=30, assigned_count=380,
+                 pattern="low_byte", iid_span=1024, discovered_fraction=0.75),
+        # Deutsche Glasfaser CPE gateways (6Tree's secondary signal).
+        FarmSpec(asn=60294, subnet_count=1600, assigned_count=450,
+                 pattern="subnet_one", discovered_fraction=0.10,
+                 protocols_profile="gateway"),
+        # home.pl shared hosting.
+        FarmSpec(asn=12824, subnet_count=16, assigned_count=260,
+                 pattern="low_byte", iid_span=1500, discovered_fraction=0.40),
+        # CERN + ARNES academic networks: sparse but evenly spread (the
+        # passive-source discoveries of Table 4).
+        FarmSpec(asn=513, subnet_count=20, assigned_count=150,
+                 pattern="low_byte", iid_span=600, discovered_fraction=0.20),
+        FarmSpec(asn=2107, subnet_count=12, assigned_count=90,
+                 pattern="low_byte", iid_span=400, discovered_fraction=0.20),
+    )
+
+    # ---- CPE fleets (rotating input accumulation) -------------------------
+    fleets: Tuple[FleetSpec, ...] = (
+        # ANTEL: 16 % of post-alias input; ZTE CPE incl. a default-MAC
+        # subfleet that alone accumulates hundreds of addresses in one /32.
+        FleetSpec(asn=6057, device_count=6700, vendor="ZTE", oui=0x001E73,
+                  rotation_period=14, daily_observations=72,
+                  shared_mac_devices=24),
+        # DTAG: 10 % of input, AVM routers.
+        FleetSpec(asn=3320, device_count=4200, vendor="AVM", oui=0x3C3786,
+                  rotation_period=21, daily_observations=46),
+        # Other EUI-64 fleets spread across generic ISPs (built per-ISP).
+    )
+    #: aggregate devices/daily observations for generic-ISP EUI-64 fleets.
+    generic_fleet_devices: int = 12000
+    generic_fleet_count: int = 40
+    generic_fleet_daily_observations: int = 60
+
+    #: Chinese fleets use randomized IIDs; their discovery feeds the GFW
+    #: impact.  Sizing is driven by Table 5 shares.
+    cn_fleet_total_daily_observations: int = 115
+    cn_fleet_rotation_period: int = 7
+    cn_fleet_devices_per_as: int = 40000
+    #: Table 5 shares (%) of GFW-impacted addresses per Chinese AS; the
+    #: remaining ~6 % is spread over the generic CN ASes.
+    gfw_as_shares: Tuple[Tuple[int, float], ...] = (
+        (4134, 46.44), (4812, 14.59), (134774, 13.88), (134773, 8.04),
+        (140329, 2.37), (134772, 1.93), (4837, 1.87), (136200, 1.76),
+        (140330, 1.72), (140316, 1.24),
+    )
+
+    # ---- GFW -------------------------------------------------------------
+    gfw_eras: Tuple[GfwEraConfig, ...] = (
+        GfwEraConfig(date_to_day(datetime.date(2018, 11, 1)),
+                     date_to_day(datetime.date(2019, 2, 1)), teredo=False),
+        GfwEraConfig(date_to_day(datetime.date(2020, 2, 1)),
+                     date_to_day(datetime.date(2020, 6, 1)), teredo=False),
+        GfwEraConfig(date_to_day(datetime.date(2021, 1, 1)),
+                     date_to_day(datetime.date(2022, 2, 5)), teredo=True),
+    )
+    blocked_domains: Tuple[str, ...] = (
+        "www.google.com", "www.facebook.com", "twitter.com", "www.youtube.com",
+    )
+    scan_query_domain: str = "www.google.com"
+    #: day the paper's GFW filter went live in the service (Feb 2022).
+    gfw_filter_deploy_day: int = DAY_2022_02_01
+    #: scan from inside the firewall (Sec. 4.3: a Chinese vantage point
+    #: is affected "on the complete opposite set of addresses").
+    vantage_inside_gfw: bool = False
+
+    # ---- fully responsive regions -----------------------------------------
+    #: Trafficforce announces this many ICMP-only /64s in Feb 2022
+    #: (paper: 66.4 k prefixes, 61.6 % of all detected afterwards).
+    trafficforce_prefix_count: int = 1000
+    trafficforce_event_day: int = DAY_2022_02_01
+    #: EpicUp's fully responsive /28s (paper: 61; a count of prefixes, kept).
+    epicup_prefix_count: int = 61
+    #: Cloudflare aliased /48s (paper: 115 host domains).
+    cloudflare_prefix_count: int = 115
+    #: Akamai aliased /48s with partial PMTU sharing.
+    akamai_prefix_count: int = 70
+    #: Google aliased /48s.
+    google_prefix_count: int = 24
+    #: generic hosting aliased prefixes (mostly /64) detected already in
+    #: 2018 and growing to the pre-Trafficforce level (paper: 12 k → 42.8 k).
+    base_alias_2018: int = 150
+    base_alias_final: int = 600
+    #: of the generic aliased prefixes, the share shorter / longer than
+    #: /64 (Fig. 5: >90 % are /64, small tails on both sides).
+    alias_shorter64_fraction: float = 0.04
+    alias_longer64_fraction: float = 0.06
+    #: share of announced CDN alias prefixes already active at day 0; the
+    #: rest activates linearly over the timeline (CDN growth).
+    cdn_activation_ramp: float = 0.30
+
+    # ---- Amazon endpoint churn (input bias, Fig. 2) ------------------------
+    #: new load-balancer endpoint addresses per day surfacing in DNS/CT
+    #: within Amazon's aliased space (paper: Amazon is 32 % of raw input).
+    amazon_endpoints_per_day: int = 184
+    #: same mechanism for other CDNs, much smaller.
+    cdn_endpoints_per_day: int = 14
+    #: endpoints concentrate in a pool of ELB /64 subnets that grows over
+    #: the timeline; each such subnet becomes an aliased-/64 detection.
+    amazon_endpoint_subnets_2018: int = 60
+    amazon_endpoint_subnets_final: int = 180
+
+    # ---- DNS zone ----------------------------------------------------------
+    domain_count: int = 120_000
+    #: fraction of domains hosted inside fully responsive prefixes
+    #: (paper: 15 M of >300 M resolved).
+    domains_aliased_fraction: float = 0.052
+    #: of the aliased-hosted domains, Cloudflare's share (dominant).
+    cloudflare_domain_share: float = 0.62
+    top_list_size: int = 2000
+    #: per-top-list probability that a listed domain sits in aliased space
+    #: (paper: Alexa 17.7 %, Majestic 17.0 %, Umbrella 11.8 %).
+    top_list_aliased_rates: Dict[str, float] = field(
+        default_factory=lambda: {"alexa": 0.177, "majestic": 0.170, "umbrella": 0.118}
+    )
+    ns_mx_host_count: int = 1400
+    #: share of NS/MX host addresses inside Amazon's aliased space
+    #: (paper: 71 %).
+    ns_mx_amazon_share: float = 0.71
+
+    # ---- DNS behaviour mix of real UDP/53 responders (Sec. 4.2) -----------
+    dns_behavior_weights: Dict[str, float] = field(
+        default_factory=lambda: {
+            "auth_or_closed": 0.938,
+            "open_resolver": 0.046,
+            "referral": 0.0042,
+            "proxy_resolver": 0.0002,
+            "broken": 0.011,
+        }
+    )
+
+    # ---- initial seed of the hitlist input (2018-07-01: 90 M) -------------
+    initial_input_size: int = 90_000
+
+    def with_seed(self, seed: int) -> "ScenarioConfig":
+        """A copy of this config under a different master seed."""
+        return replace(self, seed=seed)
+
+
+def default_config() -> ScenarioConfig:
+    """The benchmark-scale scenario (≈1/1000 of paper magnitudes)."""
+    return ScenarioConfig()
+
+
+def small_config(seed: int = 7) -> ScenarioConfig:
+    """A tiny world for fast tests (seconds, not minutes)."""
+    return ScenarioConfig(
+        seed=seed,
+        generic_as_count=60,
+        generic_cn_as_count=8,
+        initial_responsive_hosts=220,
+        grown_responsive_hosts=160,
+        rdns_batch_hosts=40,
+        deep_flapper_hosts=80,
+        farms=(
+            FarmSpec(asn=12322, subnet_count=600, assigned_count=180,
+                     pattern="subnet_one", discovered_fraction=0.10,
+                     protocols_profile="gateway"),
+            FarmSpec(asn=14061, subnet_count=8, assigned_count=90,
+                     pattern="low_byte", iid_span=512, discovered_fraction=0.30),
+            FarmSpec(asn=9808, subnet_count=2, assigned_count=60,
+                     pattern="cluster", iid_span=400, discovered_fraction=0.42,
+                     born_spread=False),
+            FarmSpec(asn=63949, subnet_count=6, assigned_count=60,
+                     pattern="low_byte", iid_span=256, discovered_fraction=0.75),
+        ),
+        fleets=(
+            FleetSpec(asn=6057, device_count=400, vendor="ZTE", oui=0x001E73,
+                      rotation_period=14, daily_observations=8,
+                      shared_mac_devices=40),
+            FleetSpec(asn=3320, device_count=250, vendor="AVM", oui=0x3C3786,
+                      rotation_period=21, daily_observations=5),
+        ),
+        generic_fleet_devices=600,
+        generic_fleet_count=6,
+        generic_fleet_daily_observations=12,
+        cn_fleet_total_daily_observations=24,
+        cn_fleet_devices_per_as=2000,
+        trafficforce_prefix_count=40,
+        epicup_prefix_count=8,
+        cloudflare_prefix_count=12,
+        akamai_prefix_count=8,
+        google_prefix_count=4,
+        base_alias_2018=12,
+        base_alias_final=40,
+        amazon_endpoints_per_day=20,
+        cdn_endpoints_per_day=3,
+        domain_count=4000,
+        top_list_size=300,
+        ns_mx_host_count=120,
+        initial_input_size=4000,
+    )

@@ -1,0 +1,71 @@
+"""JSON (de)serialization for scenario configurations.
+
+Scenario configs are plain dataclasses; persisting them lets runs be
+reproduced exactly from an artefact (`repro-cli simulate --config x.json`)
+and lets users version their tuned scenarios.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import IO, Any, Dict
+
+from repro.simnet.config import (
+    FarmSpec,
+    FleetSpec,
+    GfwEraConfig,
+    ScenarioConfig,
+)
+
+
+def config_to_dict(config: ScenarioConfig) -> Dict[str, Any]:
+    """A JSON-serializable dict (nested dataclasses become dicts)."""
+    raw = dataclasses.asdict(config)
+    # JSON objects key by strings; mark int-keyed mappings for round-trip
+    raw["responsive_org_shares"] = {
+        str(asn): share for asn, share in config.responsive_org_shares.items()
+    }
+    return raw
+
+
+def config_from_dict(data: Dict[str, Any]) -> ScenarioConfig:
+    """Rebuild a :class:`ScenarioConfig` from :func:`config_to_dict` output."""
+    payload = dict(data)
+    payload["farms"] = tuple(FarmSpec(**farm) for farm in payload.get("farms", ()))
+    payload["fleets"] = tuple(FleetSpec(**fleet) for fleet in payload.get("fleets", ()))
+    payload["gfw_eras"] = tuple(
+        GfwEraConfig(**era) for era in payload.get("gfw_eras", ())
+    )
+    payload["gfw_as_shares"] = tuple(
+        (int(asn), float(share)) for asn, share in payload.get("gfw_as_shares", ())
+    )
+    payload["blocked_domains"] = tuple(payload.get("blocked_domains", ()))
+    payload["responsive_org_shares"] = {
+        int(asn): float(share)
+        for asn, share in payload.get("responsive_org_shares", {}).items()
+    }
+    payload["top_list_aliased_rates"] = {
+        str(name): float(rate)
+        for name, rate in payload.get("top_list_aliased_rates", {}).items()
+    }
+    payload["dns_behavior_weights"] = {
+        str(name): float(weight)
+        for name, weight in payload.get("dns_behavior_weights", {}).items()
+    }
+    field_names = {field.name for field in dataclasses.fields(ScenarioConfig)}
+    unknown = set(payload) - field_names
+    if unknown:
+        raise ValueError(f"unknown config fields: {sorted(unknown)}")
+    return ScenarioConfig(**payload)
+
+
+def save_config(config: ScenarioConfig, stream: IO[str]) -> None:
+    """Write a config as pretty-printed JSON."""
+    json.dump(config_to_dict(config), stream, indent=2, sort_keys=True)
+    stream.write("\n")
+
+
+def load_config(stream: IO[str]) -> ScenarioConfig:
+    """Read a config written by :func:`save_config`."""
+    return config_from_dict(json.load(stream))

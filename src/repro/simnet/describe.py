@@ -1,0 +1,97 @@
+"""World introspection: structured summaries of a built scenario.
+
+Debugging a scenario ("why is this AS over-represented?") needs a view
+of the constructed ground truth; these helpers summarize it without
+touching any probe path.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.analysis.formatting import ascii_table, si_format
+from repro.protocols import ALL_PROTOCOLS, Protocol
+from repro.simnet.aliases import RegionKind
+from repro.simnet.internet import SimInternet
+
+
+@dataclass
+class WorldSummary:
+    """Structured inventory of one built world."""
+
+    host_count: int = 0
+    hosts_by_protocol: Dict[str, int] = field(default_factory=dict)
+    region_count: int = 0
+    regions_by_kind: Dict[str, int] = field(default_factory=dict)
+    regions_by_length: Dict[int, int] = field(default_factory=dict)
+    fleet_count: int = 0
+    fleet_devices: int = 0
+    domain_count: int = 0
+    announced_prefixes: int = 0
+    announcing_asns: int = 0
+    chinese_asns: int = 0
+    top_host_asns: List[Tuple[str, int]] = field(default_factory=list)
+
+    def render(self) -> str:
+        """Human-readable overview."""
+        rows = [
+            ["hosts", si_format(self.host_count)],
+            ["fully responsive regions", self.region_count],
+            ["CPE fleets (devices)", f"{self.fleet_count} ({si_format(self.fleet_devices)})"],
+            ["domains", si_format(self.domain_count)],
+            ["announced prefixes", self.announced_prefixes],
+            ["announcing ASes", self.announcing_asns],
+            ["Chinese ASes", self.chinese_asns],
+        ]
+        for label, count in self.hosts_by_protocol.items():
+            rows.append([f"hosts answering {label}", si_format(count)])
+        for kind, count in sorted(self.regions_by_kind.items()):
+            rows.append([f"regions [{kind}]", count])
+        overview = ascii_table(["metric", "value"], rows, title="World summary")
+        top = ascii_table(
+            ["AS", "hosts"],
+            [[name, count] for name, count in self.top_host_asns],
+            title="\nTop ASes by host count",
+        )
+        return overview + "\n" + top
+
+
+def describe_world(internet: SimInternet, top: int = 8) -> WorldSummary:
+    """Build the inventory for one world."""
+    summary = WorldSummary()
+    summary.host_count = len(internet.hosts)
+    protocol_counts = {protocol.label: 0 for protocol in ALL_PROTOCOLS}
+    asn_counter: Counter = Counter()
+    rib = internet.routing.base
+    for address, record in internet.hosts.items():
+        for protocol in ALL_PROTOCOLS:
+            if record.protocols & protocol:
+                protocol_counts[protocol.label] += 1
+        asn = rib.origin_as(address)
+        if asn is not None:
+            asn_counter[asn] += 1
+    summary.hosts_by_protocol = protocol_counts
+
+    summary.region_count = len(internet.regions)
+    kind_counter: Counter = Counter()
+    length_counter: Counter = Counter()
+    for region in internet.regions:
+        kind_counter[region.kind.value] += 1
+        length_counter[region.prefix.length] += 1
+    summary.regions_by_kind = dict(kind_counter)
+    summary.regions_by_length = dict(length_counter)
+
+    fleets = internet.topology.fleets
+    summary.fleet_count = len(fleets)
+    summary.fleet_devices = sum(fleet.device_count for fleet in fleets)
+    summary.domain_count = internet.zone.domain_count
+    summary.announced_prefixes = rib.prefix_count
+    summary.announcing_asns = len(rib.announcing_asns())
+    summary.chinese_asns = len(internet.registry.chinese_asns())
+    summary.top_host_asns = [
+        (internet.registry.name(asn), count)
+        for asn, count in asn_counter.most_common(top)
+    ]
+    return summary

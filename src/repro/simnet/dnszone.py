@@ -1,0 +1,99 @@
+"""A synthetic global DNS zone: domains, AAAA/NS/MX records, top lists.
+
+Stands in for the paper's institutional DNS scans (Sec. 3.2): >300 M
+domains from CZDS/CT/cc-TLDs resolved to AAAA, NS and MX records, plus
+the Alexa, Majestic and Umbrella 1 M top lists.  The scenario builder
+places a realistic share of domains inside CDN fully responsive prefixes
+so the Sec. 5.2 analysis (how many domains would alias filtering exclude)
+has something to find.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+#: Canonical top list names used throughout analysis outputs.
+TOP_LIST_NAMES = ("alexa", "majestic", "umbrella")
+
+
+@dataclass(frozen=True)
+class Domain:
+    """One registered domain and its resolution results.
+
+    ``ranks`` maps top list name → 1-based rank for domains present on a
+    top list.
+    """
+
+    name: str
+    addresses: Tuple[int, ...] = ()
+    ns_hosts: Tuple[str, ...] = ()
+    mx_hosts: Tuple[str, ...] = ()
+    ranks: Mapping[str, int] = field(default_factory=dict)
+
+    def rank(self, top_list: str) -> Optional[int]:
+        """The domain's rank on ``top_list``, if listed."""
+        return self.ranks.get(top_list)
+
+
+class DnsZone:
+    """The resolvable universe: domains plus NS/MX host records."""
+
+    def __init__(self) -> None:
+        self._domains: Dict[str, Domain] = {}
+        self._host_records: Dict[str, Tuple[int, ...]] = {}
+        self._top_lists: Dict[str, List[str]] = {name: [] for name in TOP_LIST_NAMES}
+
+    def add_domain(self, domain: Domain) -> None:
+        """Register a domain; duplicate names must be identical."""
+        existing = self._domains.get(domain.name)
+        if existing is not None and existing != domain:
+            raise ValueError(f"conflicting records for {domain.name}")
+        self._domains[domain.name] = domain
+        for top_list, rank in domain.ranks.items():
+            entries = self._top_lists.setdefault(top_list, [])
+            entries.append(domain.name)
+            del rank  # ordering is finalized in `finalize`
+
+    def add_host_record(self, hostname: str, addresses: Sequence[int]) -> None:
+        """Register AAAA records for an NS/MX host name."""
+        self._host_records[hostname] = tuple(addresses)
+
+    def finalize(self) -> None:
+        """Sort top lists by rank after all domains are added."""
+        for top_list, names in self._top_lists.items():
+            names.sort(key=lambda name: self._domains[name].ranks[top_list])
+
+    def domain(self, name: str) -> Optional[Domain]:
+        """Lookup one domain record."""
+        return self._domains.get(name)
+
+    def resolve_aaaa(self, name: str) -> Tuple[int, ...]:
+        """AAAA resolution for a domain or an NS/MX host name."""
+        domain = self._domains.get(name)
+        if domain is not None:
+            return domain.addresses
+        return self._host_records.get(name, ())
+
+    def domains(self) -> Iterator[Domain]:
+        """Iterate every registered domain."""
+        return iter(self._domains.values())
+
+    def host_records(self) -> Iterator[Tuple[str, Tuple[int, ...]]]:
+        """Iterate ``(hostname, addresses)`` for NS/MX hosts."""
+        return iter(self._host_records.items())
+
+    def top_list(self, name: str, limit: Optional[int] = None) -> List[str]:
+        """Domain names on a top list, best rank first."""
+        entries = self._top_lists.get(name, [])
+        return entries[:limit] if limit is not None else list(entries)
+
+    @property
+    def domain_count(self) -> int:
+        """Number of registered domains."""
+        return len(self._domains)
+
+    @property
+    def host_record_count(self) -> int:
+        """Number of registered NS/MX host records."""
+        return len(self._host_records)

@@ -1,0 +1,70 @@
+"""Ground-truth host records and their temporal responsiveness."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro._util import mix64
+
+_UINT64_SPAN = float(1 << 64)
+
+
+class DnsBehavior(enum.Enum):
+    """How a UDP/53-responsive host answers an unsolicited recursive query.
+
+    Matches the categories of the paper's hash-subdomain control
+    experiment (Sec. 4.2): 93.8 % of real DNS responders return errors
+    (authoritative servers / closed resolvers), 4.6 % resolve correctly,
+    a few hundred return referrals, 15 resolve through a different
+    egress address, and ~1.1 % respond garbage.
+    """
+
+    NOT_DNS = "not_dns"
+    AUTH_OR_CLOSED = "auth_or_closed"  # valid response, error status
+    OPEN_RESOLVER = "open_resolver"  # resolves; query visible at our NS
+    REFERRAL = "referral"  # refers to root / parent zone
+    PROXY_RESOLVER = "proxy_resolver"  # resolves via a different egress
+    BROKEN = "broken"  # wrong status codes, localhost, …
+
+
+@dataclass(frozen=True)
+class HostRecord:
+    """One assigned, potentially responsive IPv6 host.
+
+    Responsiveness varies over time: a host exists in ``[born_day,
+    dead_day)`` and within that window is up during a fraction
+    ``stability`` of its flap epochs.  The up/down decision is a pure
+    function of (address, epoch), so repeated probes within an epoch are
+    consistent — exactly what the hitlist's merge-with-previous-scans
+    logic relies on.
+    """
+
+    protocols: int
+    born_day: int = 0
+    dead_day: Optional[int] = None
+    stability: float = 1.0
+    flap_period: int = 30
+    fingerprint_id: int = 0
+    dns_behavior: DnsBehavior = DnsBehavior.NOT_DNS
+
+    def exists(self, day: int) -> bool:
+        """True when the host is assigned on ``day``."""
+        if day < self.born_day:
+            return False
+        return self.dead_day is None or day < self.dead_day
+
+    def is_up(self, address: int, day: int, seed: int = 0) -> bool:
+        """True when the host answers probes on ``day``."""
+        if not self.exists(day):
+            return False
+        if self.stability >= 1.0:
+            return True
+        epoch = day // max(self.flap_period, 1)
+        draw = mix64((address & 0xFFFFFFFFFFFFFFFF) ^ (address >> 64) ^ mix64(epoch ^ seed))
+        return draw / _UINT64_SPAN < self.stability
+
+    def responds(self, address: int, protocol: int, day: int, seed: int = 0) -> bool:
+        """True when the host answers a probe of ``protocol`` on ``day``."""
+        return bool(self.protocols & protocol) and self.is_up(address, day, seed)

@@ -1,0 +1,379 @@
+"""The probe oracle: every scanner question is answered here.
+
+:class:`SimInternet` owns the ground truth (hosts, fully responsive
+regions, GFW, DNS zone, router topology) and answers probes
+deterministically as a function of (address, protocol, day).  Packet loss
+is *not* modelled here — the scanner layer injects loss so the oracle
+stays a pure function of time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro._util import mix64
+from repro.asn.registry import AsRegistry
+from repro.asn.rib import RoutingHistory
+from repro.net.eui64 import OuiRegistry
+from repro.net.trie import PrefixTrie
+from repro.protocols import (
+    DnsAnswer,
+    DnsResponse,
+    DnsStatus,
+    Protocol,
+    RecordType,
+    TcpFingerprint,
+)
+from repro.simnet.aliases import FullyResponsiveRegion
+from repro.simnet.dnszone import DnsZone
+from repro.simnet.gfwsim import GreatFirewall
+from repro.simnet.hosts import DnsBehavior, HostRecord
+from repro.simnet.routers import RouterTopology
+
+_IPV6_MIN_MTU = 1280
+_DEFAULT_MTU = 1500
+
+
+@dataclass(frozen=True)
+class EchoReply:
+    """An ICMP echo reply as seen by the prober."""
+
+    responder: int
+    size: int
+    fragmented: bool
+
+
+@dataclass
+class ControlNsQuery:
+    """One query that arrived at our control-domain name server."""
+
+    qname: str
+    source: int
+
+
+@dataclass
+class GroundTruthNotes:
+    """Builder-produced bookkeeping for evaluation and examples.
+
+    Not visible to any detector; used by benches to compare measured
+    results against the ground truth (e.g. true responsive population).
+    """
+
+    labels: Dict[str, Set[int]] = field(default_factory=dict)
+    data: Dict[str, object] = field(default_factory=dict)
+
+    def add(self, label: str, addresses: Iterable[int]) -> None:
+        """Record a labelled ground-truth address set."""
+        self.labels.setdefault(label, set()).update(addresses)
+
+    def get(self, label: str) -> Set[int]:
+        """A labelled set (empty when unknown)."""
+        return self.labels.get(label, set())
+
+
+class SimInternet:
+    """Deterministic ground-truth oracle for all probe types."""
+
+    def __init__(
+        self,
+        registry: AsRegistry,
+        routing: RoutingHistory,
+        hosts: Dict[int, HostRecord],
+        regions: Iterable[FullyResponsiveRegion],
+        gfw: GreatFirewall,
+        zone: DnsZone,
+        topology: RouterTopology,
+        oui_registry: OuiRegistry,
+        control_domain: str = "ipv6-research-control.example",
+        control_aaaa: int = 0x20010DB8_0000_0000_0000_0000_0000_0053,
+        fingerprint_table: Optional[Dict[int, TcpFingerprint]] = None,
+        seed: int = 0,
+    ) -> None:
+        self.registry = registry
+        self.routing = routing
+        self.hosts = hosts
+        self.gfw = gfw
+        self.zone = zone
+        self.topology = topology
+        self.oui_registry = oui_registry
+        self.control_domain = control_domain.lower()
+        self.control_aaaa = control_aaaa
+        self.ground_truth = GroundTruthNotes()
+        self._seed = seed
+        self._fingerprints = fingerprint_table or {}
+
+        self._region_trie: PrefixTrie[FullyResponsiveRegion] = PrefixTrie()
+        self._regions: List[FullyResponsiveRegion] = []
+        self._long_region_slash64s: Set[int] = set()
+        for region in regions:
+            self.add_region(region)
+
+        # /64-keyed cache of region lookups (valid only where no region is
+        # more specific than /64); dramatically cuts trie walks because scan
+        # inputs revisit the same /64s for years.
+        self._region_cache: Dict[int, Optional[FullyResponsiveRegion]] = {}
+
+        # PMTU caches keyed by FullyResponsiveRegion.pmtu_cache_key or, for
+        # plain hosts, ("host", address).  Mutated by Packet Too Big
+        # messages — the only stateful part of the oracle.
+        self._pmtu_caches: Dict[tuple, int] = {}
+
+        self.control_ns_log: List[ControlNsQuery] = []
+
+        # per-day cache of currently ping-responsive CPE addresses
+        self._cpe_cache_day: Optional[int] = None
+        self._cpe_cache: Set[int] = set()
+
+        # /64-keyed origin-AS cache, valid per routing snapshot (announced
+        # prefixes are never longer than /64, so the key is sound).
+        self._origin_cache: Dict[int, Optional[int]] = {}
+        self._origin_cache_snapshot: Optional[object] = None
+
+    # ------------------------------------------------------------------
+    # topology / bookkeeping
+
+    def add_region(self, region: FullyResponsiveRegion) -> None:
+        """Register one fully responsive region."""
+        self._region_trie[region.prefix] = region
+        self._regions.append(region)
+        if region.prefix.length > 64:
+            self._long_region_slash64s.add(region.prefix.value >> 64)
+
+    @property
+    def regions(self) -> Tuple[FullyResponsiveRegion, ...]:
+        """All ground-truth fully responsive regions."""
+        return tuple(self._regions)
+
+    def origin_as(self, address: int, day: int) -> Optional[int]:
+        """Origin AS for an address per the routing table of ``day``."""
+        snapshot = self.routing.snapshot_at(day)
+        if snapshot is not self._origin_cache_snapshot:
+            self._origin_cache.clear()
+            self._origin_cache_snapshot = snapshot
+        slash64 = address >> 64
+        try:
+            return self._origin_cache[slash64]
+        except KeyError:
+            origin = snapshot.origin_as(address)
+            self._origin_cache[slash64] = origin
+            return origin
+
+    def region_of(self, address: int, day: int) -> Optional[FullyResponsiveRegion]:
+        """The active fully responsive region covering ``address``, if any."""
+        slash64 = address >> 64
+        if slash64 in self._long_region_slash64s:
+            match = self._region_trie.longest_match(address)
+            region = None if match is None else match[1]
+        else:
+            try:
+                region = self._region_cache[slash64]
+            except KeyError:
+                match = self._region_trie.longest_match(address)
+                region = None if match is None else match[1]
+                self._region_cache[slash64] = region
+        if region is not None and region.active(day):
+            return region
+        return None
+
+    def host_of(self, address: int) -> Optional[HostRecord]:
+        """The ground-truth host assigned to ``address``, if any."""
+        return self.hosts.get(address)
+
+    # ------------------------------------------------------------------
+    # probing
+
+    def _responsive_cpe(self, day: int) -> Set[int]:
+        """Current addresses of ping-answering CPE devices (cached per day)."""
+        if self._cpe_cache_day != day:
+            current: Set[int] = set()
+            for fleet in self.topology.fleets:
+                if fleet.responsive_share > 0.0:
+                    current.update(fleet.responsive_addresses(day))
+            self._cpe_cache = current
+            self._cpe_cache_day = day
+        return self._cpe_cache
+
+    def responds(self, address: int, protocol: Protocol, day: int) -> bool:
+        """Would a probe of ``protocol`` towards ``address`` be answered?
+
+        Note: for UDP/53 this reports *target* responsiveness; GFW
+        injection is a property of the DNS probe path and only surfaces
+        through :meth:`dns_probe`.
+        """
+        region = self.region_of(address, day)
+        if region is not None and region.protocols & protocol:
+            return True
+        host = self.hosts.get(address)
+        if host is not None:
+            return host.responds(address, protocol, day, self._seed)
+        if protocol is Protocol.ICMP and address in self._responsive_cpe(day):
+            return True
+        return False
+
+    def response_mask(self, address: int, day: int) -> int:
+        """Responsive-protocol bitmask with a single ground-truth lookup.
+
+        Covers the four non-DNS protocols plus the target side of UDP/53
+        (injection excluded); the scanner's hot loop uses this instead of
+        five separate :meth:`responds` calls.
+        """
+        mask = 0
+        region = self.region_of(address, day)
+        if region is not None:
+            mask |= region.protocols
+        host = self.hosts.get(address)
+        if host is not None and host.is_up(address, day, self._seed):
+            mask |= host.protocols
+        if not mask & Protocol.ICMP and address in self._responsive_cpe(day):
+            mask |= Protocol.ICMP
+        return mask
+
+    def batch_responsive(
+        self, addresses: Iterable[int], protocol: Protocol, day: int
+    ) -> Set[int]:
+        """The subset of ``addresses`` that answers ``protocol`` probes."""
+        return {
+            address for address in addresses if self.responds(address, protocol, day)
+        }
+
+    def dns_probe(self, target: int, qname: str, day: int) -> List[DnsResponse]:
+        """All responses a UDP/53 query towards ``target`` provokes.
+
+        Includes GFW-injected forgeries (source-spoofed as the target)
+        and the target's genuine answer when it runs a DNS service.
+        """
+        target_asn = self.origin_as(target, day)
+        responses = self.gfw.inject(target, target_asn, qname, day)
+        genuine = self._genuine_dns_response(target, qname, day)
+        if genuine is not None:
+            responses.append(genuine)
+        return responses
+
+    def _genuine_dns_response(
+        self, target: int, qname: str, day: int
+    ) -> Optional[DnsResponse]:
+        region = self.region_of(target, day)
+        if region is not None and region.protocols & Protocol.UDP53:
+            behavior = region.dns_behavior
+        else:
+            host = self.hosts.get(target)
+            if host is None or not host.responds(target, Protocol.UDP53, day, self._seed):
+                return None
+            behavior = host.dns_behavior
+        return self._answer_as(behavior, target, qname, day)
+
+    def _answer_as(
+        self, behavior: DnsBehavior, target: int, qname: str, day: int
+    ) -> Optional[DnsResponse]:
+        if behavior in (DnsBehavior.NOT_DNS, DnsBehavior.AUTH_OR_CLOSED):
+            # Authoritative-only servers and closed resolvers answer the
+            # probe, but refuse to resolve a foreign name recursively.
+            return DnsResponse(responder=target, qname=qname, status=DnsStatus.REFUSED)
+        if behavior is DnsBehavior.REFERRAL:
+            answer = DnsAnswer(rtype=RecordType.NS, target="a.root-servers.net")
+            return DnsResponse(
+                responder=target, qname=qname, status=DnsStatus.NOERROR, answers=(answer,)
+            )
+        if behavior is DnsBehavior.BROKEN:
+            draw = mix64(target ^ mix64(day))
+            if draw % 2:
+                return DnsResponse(responder=target, qname=qname, status=DnsStatus.SERVFAIL)
+            answer = DnsAnswer(rtype=RecordType.AAAA, address=1)  # ::1, localhost
+            return DnsResponse(
+                responder=target, qname=qname, status=DnsStatus.NOERROR, answers=(answer,)
+            )
+        # Open and proxy resolvers actually resolve the name.
+        addresses = self.resolve_name(qname)
+        if not addresses:
+            return DnsResponse(responder=target, qname=qname, status=DnsStatus.NXDOMAIN)
+        if self._is_control_name(qname):
+            egress = target
+            if behavior is DnsBehavior.PROXY_RESOLVER:
+                egress = target ^ mix64(target) & 0xFFFF  # different interface
+            self.control_ns_log.append(ControlNsQuery(qname=qname, source=egress))
+        answers = tuple(
+            DnsAnswer(rtype=RecordType.AAAA, address=address) for address in addresses
+        )
+        return DnsResponse(
+            responder=target, qname=qname, status=DnsStatus.NOERROR, answers=answers
+        )
+
+    def _is_control_name(self, qname: str) -> bool:
+        lowered = qname.lower()
+        return lowered == self.control_domain or lowered.endswith(
+            "." + self.control_domain
+        )
+
+    def resolve_name(self, qname: str) -> Tuple[int, ...]:
+        """Authoritative AAAA resolution of any name in the simulation."""
+        if self._is_control_name(qname):
+            return (self.control_aaaa,)
+        return self.zone.resolve_aaaa(qname)
+
+    # ------------------------------------------------------------------
+    # TCP fingerprints
+
+    def tcp_fingerprint(self, address: int, day: int) -> Optional[TcpFingerprint]:
+        """Handshake features of a TCP/80 connection, if one completes."""
+        region = self.region_of(address, day)
+        if region is not None and region.protocols & (Protocol.TCP80 | Protocol.TCP443):
+            return region.fingerprint_for(address)
+        host = self.hosts.get(address)
+        if host is None:
+            return None
+        if not host.responds(address, Protocol.TCP80, day, self._seed) and not host.responds(
+            address, Protocol.TCP443, day, self._seed
+        ):
+            return None
+        return self._fingerprints.get(host.fingerprint_id)
+
+    # ------------------------------------------------------------------
+    # ICMP echo + Packet Too Big (the Too Big Trick substrate)
+
+    def _pmtu_key(self, address: int, day: int) -> Optional[tuple]:
+        region = self.region_of(address, day)
+        if region is not None and region.protocols & Protocol.ICMP:
+            if not region.answers_large_echo:
+                return None
+            return region.pmtu_cache_key(address)
+        host = self.hosts.get(address)
+        if host is not None and host.responds(address, Protocol.ICMP, day, self._seed):
+            return ("host", address)
+        return None
+
+    def icmp_echo(self, address: int, day: int, size: int = 56) -> Optional[EchoReply]:
+        """Send an ICMP echo request of ``size`` bytes.
+
+        Replies are fragmented when the responder's PMTU cache for our
+        path is smaller than the reply size.
+        """
+        if size <= _IPV6_MIN_MTU and not self.responds(address, Protocol.ICMP, day):
+            return None
+        key = self._pmtu_key(address, day)
+        if key is None:
+            return None
+        mtu = self._pmtu_caches.get(key, _DEFAULT_MTU)
+        return EchoReply(responder=address, size=size, fragmented=size > mtu)
+
+    def send_packet_too_big(self, address: int, day: int, mtu: int = _IPV6_MIN_MTU) -> bool:
+        """Deliver an ICMPv6 Packet Too Big to ``address``'s responder.
+
+        Returns True when some responder updated a PMTU cache.
+        """
+        key = self._pmtu_key(address, day)
+        if key is None:
+            return False
+        self._pmtu_caches[key] = mtu
+        return True
+
+    def reset_pmtu_caches(self) -> None:
+        """Expire all PMTU cache entries (between experiment runs)."""
+        self._pmtu_caches.clear()
+
+    # ------------------------------------------------------------------
+    # traceroute
+
+    def trace(self, target: int, day: int) -> List[int]:
+        """Hop addresses a traceroute towards ``target`` reveals."""
+        return self.topology.trace(target, self.origin_as(target, day), day)

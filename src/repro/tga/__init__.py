@@ -1,0 +1,45 @@
+"""Target generation algorithms (Sec. 6 of the paper).
+
+Reimplementations-in-kind of the algorithms the paper applied to the
+December 2021 responsive addresses — 6Tree (space-tree partitioning),
+6Graph (pattern-graph mining), 6GAN (generative sequence model), 6VecLM
+(vector-space nibble language model) — plus the paper's own *distance
+clustering* and the evaluation harness producing Tables 3/4 and
+Figures 7/8.
+
+All generators consume integer address seeds and return candidate sets;
+none of them scans (the paper disabled 6Tree's built-in scanning too and
+relied on the hitlist pipeline's alias detection instead).
+"""
+
+from repro.tga.base import GenerationResult, TargetGenerator
+from repro.tga.sixtree import SixTree
+from repro.tga.sixgraph import SixGraph
+from repro.tga.sixgan import SixGan
+from repro.tga.sixveclm import SixVecLm
+from repro.tga.distance_clustering import DistanceClustering
+from repro.tga.entropyip import EntropyIp
+from repro.tga.sixgcvae import SixGcVae
+from repro.tga.sixhit import SixHit, SixHitRound
+from repro.tga.evaluation import (
+    NewSourceEvaluation,
+    SourceReport,
+    evaluate_new_sources,
+)
+
+__all__ = [
+    "DistanceClustering",
+    "EntropyIp",
+    "GenerationResult",
+    "NewSourceEvaluation",
+    "SixGan",
+    "SixGcVae",
+    "SixGraph",
+    "SixHit",
+    "SixHitRound",
+    "SixTree",
+    "SixVecLm",
+    "SourceReport",
+    "TargetGenerator",
+    "evaluate_new_sources",
+]

@@ -1,0 +1,52 @@
+"""Common interface and helpers for target generation algorithms."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Sequence, Set
+
+
+@dataclass
+class GenerationResult:
+    """Output of one generation run."""
+
+    algorithm: str
+    candidates: Set[int] = field(default_factory=set)
+    seeds_used: int = 0
+
+    @property
+    def candidate_count(self) -> int:
+        """Number of generated candidates (seeds excluded)."""
+        return len(self.candidates)
+
+
+class TargetGenerator(abc.ABC):
+    """A candidate generator trained on responsive seed addresses.
+
+    Contract: ``generate`` returns *new* candidates only — seeds are
+    removed from the output, and the size respects ``budget``.
+    """
+
+    #: short name used in tables and figures
+    name: str = "generator"
+
+    def __init__(self, budget: int = 100_000) -> None:
+        if budget < 1:
+            raise ValueError("budget must be positive")
+        self.budget = budget
+
+    @abc.abstractmethod
+    def _generate(self, seeds: Sequence[int]) -> Set[int]:
+        """Produce raw candidates (may include seeds, may exceed budget)."""
+
+    def generate(self, seeds: Sequence[int]) -> GenerationResult:
+        """Run the algorithm with seed dedup and budget enforcement."""
+        unique_seeds = sorted(set(seeds))
+        raw = self._generate(unique_seeds)
+        raw.difference_update(unique_seeds)
+        if len(raw) > self.budget:
+            raw = set(sorted(raw)[: self.budget])
+        return GenerationResult(
+            algorithm=self.name, candidates=raw, seeds_used=len(unique_seeds)
+        )

@@ -1,0 +1,61 @@
+"""Distance clustering — the paper's own naive generation approach (Sec. 6.1).
+
+Clusters are maximal runs of seeds where consecutive addresses are at
+most ``max_distance`` apart (default 64); clusters with at least
+``min_cluster_size`` seeds (default 10) are considered intentionally,
+densely assigned regions, and every missing address inside the cluster's
+span is generated.  Despite its simplicity the paper found it beats the
+learning-based approaches on hit rate (~12 %).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Set
+
+from repro.tga.base import TargetGenerator
+
+
+class DistanceClustering(TargetGenerator):
+    """Fill the gaps inside dense seed clusters."""
+
+    name = "distance_clustering"
+
+    def __init__(
+        self,
+        budget: int = 50_000,
+        max_distance: int = 64,
+        min_cluster_size: int = 10,
+    ) -> None:
+        super().__init__(budget)
+        if max_distance < 1:
+            raise ValueError("max_distance must be positive")
+        if min_cluster_size < 2:
+            raise ValueError("min_cluster_size must be at least 2")
+        self.max_distance = max_distance
+        self.min_cluster_size = min_cluster_size
+
+    def clusters(self, seeds: Sequence[int]) -> List[List[int]]:
+        """Maximal runs of seeds with pairwise-consecutive distance bounded."""
+        ordered = sorted(set(seeds))
+        runs: List[List[int]] = []
+        current: List[int] = []
+        for seed in ordered:
+            if current and seed - current[-1] > self.max_distance:
+                if len(current) >= self.min_cluster_size:
+                    runs.append(current)
+                current = []
+            current.append(seed)
+        if len(current) >= self.min_cluster_size:
+            runs.append(current)
+        return runs
+
+    def _generate(self, seeds: Sequence[int]) -> Set[int]:
+        candidates: Set[int] = set()
+        for run in self.clusters(seeds):
+            members = set(run)
+            for value in range(run[0], run[-1] + 1):
+                if value not in members:
+                    candidates.add(value)
+                    if len(candidates) >= self.budget:
+                        return candidates
+        return candidates

@@ -1,0 +1,71 @@
+"""Entropy/IP-style generation (Foremski et al., IMC 2016) — an extension.
+
+The ancestor of the paper's TGA lineup: segment the 32 nibble positions
+by their entropy across the seeds, keep low-entropy positions fixed to
+their dominant values and sample high-entropy positions from the
+observed per-position value frequencies.  Not part of the paper's
+Sec. 6 roster (kept out of ``default_generators``), provided because the
+IPv6 Hitlist's original construction used it and downstream users expect
+it in a TGA toolbox.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from typing import List, Sequence, Set
+
+from repro._util import stable_hash
+from repro.net.nibbles import NIBBLES_PER_ADDRESS, nibble, nibble_entropy
+from repro.tga.base import TargetGenerator
+
+
+class EntropyIp(TargetGenerator):
+    """Entropy-segmented per-position sampling."""
+
+    name = "entropy_ip"
+
+    def __init__(
+        self,
+        budget: int = 20_000,
+        low_entropy_threshold: float = 0.30,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(budget)
+        if low_entropy_threshold < 0:
+            raise ValueError("threshold must be non-negative")
+        self._threshold = low_entropy_threshold
+        self._seed = seed
+
+    def _generate(self, seeds: Sequence[int]) -> Set[int]:
+        if len(seeds) < 4:
+            return set()
+        rng = random.Random(stable_hash(self._seed, "entropy-ip", len(seeds)))
+        distributions: List[List[int]] = []
+        weights: List[List[float]] = []
+        for position in range(NIBBLES_PER_ADDRESS):
+            counts = Counter(nibble(seed, position) for seed in seeds)
+            entropy = nibble_entropy(seeds, position)
+            if entropy <= self._threshold:
+                # low-entropy segment: pin to the dominant value
+                dominant = counts.most_common(1)[0][0]
+                distributions.append([dominant])
+                weights.append([1.0])
+            else:
+                values = sorted(counts)
+                distributions.append(values)
+                weights.append([float(counts[v]) for v in values])
+        candidates: Set[int] = set()
+        attempts = self.budget * 4
+        for _ in range(attempts):
+            if len(candidates) >= self.budget:
+                break
+            value = 0
+            for values, value_weights in zip(distributions, weights):
+                if len(values) == 1:
+                    chosen = values[0]
+                else:
+                    chosen = rng.choices(values, value_weights)[0]
+                value = (value << 4) | chosen
+            candidates.add(value)
+        return candidates

@@ -1,0 +1,112 @@
+"""6GAN (Cui et al., INFOCOM 2021) — simplified generative reimplementation.
+
+The original trains per-pattern sequence GANs with reinforcement
+feedback.  Offline and dependency-free, we keep the architecture's
+essence — *cluster-conditioned generative sequence modelling with a
+discriminator pass* — but replace the adversarial networks with an
+order-2 nibble Markov model per seed cluster and a log-likelihood
+discriminator that keeps only the most plausible samples.
+
+The paper could not reproduce 6GAN's published hit rates either (it
+found 4.3 k responsive out of 3.3 M generated, ~0.1 %); what matters for
+the reproduction is the *mechanism* (sampling from a smoothed sequence
+distribution scatters probes across pattern space) and the resulting
+ordering far below 6Tree/6Graph — which this implementation preserves.
+The simplification is documented in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import defaultdict
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro._util import stable_hash
+from repro.net.nibbles import nibbles
+from repro.tga.base import TargetGenerator
+
+
+class _MarkovModel:
+    """Order-2 per-position nibble transition model with add-k smoothing."""
+
+    def __init__(self, members: Sequence[int], smoothing: float = 0.05) -> None:
+        self._counts: Dict[Tuple[int, int, int], List[float]] = defaultdict(
+            lambda: [smoothing] * 16
+        )
+        for seed in members:
+            sequence = nibbles(seed)
+            previous2, previous1 = 0, 0
+            for position, value in enumerate(sequence):
+                self._counts[(position, previous2, previous1)][value] += 1.0
+                previous2, previous1 = previous1, value
+
+    def sample(self, rng: random.Random) -> Tuple[int, float]:
+        """Draw one address and return (value, log-likelihood proxy)."""
+        import math
+
+        value = 0
+        previous2, previous1 = 0, 0
+        score = 0.0
+        for position in range(32):
+            weights = self._counts[(position, previous2, previous1)]
+            total = sum(weights)
+            draw = rng.random() * total
+            cumulative = 0.0
+            chosen = 15
+            for candidate, weight in enumerate(weights):
+                cumulative += weight
+                if draw < cumulative:
+                    chosen = candidate
+                    break
+            score += math.log(weights[chosen] / total)
+            value = (value << 4) | chosen
+            previous2, previous1 = previous1, chosen
+        return value, score
+
+
+class SixGan(TargetGenerator):
+    """Cluster-conditioned generative sampler with a discriminator pass."""
+
+    name = "6gan"
+
+    def __init__(
+        self,
+        budget: int = 4_000,
+        clusters: int = 6,
+        oversample: float = 2.0,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(budget)
+        self._cluster_count = clusters
+        self._oversample = oversample
+        self._seed = seed
+
+    @staticmethod
+    def _cluster_key(address: int, count: int) -> int:
+        """Coarse pattern clusters by the /32 network (address family)."""
+        return (address >> 96) % count
+
+    def _generate(self, seeds: Sequence[int]) -> Set[int]:
+        if len(seeds) < 4:
+            return set()
+        rng = random.Random(stable_hash(self._seed, "6gan", len(seeds)))
+        seed_set = set(seeds)
+        clusters: Dict[int, List[int]] = defaultdict(list)
+        for seed in seeds:
+            clusters[self._cluster_key(seed, self._cluster_count)].append(seed)
+        sized = [members for members in clusters.values() if len(members) >= 4]
+        if not sized:
+            return set()
+        total_weight = sum(len(members) for members in sized)
+        scored: List[Tuple[float, int]] = []
+        for members in sized:
+            model = _MarkovModel(members)
+            share = len(members) / total_weight
+            samples = int(self.budget * self._oversample * share) + 1
+            for _ in range(samples):
+                value, score = model.sample(rng)
+                if value not in seed_set:  # replicas carry no discovery value
+                    scored.append((score, value))
+        # discriminator pass: keep the most plausible novel candidates
+        scored.sort(key=lambda item: -item[0])
+        return {value for _score, value in scored[: int(self.budget * 1.2)]}

@@ -1,0 +1,81 @@
+"""6GCVAE (Cui et al., PAKDD 2020) — simplified latent-variable generator.
+
+The original trains a gated convolutional variational autoencoder on
+address sequences and samples new targets from the latent space.  The
+dependency-free stand-in keeps the architecture's essence — *learn a
+compressed latent representation of seed structure, then decode samples
+drawn around it* — using probabilistic PCA: an SVD latent space over the
+nibble matrix, Gaussian sampling in latent coordinates, and decoding
+with clamping to the nibble alphabet.
+
+Like 6GAN/6VecLM, the paper's related work reports modest hit rates for
+generative approaches; this implementation exists for library
+completeness (it is not part of the Sec. 6 roster).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Set
+
+import numpy as np
+
+from repro._util import stable_hash
+from repro.net.nibbles import NIBBLES_PER_ADDRESS, nibbles
+from repro.tga.base import TargetGenerator
+
+
+class SixGcVae(TargetGenerator):
+    """PPCA latent-space sampler over nibble vectors."""
+
+    name = "6gcvae"
+
+    def __init__(
+        self,
+        budget: int = 10_000,
+        latent_dimensions: int = 8,
+        temperature: float = 0.6,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(budget)
+        if latent_dimensions < 1:
+            raise ValueError("latent_dimensions must be positive")
+        if temperature <= 0:
+            raise ValueError("temperature must be positive")
+        self._latent = latent_dimensions
+        self._temperature = temperature
+        self._seed = seed
+
+    def _generate(self, seeds: Sequence[int]) -> Set[int]:
+        if len(seeds) < 8:
+            return set()
+        rng = np.random.default_rng(stable_hash(self._seed, "6gcvae", len(seeds)))
+        matrix = np.array([nibbles(seed) for seed in seeds], dtype=np.float64)
+        mean = matrix.mean(axis=0)
+        centered = matrix - mean
+        # encoder: truncated SVD latent space
+        _u, singular, vt = np.linalg.svd(centered, full_matrices=False)
+        k = min(self._latent, len(singular))
+        basis = vt[:k]
+        scale = singular[:k] / np.sqrt(max(len(seeds) - 1, 1))
+        latent_codes = centered @ basis.T / np.maximum(scale, 1e-9)
+
+        candidates: Set[int] = set()
+        attempts = self.budget * 4
+        batch = 512
+        produced = 0
+        while len(candidates) < self.budget and produced < attempts:
+            produced += batch
+            # decoder: sample around observed latent codes
+            picks = rng.integers(0, len(latent_codes), size=batch)
+            noise = rng.normal(0.0, self._temperature, size=(batch, k))
+            z = latent_codes[picks] + noise
+            decoded = mean + (z * scale) @ basis
+            values = np.clip(np.rint(decoded), 0, 15).astype(np.int64)
+            for row in values:
+                address = 0
+                for nibble_value in row:
+                    address = (address << 4) | int(nibble_value)
+                candidates.add(address)
+                if len(candidates) >= self.budget:
+                    break
+        return candidates

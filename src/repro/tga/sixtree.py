@@ -1,0 +1,118 @@
+"""6Tree (Liu et al., Computer Networks 2019): space-tree target generation.
+
+Builds a space tree over the seed addresses by divisive hierarchical
+clustering on the nibble representation: each node splits its seeds on
+the leftmost nibble position where they disagree.  Leaves describe dense
+address regions; generation expands each leaf conservatively — the
+rightmost varying nibble is swept over all 16 values while other varying
+nibbles keep their observed values.
+
+The paper runs 6Tree in generation-only mode (its built-in scanning and
+alias heuristics disabled) and relies on the hitlist's aliased prefix
+detection instead; this implementation is generation-only by design.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.net.nibbles import NIBBLES_PER_ADDRESS, nibble
+from repro.tga.base import TargetGenerator
+
+_Region = Tuple[Tuple[int, ...], List[int]]  # (varying positions, member seeds)
+
+
+class SixTree(TargetGenerator):
+    """Space-tree (DHC) generator."""
+
+    name = "6tree"
+
+    def __init__(
+        self,
+        budget: int = 40_000,
+        leaf_size: int = 16,
+        max_leaf_candidates: int = 4_096,
+    ) -> None:
+        super().__init__(budget)
+        if leaf_size < 2:
+            raise ValueError("leaf_size must be at least 2")
+        self._leaf_size = leaf_size
+        self._max_leaf_candidates = max_leaf_candidates
+
+    # ------------------------------------------------------------------
+    # space tree construction
+
+    def _split(self, seeds: List[int], position: int, leaves: List[_Region]) -> None:
+        """Recursive DHC: split on the first disagreeing nibble."""
+        while position < NIBBLES_PER_ADDRESS:
+            first = nibble(seeds[0], position)
+            if any(nibble(seed, position) != first for seed in seeds[1:]):
+                break
+            position += 1
+        else:
+            return  # identical seeds: nothing to expand
+        if len(seeds) <= self._leaf_size:
+            varying = tuple(
+                p
+                for p in range(position, NIBBLES_PER_ADDRESS)
+                if len({nibble(seed, p) for seed in seeds}) > 1
+            )
+            if varying:
+                leaves.append((varying, seeds))
+            return
+        groups: Dict[int, List[int]] = {}
+        for seed in seeds:
+            groups.setdefault(nibble(seed, position), []).append(seed)
+        if len(groups) == 1:  # defensive; cannot happen after the scan above
+            return
+        for group in groups.values():
+            if len(group) >= 2:
+                self._split(group, position + 1, leaves)
+
+    # ------------------------------------------------------------------
+    # generation
+
+    def _expand_leaf(self, region: _Region) -> Set[int]:
+        varying, seeds = region
+        rightmost = varying[-1]
+        observed: Dict[int, List[int]] = {
+            p: sorted({nibble(seed, p) for seed in seeds}) for p in varying
+        }
+        dimensions: List[List[int]] = []
+        for p in varying:
+            if p == rightmost:
+                dimensions.append(list(range(16)))
+            else:
+                dimensions.append(observed[p])
+        space = 1
+        for dim in dimensions:
+            space *= len(dim)
+        if space > self._max_leaf_candidates:
+            return set()
+        template = seeds[0]
+        clear_mask = 0
+        for p in varying:
+            clear_mask |= 0xF << (4 * (31 - p))
+        base = template & ~clear_mask
+        candidates: Set[int] = set()
+        for combo in itertools.product(*dimensions):
+            value = base
+            for p, v in zip(varying, combo):
+                value |= v << (4 * (31 - p))
+            candidates.add(value)
+        return candidates
+
+    def _generate(self, seeds: Sequence[int]) -> Set[int]:
+        if len(seeds) < 2:
+            return set()
+        leaves: List[_Region] = []
+        self._split(list(seeds), 0, leaves)
+        # densest leaves first: most seeds per potential candidate
+        leaves.sort(key=lambda region: -len(region[1]) / (16 ** len(region[0])))
+        candidates: Set[int] = set()
+        for region in leaves:
+            if len(candidates) >= self.budget:
+                break
+            candidates |= self._expand_leaf(region)
+        return candidates

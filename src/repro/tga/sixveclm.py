@@ -1,0 +1,102 @@
+"""6VecLM (Cui et al., ECML-PKDD 2021) — simplified vector-space LM.
+
+The original embeds (position, nibble) words into a vector space
+(word2vec) and generates addresses with a Transformer language model and
+temperature sampling over cosine similarity.  Offline, we keep the
+vector-space core: embeddings come from a truncated SVD of the
+(position, nibble) co-occurrence matrix over the seeds, and generation
+walks positions left to right sampling among the nearest next-word
+vectors with a temperature.  The simplification (SVD + softmax walk
+instead of a Transformer) is documented in DESIGN.md.
+
+As in the paper, the method generates a comparatively small candidate
+set with a low hit rate — its role in the evaluation is the ordering,
+which this implementation preserves.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Set
+
+import numpy as np
+
+from repro._util import stable_hash
+from repro.net.nibbles import NIBBLES_PER_ADDRESS, nibbles
+from repro.tga.base import TargetGenerator
+
+_VOCAB = NIBBLES_PER_ADDRESS * 16  # (position, nibble) words
+
+
+def _word(position: int, value: int) -> int:
+    return position * 16 + value
+
+
+class SixVecLm(TargetGenerator):
+    """Vector-space nibble language model."""
+
+    name = "6veclm"
+
+    def __init__(
+        self,
+        budget: int = 2_000,
+        dimensions: int = 24,
+        temperature: float = 0.35,
+        top_k: int = 4,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(budget)
+        if not 0.0 < temperature:
+            raise ValueError("temperature must be positive")
+        self._dimensions = dimensions
+        self._temperature = temperature
+        self._top_k = top_k
+        self._seed = seed
+
+    def _embed(self, seeds: Sequence[int]) -> np.ndarray:
+        """Word embeddings from the co-occurrence matrix (SVD truncation)."""
+        cooc = np.zeros((_VOCAB, _VOCAB), dtype=np.float32)
+        for seed in seeds:
+            sequence = nibbles(seed)
+            words = [_word(p, v) for p, v in enumerate(sequence)]
+            for index in range(len(words) - 1):
+                cooc[words[index], words[index + 1]] += 1.0
+                cooc[words[index + 1], words[index]] += 1.0
+        cooc = np.log1p(cooc)
+        u, s, _vt = np.linalg.svd(cooc, full_matrices=False)
+        k = min(self._dimensions, len(s))
+        return u[:, :k] * s[:k]
+
+    def _generate(self, seeds: Sequence[int]) -> Set[int]:
+        if len(seeds) < 4:
+            return set()
+        rng = random.Random(stable_hash(self._seed, "6veclm", len(seeds)))
+        embeddings = self._embed(seeds)
+        # transition statistics restrict the candidate vocabulary per step
+        successors: List[Set[int]] = [set() for _ in range(NIBBLES_PER_ADDRESS)]
+        for seed in seeds:
+            for position, value in enumerate(nibbles(seed)):
+                successors[position].add(value)
+        candidates: Set[int] = set()
+        attempts = self.budget * 4
+        for _ in range(attempts):
+            if len(candidates) >= self.budget:
+                break
+            value = 0
+            previous_vec = None
+            for position in range(NIBBLES_PER_ADDRESS):
+                choices = sorted(successors[position])
+                if previous_vec is None or len(choices) == 1:
+                    chosen = rng.choice(choices)
+                else:
+                    vectors = embeddings[[_word(position, c) for c in choices]]
+                    scores = vectors @ previous_vec
+                    scores = scores - scores.max()
+                    order = np.argsort(-scores)[: self._top_k]
+                    weights = np.exp(scores[order] / self._temperature)
+                    weights = weights / weights.sum()
+                    chosen = choices[int(rng.choices(order.tolist(), weights.tolist())[0])]
+                value = (value << 4) | chosen
+                previous_vec = embeddings[_word(position, chosen)]
+            candidates.add(value)
+        return candidates

@@ -1,0 +1,22 @@
+"""Fixtures: one small world + short history shared by analysis tests."""
+
+import pytest
+
+from repro.hitlist import HitlistService
+from repro.simnet import build_internet, small_config
+
+
+@pytest.fixture(scope="session")
+def small_world():
+    return build_internet(small_config())
+
+
+@pytest.fixture(scope="session")
+def short_history(small_world):
+    service = HitlistService(small_world, small_config())
+    return service.run(list(range(0, 140, 7)))
+
+
+@pytest.fixture(scope="session")
+def final_rib(small_world):
+    return small_world.routing.snapshot_at(10_000)

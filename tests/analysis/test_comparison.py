@@ -1,0 +1,57 @@
+"""Tests for run comparison."""
+
+import pytest
+
+from repro.analysis.comparison import MetricDelta, compare_summaries
+from repro.hitlist.history_io import history_summary
+
+
+class TestMetricDelta:
+    def test_delta_and_ratio(self):
+        delta = MetricDelta(metric="x", a=10, b=25)
+        assert delta.delta == 15
+        assert delta.ratio == 2.5
+
+    def test_zero_baseline(self):
+        assert MetricDelta(metric="x", a=0, b=5).ratio == float("inf")
+
+
+class TestCompareSummaries:
+    def test_self_comparison_is_identity(self, short_history):
+        summary = history_summary(short_history)
+        comparison = compare_summaries(summary, summary, "run", "run")
+        assert comparison.deltas
+        for delta in comparison.deltas:
+            assert delta.delta == 0
+            assert delta.ratio == 1.0 or delta.a == 0
+
+    def test_detects_differences(self, short_history):
+        summary_a = history_summary(short_history)
+        summary_b = dict(summary_a)
+        summary_b["input_total"] = summary_a["input_total"] * 2
+        comparison = compare_summaries(summary_a, summary_b)
+        input_delta = comparison.get("accumulated input")
+        assert input_delta.ratio == 2.0
+
+    def test_lookup_unknown_metric(self, short_history):
+        summary = history_summary(short_history)
+        comparison = compare_summaries(summary, summary)
+        with pytest.raises(KeyError):
+            comparison.get("nonexistent")
+
+    def test_render(self, short_history):
+        summary = history_summary(short_history)
+        text = compare_summaries(summary, summary, "base", "variant").render()
+        assert "Run comparison" in text
+        assert "base" in text and "variant" in text
+
+    def test_empty_summary_rejected(self):
+        with pytest.raises(ValueError):
+            compare_summaries({"snapshots": []}, {"snapshots": []})
+
+    def test_per_protocol_metrics_present(self, short_history):
+        summary = history_summary(short_history)
+        comparison = compare_summaries(summary, summary)
+        metrics = {delta.metric for delta in comparison.deltas}
+        assert "final UDP/53 (cleaned)" in metrics
+        assert "peak published UDP/53" in metrics

@@ -1,0 +1,47 @@
+"""Tests for routed-internet coverage metrics (Sec. 4.1)."""
+
+from repro.analysis.coverage import coverage_report
+from repro.asn.rib import RibSnapshot
+from repro.net.prefix import parse_prefix
+
+
+class TestCoverageReport:
+    def _rib(self):
+        rib = RibSnapshot()
+        rib.announce(parse_prefix("2400::/32"), 1)
+        rib.announce(parse_prefix("2600::/32"), 2)
+        rib.announce(parse_prefix("2600:0:1::/48"), 3)
+        return rib
+
+    def test_basic_shares(self):
+        rib = self._rib()
+        addresses = [
+            parse_prefix("2400::/32").value | 1,
+            parse_prefix("2600:0:1::/48").value | 9,  # hits the /48, AS3
+        ]
+        report = coverage_report(addresses, rib)
+        assert report.addresses == 2
+        assert report.covered_asns == 2
+        assert report.announcing_asns == 3
+        assert report.covered_prefixes == 2
+        assert report.announced_prefixes == 3
+        assert report.asn_share == 2 / 3
+        assert report.prefix_share == 2 / 3
+
+    def test_unrouted_addresses_ignored(self):
+        report = coverage_report([1, 2, 3], self._rib())
+        assert report.addresses == 3
+        assert report.covered_asns == 0
+        assert report.prefix_share == 0.0
+
+    def test_empty_everything(self):
+        report = coverage_report([], RibSnapshot())
+        assert report.asn_share == 0.0
+        assert report.prefix_share == 0.0
+
+    def test_input_coverage_grows_with_run(self, short_history, final_rib):
+        # the paper: input coverage of announcing ASes reaches 76 %
+        report = coverage_report(short_history.input_ever, final_rib)
+        assert 0.3 < report.asn_share <= 1.0
+        assert 0 < report.prefix_share <= 1.0
+        assert report.covered_asns <= report.announcing_asns

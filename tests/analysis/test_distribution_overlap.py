@@ -1,0 +1,97 @@
+"""Tests for AS distributions and overlap matrices."""
+
+import pytest
+
+from repro.analysis.distribution import as_distribution
+from repro.analysis.overlap import overlap_matrix, protocol_overlap
+from repro.asn.rib import RibSnapshot
+from repro.net.prefix import parse_prefix
+from repro.protocols import Protocol
+
+
+@pytest.fixture
+def tiny_rib():
+    rib = RibSnapshot()
+    rib.announce(parse_prefix("2400::/32"), 1)
+    rib.announce(parse_prefix("2600::/32"), 2)
+    return rib
+
+
+class TestAsDistribution:
+    def test_ranking_and_shares(self, tiny_rib):
+        a = parse_prefix("2400::/32").value
+        b = parse_prefix("2600::/32").value
+        dist = as_distribution([a, a + 1, a + 2, b], tiny_rib, label="x")
+        assert dist.total_addresses == 4
+        assert dist.ranked[0] == (1, 3)
+        assert dist.share(0) == 0.75
+        assert dist.as_count == 2
+        assert dist.unrouted == 0
+
+    def test_unrouted_counted(self, tiny_rib):
+        dist = as_distribution([1, 2], tiny_rib)
+        assert dist.unrouted == 2
+        assert dist.as_count == 0
+
+    def test_cdf_monotone_to_one(self, tiny_rib):
+        a = parse_prefix("2400::/32").value
+        b = parse_prefix("2600::/32").value
+        dist = as_distribution([a, b, b + 1], tiny_rib)
+        cdf = dist.cdf()
+        values = [v for _rank, v in cdf]
+        assert values == sorted(values)
+        assert values[-1] == pytest.approx(1.0)
+
+    def test_asns_covering(self, tiny_rib):
+        a = parse_prefix("2400::/32").value
+        b = parse_prefix("2600::/32").value
+        dist = as_distribution([a] * 8 + [b] * 2, tiny_rib)
+        assert dist.asns_covering(0.5) == 1
+        assert dist.asns_covering(0.9) == 2
+
+    def test_share_out_of_range(self, tiny_rib):
+        dist = as_distribution([], tiny_rib)
+        assert dist.share(0) == 0.0
+
+    def test_describe_top_without_registry(self, tiny_rib):
+        a = parse_prefix("2400::/32").value
+        dist = as_distribution([a], tiny_rib)
+        ((name, count, share),) = dist.describe_top(None, count=1)
+        assert name == "AS1"
+        assert count == 1
+        assert share == 100.0
+
+
+class TestOverlapMatrix:
+    def test_symmetric_identity(self):
+        names, matrix = overlap_matrix({"a": {1, 2}, "b": {2, 3}})
+        assert names == ["a", "b"]
+        assert matrix[0][0] == 100.0
+        assert matrix[0][1] == 50.0
+        assert matrix[1][0] == 50.0
+
+    def test_asymmetric_normalization(self):
+        names, matrix = overlap_matrix({"big": {1, 2, 3, 4}, "small": {1}})
+        big_row = matrix[names.index("big")]
+        small_row = matrix[names.index("small")]
+        assert big_row[names.index("small")] == 25.0
+        assert small_row[names.index("big")] == 100.0
+
+    def test_empty_sets_dropped(self):
+        names, matrix = overlap_matrix({"a": {1}, "empty": set()})
+        assert names == ["a"]
+        assert matrix == [[100.0]]
+
+    def test_protocol_overlap_from_history(self, short_history):
+        names, matrix = protocol_overlap(short_history.final)
+        assert "ICMP" in names
+        for row in matrix:
+            assert all(0.0 <= cell <= 100.0 for cell in row)
+
+    def test_tcp_mostly_within_icmp(self, short_history):
+        # Fig. 10: TCP responders are largely ICMP-responsive too
+        names, matrix = protocol_overlap(short_history.final)
+        if "TCP/80" not in names or "ICMP" not in names:
+            pytest.skip("no TCP responders in tiny world")
+        share = matrix[names.index("TCP/80")][names.index("ICMP")]
+        assert share > 60.0

@@ -1,0 +1,80 @@
+"""Tests for the per-figure CSV exports."""
+
+import csv
+import io
+
+import pytest
+
+from repro.analysis.figures_csv import (
+    export_all_figures,
+    write_fig2_csv,
+    write_fig3_csv,
+    write_fig4_csv,
+    write_fig5_csv,
+    write_fig6_csv,
+    write_fig10_csv,
+)
+
+
+def _parse(stream_value):
+    return list(csv.reader(io.StringIO(stream_value)))
+
+
+class TestFigureCsvs:
+    def test_fig2_cdf_monotone(self, short_history, final_rib):
+        out = io.StringIO()
+        rows = write_fig2_csv(out, short_history, final_rib)
+        parsed = _parse(out.getvalue())
+        assert parsed[0] == ["set", "as_rank", "cumulative_share"]
+        assert rows == len(parsed) - 1
+        by_set = {}
+        for label, rank, share in parsed[1:]:
+            by_set.setdefault(label, []).append(float(share))
+        assert {"input", "input_no_alias", "responsive", "gfw_impacted"} <= set(by_set)
+        for shares in by_set.values():
+            assert shares == sorted(shares)
+            assert shares[-1] == pytest.approx(1.0, abs=1e-6)
+
+    def test_fig3_two_views_per_scan(self, short_history):
+        out = io.StringIO()
+        rows = write_fig3_csv(out, short_history)
+        assert rows == 2 * len(short_history.snapshots)
+        parsed = _parse(out.getvalue())
+        views = {row[1] for row in parsed[1:]}
+        assert views == {"published", "cleaned"}
+
+    def test_fig4_rows(self, short_history):
+        out = io.StringIO()
+        rows = write_fig4_csv(out, short_history)
+        assert rows == len(short_history.snapshots) - 1
+
+    def test_fig5_counts_match_history(self, short_history):
+        out = io.StringIO()
+        write_fig5_csv(out, short_history)
+        parsed = _parse(out.getvalue())[1:]
+        final_date = max(row[0] for row in parsed)
+        total = sum(int(row[2]) for row in parsed if row[0] == final_date)
+        assert total == len(short_history.final.aliased_prefixes)
+
+    def test_fig6_fractions_bounded(self, short_history, final_rib):
+        out = io.StringIO()
+        write_fig6_csv(out, short_history, final_rib)
+        for row in _parse(out.getvalue())[1:]:
+            assert 0.0 <= float(row[2]) <= 1.0
+
+    def test_fig10_square_matrix(self, short_history):
+        out = io.StringIO()
+        size = write_fig10_csv(out, short_history)
+        parsed = _parse(out.getvalue())
+        assert len(parsed) == size + 1
+        assert all(len(row) == size + 1 for row in parsed)
+
+    def test_export_all(self, short_history, final_rib, tmp_path):
+        written = export_all_figures(tmp_path, short_history, final_rib)
+        assert set(written) == {
+            "fig2_as_cdf.csv", "fig3_timeline.csv", "fig4_churn.csv",
+            "fig5_alias_sizes.csv", "fig6_alias_fraction.csv",
+            "fig10_protocol_overlap.csv",
+        }
+        for filename in written:
+            assert (tmp_path / filename).exists()

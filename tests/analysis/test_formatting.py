@@ -1,0 +1,81 @@
+"""Tests for SI formatting and ASCII rendering."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.formatting import (
+    ascii_matrix,
+    ascii_series,
+    ascii_table,
+    percent,
+    si_format,
+)
+
+
+class TestSiFormat:
+    def test_paper_values(self):
+        assert si_format(1_700_000) == "1.7 M"
+        assert si_format(10_100) == "10.1 k"
+        assert si_format(3_200_000) == "3.2 M"
+        assert si_format(550_600) == "550.6 k"
+        assert si_format(593) == "593"
+        assert si_format(0) == "0"
+
+    def test_whole_numbers_trimmed(self):
+        assert si_format(2_000_000) == "2 M"
+        assert si_format(45_000) == "45 k"
+
+    def test_giga(self):
+        assert si_format(1_500_000_000) == "1.5 G"
+
+    def test_negative(self):
+        assert si_format(-1_700_000) == "-1.7 M"
+
+    def test_fractional_below_thousand(self):
+        assert si_format(12.3) == "12.3"
+
+    @given(st.integers(min_value=0, max_value=10**12))
+    def test_never_raises_and_monotone_suffix(self, value):
+        text = si_format(value)
+        assert text
+        if value >= 1_000_000:
+            assert text.endswith(("M", "G"))
+
+
+class TestPercent:
+    def test_render(self):
+        assert percent(46.44, digits=2) == "46.44 %"
+
+
+class TestAsciiTable:
+    def test_alignment(self):
+        out = ascii_table(["name", "n"], [["alpha", 1], ["b", 22]])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert len(lines) == 4
+
+    def test_title(self):
+        out = ascii_table(["a"], [[1]], title="Table X")
+        assert out.splitlines()[0] == "Table X"
+
+    def test_empty_rows(self):
+        out = ascii_table(["a", "b"], [])
+        assert len(out.splitlines()) == 2
+
+
+class TestAsciiMatrix:
+    def test_shape(self):
+        out = ascii_matrix(["x", "y"], [[100.0, 50.0], [25.0, 100.0]])
+        assert "100.0" in out
+        assert len(out.splitlines()) == 4
+
+
+class TestAsciiSeries:
+    def test_bars_scale(self):
+        out = ascii_series([(1, 10), (2, 20)], width=10)
+        lines = out.splitlines()
+        assert lines[2].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_empty(self):
+        assert ascii_series([]) == "(no data)"

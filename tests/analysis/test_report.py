@@ -1,0 +1,49 @@
+"""Tests for the full-report generator."""
+
+import pytest
+
+from repro.analysis.report import full_report
+from repro.hitlist.service import HitlistHistory
+from repro.simnet import small_config
+from repro.tga import DistanceClustering, SixGraph, evaluate_new_sources
+
+
+class TestFullReport:
+    def test_contains_all_sections(self, short_history):
+        report = full_report(short_history)
+        for heading in (
+            "Run overview",
+            "Table 1",
+            "Figure 3",
+            "Figure 4",
+            "Figure 2",
+            "Figure 5",
+            "Figure 6",
+            "Sec. 5.2",
+            "Figure 10",
+            "Table 5",
+            "Sec. 4.1",
+        ):
+            assert heading in report, heading
+
+    def test_evaluation_section_optional(self, short_history, small_world):
+        base = full_report(short_history)
+        assert "Tables 3-4" not in base
+        day = max(short_history.retained)
+        evaluation = evaluate_new_sources(
+            small_world, short_history, small_config(),
+            generators=[SixGraph(budget=5_000), DistanceClustering()],
+            seeds_day=day, scan_days=[day + 1], loss_rate=0.0,
+        )
+        with_eval = full_report(short_history, evaluation)
+        assert "Tables 3-4" in with_eval
+        assert "6graph" in with_eval
+
+    def test_requires_internet_reference(self):
+        with pytest.raises(ValueError):
+            full_report(HitlistHistory())
+
+    def test_report_is_plain_text(self, short_history):
+        report = full_report(short_history)
+        assert report.isprintable() or "\n" in report
+        assert len(report.splitlines()) > 40

@@ -1,0 +1,192 @@
+"""Tests for timeline and aliased-prefix analyses."""
+
+import pytest
+
+from repro.analysis.aliased import (
+    alias_size_histogram,
+    aliased_fraction_by_as,
+    aliased_prefix_protocols,
+    domains_in_aliased_prefixes,
+    fingerprint_survey,
+    tbt_survey,
+)
+from repro.analysis.timeline import (
+    always_responsive_share,
+    churn_series,
+    responsiveness_series,
+    spike_ratio,
+)
+from repro.net.prefix import parse_prefix
+from repro.protocols import Protocol
+from repro.scan.fingerprint import FingerprintClass
+from repro.scan.tbt import TbtOutcome
+
+
+class TestTimeline:
+    def test_series_length(self, short_history):
+        series = responsiveness_series(short_history)
+        assert len(series) == len(short_history.snapshots)
+        assert series[0].date == "2018-07-01"
+
+    def test_spike_ratio_large(self, short_history):
+        assert spike_ratio(short_history) > 10
+
+    def test_cleaned_below_published_during_era(self, short_history):
+        series = responsiveness_series(short_history)
+        era = [p for p in series if p.day >= 123]
+        assert era
+        for point in era:
+            assert point.cleaned[Protocol.UDP53] <= point.published[Protocol.UDP53]
+
+    def test_churn_series(self, short_history):
+        churn = churn_series(short_history)
+        assert len(churn) == len(short_history.snapshots) - 1
+        assert any(point.new > 0 for point in churn)
+
+    def test_always_responsive_share(self, short_history):
+        count, share = always_responsive_share(short_history)
+        assert 0 <= share <= 1
+        assert count <= len(short_history.final.cleaned_any())
+
+
+class TestAliasSizeHistogram:
+    def test_dominated_by_slash64(self, short_history):
+        histogram = alias_size_histogram(short_history.final.aliased_prefixes)
+        assert sum(histogram.values()) == len(short_history.final.aliased_prefixes)
+        assert histogram.get(64, 0) > 0
+
+    def test_exclusion_by_asn(self, short_history, final_rib, small_world):
+        full = alias_size_histogram(short_history.final.aliased_prefixes)
+        trimmed = alias_size_histogram(
+            short_history.final.aliased_prefixes,
+            rib=final_rib,
+            exclude_asns={397165},  # EpicUp /28s
+        )
+        assert trimmed.get(28, 0) == 0
+        assert sum(trimmed.values()) <= sum(full.values())
+
+    def test_exclusion_requires_rib(self, short_history):
+        with pytest.raises(ValueError):
+            alias_size_histogram(
+                short_history.final.aliased_prefixes, exclude_asns={1}
+            )
+
+
+class TestAliasedFraction:
+    def test_rows_built(self, short_history, final_rib):
+        rows = aliased_fraction_by_as(short_history.final.aliased_prefixes, final_rib)
+        assert rows
+        for row in rows[:20]:
+            assert 0.0 <= row.fraction <= 1.0
+            assert row.log2_aliased >= 0
+
+    def test_fully_aliased_orgs_near_one(self, short_history, final_rib):
+        rows = {r.asn: r for r in aliased_fraction_by_as(
+            short_history.final.aliased_prefixes, final_rib)}
+        # Akamai Technologies AS33905 announces one /40, fully aliased
+        if 33905 in rows:
+            assert rows[33905].fraction > 0.9
+
+    def test_nested_prefixes_not_double_counted(self, final_rib):
+        outer = parse_prefix("2400::/32")
+        inner = parse_prefix("2400::/48")
+
+        class FakeAlias:
+            def __init__(self, prefix):
+                self.prefix = prefix
+
+        from repro.asn.rib import RibSnapshot
+
+        rib = RibSnapshot()
+        rib.announce(outer, 7)
+        rows = aliased_fraction_by_as([FakeAlias(outer), FakeAlias(inner)], rib)
+        (row,) = rows
+        assert row.aliased_addresses == outer.num_addresses
+
+
+class TestTable2:
+    def test_protocol_responsiveness(self, small_world, short_history):
+        outcome = aliased_prefix_protocols(
+            small_world, short_history.final.aliased_prefixes, day=130
+        )
+        assert set(outcome) == {
+            Protocol.ICMP, Protocol.TCP443, Protocol.TCP80,
+            Protocol.UDP443, Protocol.UDP53,
+        }
+        icmp_prefixes, icmp_asns = outcome[Protocol.ICMP]
+        assert icmp_prefixes > 0
+        assert 0 < icmp_asns <= icmp_prefixes
+        # UDP/53 is rare among aliased prefixes (Cloudflare/Misaka only)
+        assert outcome[Protocol.UDP53][0] < icmp_prefixes
+
+    def test_exclusion(self, small_world, short_history):
+        full = aliased_prefix_protocols(
+            small_world, short_history.final.aliased_prefixes, day=130,
+            exclude_asns=(),
+        )
+        trimmed = aliased_prefix_protocols(
+            small_world, short_history.final.aliased_prefixes, day=130,
+            exclude_asns={397165},
+        )
+        assert trimmed[Protocol.ICMP][0] <= full[Protocol.ICMP][0]
+
+
+class TestFingerprintSurvey:
+    def test_mostly_uniform(self, small_world, short_history):
+        survey = fingerprint_survey(
+            small_world, short_history.final.aliased_prefixes, day=130
+        )
+        assert survey.total == len(short_history.final.aliased_prefixes)
+        assert survey.fingerprintable > 0
+        assert survey.uniform_share > 0.8  # paper: 99.5 %
+
+
+class TestTbtSurvey:
+    def test_outcome_distribution(self, small_world, short_history):
+        survey = tbt_survey(
+            small_world, short_history.final.aliased_prefixes, day=130
+        )
+        assert survey.total == len(short_history.final.aliased_prefixes)
+        assert survey.measurable > 0
+        assert survey.share(TbtOutcome.FULL_SHARED) > 0.3
+
+    def test_partial_attributed_to_cdns(self, small_world, short_history):
+        survey = tbt_survey(
+            small_world, short_history.final.aliased_prefixes, day=130
+        )
+        if not survey.counts.get(TbtOutcome.PARTIAL_SHARED):
+            pytest.skip("no partial-sharing prefixes detected in tiny world")
+        top_asns = {asn for asn, _ in survey.partial_by_asn.most_common(3)}
+        assert top_asns & {20940, 13335}  # Akamai / Cloudflare
+
+
+class TestDomainsInAliased:
+    def test_report(self, small_world, short_history, final_rib):
+        report = domains_in_aliased_prefixes(
+            small_world.zone, short_history.final.aliased_prefixes, final_rib
+        )
+        assert report.domains_total == small_world.zone.domain_count
+        assert report.domains_in_aliased > 0
+        assert report.prefixes_hit
+        assert report.asns_hit
+        assert 13335 in report.asns_hit  # Cloudflare hosts most of them
+
+    def test_cloudflare_dominates(self, small_world, short_history, final_rib):
+        report = domains_in_aliased_prefixes(
+            small_world.zone, short_history.final.aliased_prefixes, final_rib
+        )
+        cf_prefixes = report.prefixes_of_asn(13335, final_rib)
+        assert cf_prefixes
+        assert report.mean_domains_per_prefix(cf_prefixes) > 0
+        assert report.max_domains_in_prefix() >= report.mean_domains_per_prefix(
+            cf_prefixes
+        )
+
+    def test_top_list_hits(self, small_world, short_history, final_rib):
+        report = domains_in_aliased_prefixes(
+            small_world.zone, short_history.final.aliased_prefixes, final_rib
+        )
+        assert set(report.top_list_hits) == {"alexa", "majestic", "umbrella"}
+        assert sum(report.top_list_hits.values()) > 0
+        for name, by_rank in report.top_list_rank_hits.items():
+            assert by_rank[1_000] <= by_rank[100_000] <= report.top_list_hits[name]

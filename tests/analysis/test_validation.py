@@ -1,0 +1,52 @@
+"""Tests for the paper-shape validation module."""
+
+import pytest
+
+from repro.analysis.validation import Check, ValidationReport, validate_run
+from repro.hitlist.service import HitlistHistory
+
+
+class TestValidateRun:
+    def test_short_run_produces_checks(self, short_history):
+        report = validate_run(short_history)
+        assert len(report.checks) >= 8
+        claims = {check.claim for check in report.checks}
+        assert any("spike" in claim for claim in claims)
+        assert any("/64" in claim for claim in claims)
+        assert any("ICMP" in claim for claim in claims)
+
+    def test_core_gfw_checks_pass_on_era_run(self, short_history):
+        report = validate_run(short_history)
+        by_claim = {check.claim: check for check in report.checks}
+        spike = by_claim["published DNS spike dwarfs cleaned view"]
+        assert spike.passed, spike
+        chinese = by_claim["GFW-impacted addresses concentrate in Chinese ASes"]
+        assert chinese.passed, chinese
+
+    def test_render(self, short_history):
+        report = validate_run(short_history)
+        text = report.render()
+        assert "claim" in text
+        assert ("PASS" in text) or ("FAIL" in text)
+
+    def test_requires_internet(self):
+        with pytest.raises(ValueError):
+            validate_run(HitlistHistory())
+
+
+class TestReportStructure:
+    def test_failures_listed(self):
+        report = ValidationReport(checks=[
+            Check(claim="a", paper="x", measured="y", passed=True),
+            Check(claim="b", paper="x", measured="z", passed=False),
+        ])
+        assert not report.passed
+        assert [check.claim for check in report.failures] == ["b"]
+        assert "FAIL" in report.render()
+
+    def test_all_passing(self):
+        report = ValidationReport(checks=[
+            Check(claim="a", paper="x", measured="y", passed=True),
+        ])
+        assert report.passed
+        assert "all checks passed" in report.render()

@@ -1,0 +1,80 @@
+"""Tests for the AS registry and org roster."""
+
+import pytest
+
+from repro.asn.orgs import GFW_TOP10_SHARES, PAPER_ORGS, paper_registry
+from repro.asn.registry import AsCategory, AsInfo, AsRegistry
+
+
+class TestAsRegistry:
+    def test_add_and_get(self):
+        registry = AsRegistry()
+        info = registry.add(AsInfo(asn=64500, name="Example", country="DE"))
+        assert registry.get(64500) is info
+        assert registry[64500] == info
+        assert 64500 in registry
+        assert len(registry) == 1
+
+    def test_unknown_lookup(self):
+        registry = AsRegistry()
+        assert registry.get(1) is None
+        with pytest.raises(KeyError):
+            registry[1]
+
+    def test_idempotent_reregistration(self):
+        registry = AsRegistry()
+        info = AsInfo(asn=64500, name="Example")
+        registry.add(info)
+        registry.add(AsInfo(asn=64500, name="Example"))
+        assert len(registry) == 1
+
+    def test_conflicting_registration_rejected(self):
+        registry = AsRegistry()
+        registry.add(AsInfo(asn=64500, name="Example"))
+        with pytest.raises(ValueError):
+            registry.add(AsInfo(asn=64500, name="Other"))
+
+    def test_name_fallback(self):
+        registry = AsRegistry()
+        registry.add(AsInfo(asn=64500, name="Example"))
+        assert registry.name(64500) == "Example"
+        assert registry.name(64501) == "AS64501"
+
+    def test_chinese_asns(self):
+        registry = AsRegistry()
+        registry.add(AsInfo(asn=4134, name="CT", country="CN"))
+        registry.add(AsInfo(asn=3320, name="DTAG", country="DE"))
+        assert registry.chinese_asns() == frozenset({4134})
+
+    def test_by_category(self):
+        registry = AsRegistry()
+        registry.add(AsInfo(asn=1, name="a", category=AsCategory.CDN))
+        registry.add(AsInfo(asn=2, name="b", category=AsCategory.ISP))
+        assert [info.asn for info in registry.by_category(AsCategory.CDN)] == [1]
+
+
+class TestPaperOrgs:
+    def test_key_identities(self):
+        assert PAPER_ORGS[16509].name == "Amazon"
+        assert PAPER_ORGS[54113].name == "Fastly"
+        assert PAPER_ORGS[212144].country == "LT"
+        assert PAPER_ORGS[4134].country == "CN"
+
+    def test_registry_roundtrip(self):
+        registry = paper_registry()
+        assert len(registry) == len(PAPER_ORGS)
+        assert registry[12322].name == "Free SAS"
+        assert registry[12322].category is AsCategory.ISP
+
+    def test_gfw_top10_all_chinese(self):
+        registry = paper_registry()
+        for asn, share in GFW_TOP10_SHARES:
+            assert registry[asn].is_chinese, asn
+            assert share > 0
+
+    def test_gfw_top10_shares_sum_below_100(self):
+        total = sum(share for _, share in GFW_TOP10_SHARES)
+        assert 90 < total < 95  # paper: CDF reaches 93.91 % at rank 10
+
+    def test_str(self):
+        assert str(PAPER_ORGS[16509].as_info()) == "AS16509 (Amazon)"

@@ -1,0 +1,93 @@
+"""Tests for RIB snapshots and the routing history."""
+
+import pytest
+
+from repro.asn.rib import RibSnapshot, RoutingHistory
+from repro.net.prefix import parse_prefix
+
+
+@pytest.fixture
+def rib():
+    snapshot = RibSnapshot()
+    snapshot.announce(parse_prefix("2001:db8::/32"), 64500)
+    snapshot.announce(parse_prefix("2001:db8:1::/48"), 64501)
+    snapshot.announce(parse_prefix("2a00::/24"), 64502)
+    return snapshot
+
+
+class TestRibSnapshot:
+    def test_origin_as_lpm(self, rib):
+        assert rib.origin_as(parse_prefix("2001:db8:1::/48").value | 5) == 64501
+        assert rib.origin_as(parse_prefix("2001:db8:2::/48").value) == 64500
+        assert rib.origin_as(1) is None
+
+    def test_matching_prefix(self, rib):
+        match = rib.matching_prefix(parse_prefix("2001:db8:1::/48").value)
+        assert match == parse_prefix("2001:db8:1::/48")
+        assert rib.matching_prefix(1) is None
+
+    def test_prefixes_of(self, rib):
+        assert rib.prefixes_of(64500) == (parse_prefix("2001:db8::/32"),)
+        assert rib.prefixes_of(99999) == ()
+
+    def test_announced_address_count(self, rib):
+        assert rib.announced_address_count(64501) == 1 << 80
+        assert rib.announced_address_count(99999) == 0
+
+    def test_announcing_asns_and_count(self, rib):
+        assert rib.announcing_asns() == {64500, 64501, 64502}
+        assert rib.prefix_count == 3
+
+    def test_duplicate_identical_announcement_ok(self, rib):
+        rib.announce(parse_prefix("2001:db8::/32"), 64500)
+        assert rib.prefix_count == 3
+
+    def test_conflicting_announcement_rejected(self, rib):
+        with pytest.raises(ValueError):
+            rib.announce(parse_prefix("2001:db8::/32"), 64999)
+
+    def test_covers(self, rib):
+        assert rib.covers(parse_prefix("2a00::/24").value)
+        assert not rib.covers(1)
+
+    def test_prefixes_iteration_sorted(self, rib):
+        prefixes = [prefix for prefix, _ in rib.prefixes()]
+        assert prefixes == sorted(prefixes)
+
+
+class TestRoutingHistory:
+    def test_before_event_is_base(self, rib):
+        history = RoutingHistory(rib)
+        history.add_event(100, parse_prefix("2a02::/32"), 212144)
+        snapshot = history.snapshot_at(99)
+        assert snapshot.origin_as(parse_prefix("2a02::/32").value) is None
+
+    def test_after_event_included(self, rib):
+        history = RoutingHistory(rib)
+        history.add_event(100, parse_prefix("2a02::/32"), 212144)
+        snapshot = history.snapshot_at(100)
+        assert snapshot.origin_as(parse_prefix("2a02::/32").value) == 212144
+        # base announcements survive
+        assert snapshot.origin_as(parse_prefix("2001:db8::/32").value) == 64500
+
+    def test_no_events_returns_base(self, rib):
+        history = RoutingHistory(rib)
+        assert history.snapshot_at(10) is rib
+
+    def test_events_applied_in_order(self, rib):
+        history = RoutingHistory(rib)
+        history.add_event(200, parse_prefix("2a03::/32"), 1)
+        history.add_event(100, parse_prefix("2a02::/32"), 2)
+        middle = history.snapshot_at(150)
+        assert middle.origin_as(parse_prefix("2a02::/32").value) == 2
+        assert middle.origin_as(parse_prefix("2a03::/32").value) is None
+        late = history.snapshot_at(250)
+        assert late.origin_as(parse_prefix("2a03::/32").value) == 1
+
+    def test_snapshot_caching(self, rib):
+        history = RoutingHistory(rib)
+        history.add_event(100, parse_prefix("2a02::/32"), 212144)
+        assert history.snapshot_at(150) is history.snapshot_at(160)
+
+    def test_base_property(self, rib):
+        assert RoutingHistory(rib).base is rib

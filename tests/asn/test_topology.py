@@ -1,0 +1,33 @@
+"""Tests for the GFW boundary model."""
+
+from repro.asn.orgs import paper_registry
+from repro.asn.topology import GfwBoundary, VantagePoint
+
+
+class TestGfwBoundary:
+    def test_outside_vantage_crosses_into_china(self):
+        boundary = GfwBoundary.from_registry(paper_registry(), vantage_inside=False)
+        assert boundary.crosses(4134)
+        assert not boundary.crosses(3320)
+
+    def test_inside_vantage_sees_complement(self):
+        boundary = GfwBoundary.from_registry(paper_registry(), vantage_inside=True)
+        assert not boundary.crosses(4134)
+        assert boundary.crosses(3320)
+
+    def test_unrouted_never_crosses(self):
+        boundary = GfwBoundary.from_registry(paper_registry())
+        assert not boundary.crosses(None)
+
+    def test_custom_inside_set(self):
+        boundary = GfwBoundary(inside_asns=frozenset({42}))
+        assert boundary.crosses(42)
+        assert not boundary.crosses(43)
+
+
+class TestVantagePoint:
+    def test_defaults_match_paper_setup(self):
+        vantage = VantagePoint()
+        assert vantage.country == "DE"
+        assert not vantage.inside_gfw
+        assert vantage.reverse_dns  # identification is mandatory (ethics)

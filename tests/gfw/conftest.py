@@ -1,0 +1,10 @@
+"""Fixtures for GFW tests."""
+
+import pytest
+
+from repro.simnet import build_internet, small_config
+
+
+@pytest.fixture(scope="session")
+def small_world():
+    return build_internet(small_config())

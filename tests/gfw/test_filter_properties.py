@@ -1,0 +1,87 @@
+"""Property tests for the GFW filter over synthetic response batches."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gfw.filter import GfwFilter
+from repro.net.teredo import encode_teredo
+from repro.protocols import DnsAnswer, DnsResponse, DnsStatus, RecordType
+from repro.scan.zmap import Udp53Result
+
+GENUINE = DnsAnswer(rtype=RecordType.AAAA, address=0x2A00 << 112 | 1)
+FORGED_A = DnsAnswer(rtype=RecordType.A, address=0x1F0D5801)
+FORGED_TEREDO = DnsAnswer(
+    rtype=RecordType.AAAA, address=encode_teredo(1, 0x0D6B4001, 53)
+)
+
+answer_strategy = st.sampled_from([GENUINE, FORGED_A, FORGED_TEREDO])
+
+
+def build_result(day, target_answers):
+    result = Udp53Result(day=day, qname="www.google.com")
+    for target, answers in target_answers.items():
+        result.targets += 1
+        result.responders.add(target)
+        result.responses[target] = tuple(
+            DnsResponse(responder=target, qname="www.google.com",
+                        status=DnsStatus.NOERROR, answers=(answer,))
+            for answer in answers
+        )
+    return result
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.dictionaries(
+    st.integers(min_value=1, max_value=10**30),
+    st.lists(answer_strategy, min_size=1, max_size=4),
+    min_size=1, max_size=20,
+))
+def test_partition_is_exact(target_answers):
+    """Every responder lands in exactly one of {clean, injected}."""
+    f = GfwFilter()
+    cleaning = f.clean_scan(build_result(1, target_answers))
+    responders = set(target_answers)
+    assert cleaning.clean_responders | cleaning.injected_responders == responders
+    assert not cleaning.clean_responders & cleaning.injected_responders
+    # classification matches forged-evidence presence per target
+    for target, answers in target_answers.items():
+        forged = any(answer is not GENUINE for answer in answers)
+        assert (target in cleaning.injected_responders) == forged
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.dictionaries(
+        st.integers(min_value=1, max_value=10**30),
+        st.lists(answer_strategy, min_size=1, max_size=3),
+        min_size=1, max_size=12,
+    ),
+    st.sets(st.integers(min_value=1, max_value=10**30), max_size=12),
+)
+def test_historical_filter_monotone(target_answers, other_protocol):
+    """The purge set never contains other-protocol responders and only
+    grows with more injected evidence."""
+    f = GfwFilter()
+    f.clean_scan(build_result(1, target_answers))
+    before = set(f.historical_filter_set())
+    f.note_other_protocol_responders(other_protocol)
+    after = f.historical_filter_set()
+    assert after == before - other_protocol
+    assert after <= f.ever_injected
+    # a second scan can only extend the injected set
+    f.clean_scan(build_result(2, target_answers))
+    assert f.historical_filter_set() >= after - other_protocol
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.dictionaries(
+    st.integers(min_value=1, max_value=10**30),
+    st.lists(st.just(FORGED_TEREDO), min_size=1, max_size=3),
+    min_size=1, max_size=10,
+))
+def test_attribution_counts_every_forged_answer(target_answers):
+    f = GfwFilter()
+    f.clean_scan(build_result(1, target_answers))
+    forged_total = sum(len(answers) for answers in target_answers.values())
+    assert sum(f.forged_answer_owners.values()) == forged_total
+    assert set(f.forged_answer_owners) == {8075}  # Microsoft range embedded

@@ -1,0 +1,18 @@
+"""Shared fixtures: a small world and a short service run."""
+
+import pytest
+
+from repro.hitlist import HitlistService
+from repro.simnet import build_internet, small_config
+
+
+@pytest.fixture(scope="session")
+def small_world():
+    return build_internet(small_config())
+
+
+@pytest.fixture(scope="session")
+def short_history(small_world):
+    """A 20-scan run over the first 100 days (covers GFW era 1 start)."""
+    service = HitlistService(small_world, small_config())
+    return service.run(list(range(0, 140, 7)))

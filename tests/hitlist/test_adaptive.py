@@ -1,0 +1,50 @@
+"""Tests for adaptive scan scheduling (scan runtime grows with input)."""
+
+import pytest
+
+from repro.hitlist import HitlistService
+from repro.hitlist.service import ServiceSettings
+from repro.simnet import build_internet, small_config
+
+
+@pytest.fixture(scope="module")
+def adaptive_history():
+    config = small_config(seed=41)
+    world = build_internet(config)
+    settings = ServiceSettings(probes_per_day=8_000)
+    service = HitlistService(world, config, settings=settings)
+    # the pool grows from ~2.8 k to ~4.8 k targets over this window, so
+    # scan runtime crosses from 2 to 3 days mid-run
+    return service.run_adaptive(until_day=200, base_interval=2)
+
+
+class TestAdaptiveScheduling:
+    def test_cadence_degrades_with_pool_growth(self, adaptive_history):
+        snapshots = adaptive_history.snapshots
+        assert len(snapshots) > 5
+        gaps = [b.day - a.day for a, b in zip(snapshots, snapshots[1:])]
+        pools = [s.scan_target_count for s in snapshots]
+        # the biggest pool must not come with the smallest gap after it
+        biggest = pools.index(max(pools))
+        if biggest < len(gaps):
+            assert gaps[biggest] >= min(gaps)
+        # cadence stretches at some point (multi-day scans appear)
+        assert max(gaps) > min(gaps)
+
+    def test_gap_matches_runtime_model(self, adaptive_history):
+        rate = 8_000
+        snapshots = adaptive_history.snapshots
+        for current, following in zip(snapshots, snapshots[1:]):
+            runtime_days = -(-5 * current.scan_target_count // rate)
+            assert following.day - current.day == max(2, runtime_days)
+
+    def test_requires_rate(self):
+        config = small_config(seed=41)
+        world = build_internet(config)
+        service = HitlistService(world, config)  # no probes_per_day
+        with pytest.raises(ValueError):
+            service.run_adaptive(until_day=10)
+
+    def test_final_state_retained(self, adaptive_history):
+        assert adaptive_history.retained
+        assert adaptive_history.final.day == adaptive_history.snapshots[-1].day

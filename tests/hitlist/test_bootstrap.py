@@ -1,0 +1,44 @@
+"""Tests for the APD warm-start bootstrap (clean first snapshot)."""
+
+from repro.hitlist import HitlistService
+from repro.protocols import ALL_PROTOCOLS
+from repro.simnet import build_internet, small_config
+
+
+class TestBootstrap:
+    def test_first_snapshot_free_of_region_addresses(self):
+        config = small_config(seed=55)
+        world = build_internet(config)
+        service = HitlistService(world, config)
+        history = service.run([0, 4, 8])
+        first = history.retained_at(0)
+        for protocol in ALL_PROTOCOLS:
+            for address in first.responders[protocol]:
+                region = world.region_of(address, 0)
+                assert region is None, (
+                    f"{protocol.label} responder inside {region.prefix}"
+                )
+
+    def test_bootstrap_detects_seeded_aliases_before_scan_one(self):
+        config = small_config(seed=55)
+        world = build_internet(config)
+        service = HitlistService(world, config)
+        service.bootstrap(0)
+        # day-0-active announced regions are known before any scan
+        announced_active = [
+            r for r in world.regions
+            if r.active_from == 0
+            and world.routing.base.origin_as(r.prefix.value) == r.asn
+            and world.routing.base.matching_prefix(r.prefix.value) == r.prefix
+        ]
+        detected = {alias.prefix for alias in service.apd.aliased_prefixes}
+        hits = sum(1 for r in announced_active if r.prefix in detected)
+        assert hits >= len(announced_active) * 0.9
+
+    def test_bootstrap_consumes_pending_input(self):
+        config = small_config(seed=55)
+        world = build_internet(config)
+        service = HitlistService(world, config)
+        assert service._pending_apd_input  # seeded by the constructor
+        service.bootstrap(0)
+        assert not service._pending_apd_input

@@ -1,0 +1,62 @@
+"""Tests for run-summary serialization."""
+
+import io
+import json
+
+import pytest
+
+from repro.analysis.timeline import responsiveness_series, spike_ratio
+from repro.hitlist.history_io import (
+    history_summary,
+    load_history_summary,
+    rebuild_snapshots,
+    save_history_summary,
+)
+from repro.hitlist.service import HitlistHistory
+from repro.protocols import Protocol
+
+
+class TestSummary:
+    def test_round_trip(self, short_history):
+        out = io.StringIO()
+        save_history_summary(short_history, out)
+        data = load_history_summary(io.StringIO(out.getvalue()))
+        assert data["input_total"] == len(short_history.input_ever)
+        assert data["gfw_impacted"] == short_history.gfw.impacted_count
+        assert len(data["snapshots"]) == len(short_history.snapshots)
+        assert data["per_source_counts"] == short_history.per_source_counts
+
+    def test_snapshot_fidelity(self, short_history):
+        data = history_summary(short_history)
+        first = data["snapshots"][0]
+        original = short_history.snapshots[0]
+        assert first["day"] == original.day
+        assert first["cleaned"]["UDP/53"] == original.cleaned_counts[Protocol.UDP53]
+        assert first["date"] == "2018-07-01"
+
+    def test_retained_aggregates(self, short_history):
+        data = history_summary(short_history)
+        final_day = str(max(short_history.retained))
+        entry = data["retained"][final_day]
+        assert entry["total"] == len(short_history.final.cleaned_any())
+        assert entry["aliased_prefixes"] == len(
+            short_history.final.aliased_prefixes
+        )
+
+    def test_rebuilt_snapshots_support_timeline_analysis(self, short_history):
+        data = history_summary(short_history)
+        snapshots = rebuild_snapshots(data)
+        rebuilt = HitlistHistory(snapshots=snapshots)
+        series = responsiveness_series(rebuilt)
+        assert len(series) == len(short_history.snapshots)
+        assert spike_ratio(rebuilt) == spike_ratio(short_history)
+
+    def test_version_gate(self):
+        payload = json.dumps({"format_version": 99})
+        with pytest.raises(ValueError):
+            load_history_summary(io.StringIO(payload))
+
+    def test_json_is_valid(self, short_history):
+        out = io.StringIO()
+        save_history_summary(short_history, out)
+        json.loads(out.getvalue())

@@ -1,0 +1,118 @@
+"""Tests for input hygiene and the publication format."""
+
+import io
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hitlist.export import (
+    publish,
+    read_address_list,
+    read_aliased_prefixes,
+    write_address_list,
+    write_aliased_prefixes,
+)
+from repro.hitlist.hygiene import stale_eui64_rotations
+from repro.net.address import MAX_ADDRESS, format_ipv6
+from repro.net.eui64 import eui64_interface_id
+from repro.net.prefix import parse_prefix
+
+MAC_A = 0x001E73000001
+MAC_B = 0x001E73000002
+
+
+def eui64_addr(network: int, mac: int) -> int:
+    return (network << 64) | eui64_interface_id(mac)
+
+
+class TestHygiene:
+    def test_keeps_newest_rotation(self):
+        sightings = [
+            (eui64_addr(0x1111, MAC_A), 10),
+            (eui64_addr(0x2222, MAC_A), 50),
+            (eui64_addr(0x3333, MAC_A), 90),
+        ]
+        report = stale_eui64_rotations(sightings)
+        assert report.stale == {eui64_addr(0x1111, MAC_A), eui64_addr(0x2222, MAC_A)}
+        assert report.macs_with_rotations == 1
+        assert report.eui64_addresses == 3
+
+    def test_single_sighting_kept(self):
+        report = stale_eui64_rotations([(eui64_addr(0x1111, MAC_A), 10)])
+        assert not report.stale
+
+    def test_non_eui64_never_flagged(self):
+        report = stale_eui64_rotations([(0x1234, 1), (0x1234 | (1 << 64), 2)])
+        assert not report.stale
+        assert report.eui64_addresses == 0
+        assert report.scanned == 2
+
+    def test_grace_period(self):
+        sightings = [
+            (eui64_addr(0x1111, MAC_A), 88),
+            (eui64_addr(0x2222, MAC_A), 90),
+        ]
+        assert not stale_eui64_rotations(sightings, grace_days=7).stale
+        assert stale_eui64_rotations(sightings, grace_days=1).stale
+
+    def test_macs_independent(self):
+        sightings = [
+            (eui64_addr(0x1111, MAC_A), 10),
+            (eui64_addr(0x2222, MAC_A), 20),
+            (eui64_addr(0x3333, MAC_B), 5),
+        ]
+        report = stale_eui64_rotations(sightings)
+        assert report.stale == {eui64_addr(0x1111, MAC_A)}
+
+    def test_removable_share(self):
+        report = stale_eui64_rotations([])
+        assert report.removable_share == 0.0
+
+
+class TestExportFormats:
+    def test_address_round_trip(self):
+        addresses = {1, 42, (0x20010DB8 << 96) | 7}
+        out = io.StringIO()
+        assert write_address_list(out, addresses) == 3
+        assert read_address_list(io.StringIO(out.getvalue())) == addresses
+
+    def test_address_list_sorted_unique(self):
+        out = io.StringIO()
+        write_address_list(out, [5, 5, 1])
+        assert out.getvalue() == "::1\n::5\n"
+
+    def test_comments_and_blanks_ignored(self):
+        text = "# header\n\n::1\n"
+        assert read_address_list(io.StringIO(text)) == {1}
+
+    def test_prefix_round_trip(self):
+        prefixes = [parse_prefix("2001:db8::/48"), parse_prefix("2001:db8::/32")]
+        out = io.StringIO()
+        assert write_aliased_prefixes(out, prefixes) == 2
+        assert read_aliased_prefixes(io.StringIO(out.getvalue())) == sorted(prefixes)
+
+    @given(st.sets(st.integers(min_value=0, max_value=MAX_ADDRESS), max_size=50))
+    def test_round_trip_property(self, addresses):
+        out = io.StringIO()
+        write_address_list(out, addresses)
+        assert read_address_list(io.StringIO(out.getvalue())) == addresses
+
+
+class TestPublish:
+    def test_publish_streams(self, short_history):
+        streams = {
+            "responsive": io.StringIO(),
+            "ICMP": io.StringIO(),
+            "aliased": io.StringIO(),
+        }
+        written = publish(short_history, streams)
+        assert written["responsive"] == len(short_history.final.cleaned_any())
+        assert written["aliased"] == len(short_history.final.aliased_prefixes)
+        published = read_address_list(io.StringIO(streams["responsive"].getvalue()))
+        assert published == set(short_history.final.cleaned_any())
+
+    def test_unknown_stream_rejected(self, short_history):
+        import pytest
+
+        with pytest.raises(ValueError):
+            publish(short_history, {"bogus": io.StringIO()})

@@ -1,0 +1,69 @@
+"""End-to-end determinism and pipeline-invariant tests."""
+
+import pytest
+
+from repro.hitlist import HitlistService
+from repro.net.prefix import IPv6Prefix
+from repro.protocols import ALL_PROTOCOLS
+from repro.scan.blocklist import Blocklist
+from repro.simnet import build_internet, small_config
+
+DAYS = list(range(0, 60, 6))
+
+
+def _run(seed=31, blocklist=None):
+    config = small_config(seed=seed)
+    world = build_internet(config)
+    service = HitlistService(world, config, blocklist=blocklist)
+    return service.run(DAYS)
+
+
+class TestDeterminism:
+    def test_identical_runs(self):
+        a = _run()
+        b = _run()
+        assert len(a.snapshots) == len(b.snapshots)
+        for snap_a, snap_b in zip(a.snapshots, b.snapshots):
+            assert snap_a.published_counts == snap_b.published_counts
+            assert snap_a.cleaned_counts == snap_b.cleaned_counts
+            assert snap_a.input_total == snap_b.input_total
+            assert snap_a.aliased_prefix_count == snap_b.aliased_prefix_count
+        assert a.input_ever == b.input_ever
+        assert a.final.cleaned_any() == b.final.cleaned_any()
+
+
+class TestPipelineInvariants:
+    @pytest.fixture(scope="class")
+    def history(self):
+        return _run(seed=32)
+
+    def test_responders_subset_of_input(self, history):
+        final = history.final
+        for protocol in ALL_PROTOCOLS:
+            assert final.responders[protocol] <= history.input_ever
+
+    def test_excluded_disjoint_from_final_responders(self, history):
+        # 30-day-excluded addresses are never scanned again
+        assert not (history.excluded & history.final.cleaned_any())
+
+    def test_injected_subset_of_udp53_responders(self, history):
+        final = history.final
+        assert final.injected <= final.responders[ALL_PROTOCOLS[-1]]
+
+    def test_per_source_counts_sum_to_input(self, history):
+        assert sum(history.per_source_counts.values()) == len(history.input_ever)
+
+
+class TestBlocklistEndToEnd:
+    def test_blocked_space_never_appears(self):
+        config = small_config(seed=33)
+        world = build_internet(config)
+        # opt-out an entire org (Linode)
+        blocked_prefix = world.routing.base.prefixes_of(63949)[0]
+        blocklist = Blocklist()
+        blocklist.add(blocked_prefix, reason="operator opt-out")
+        service = HitlistService(world, config, blocklist=blocklist)
+        history = service.run(DAYS)
+        for protocol in ALL_PROTOCOLS:
+            for address in history.final.responders[protocol]:
+                assert not blocked_prefix.contains(address)

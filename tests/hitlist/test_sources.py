@@ -1,0 +1,93 @@
+"""Tests for the input sources."""
+
+from repro.hitlist.sources import (
+    AtlasSource,
+    CloudEndpointSource,
+    DnsZoneSource,
+    ScheduledSource,
+    StaticSource,
+    default_sources,
+)
+from repro.simnet import small_config
+
+
+class TestStaticSource:
+    def test_available_once(self):
+        source = StaticSource("s", {1, 2}, available_day=10)
+        assert source.collect(5, 10) == {1, 2}
+        assert source.collect(10, 20) == set()
+        assert source.collect(0, 9) == set()
+
+
+class TestScheduledSource:
+    def test_window_collection(self):
+        source = ScheduledSource("s", {1: 5, 2: 6, 3: 20})
+        assert source.collect(4, 6) == {1, 2}
+        assert source.collect(6, 25) == {3}
+        assert source.collect(25, 30) == set()
+
+
+class TestDnsZoneSource:
+    def test_full_timeline_covers_all_aaaa(self, small_world):
+        source = DnsZoneSource(small_world, seed=1)
+        collected = source.collect(-1, 10_000)
+        expected = set()
+        for domain in small_world.zone.domains():
+            expected.update(domain.addresses)
+        # hosts born after the horizon cannot be collected earlier
+        assert collected == {
+            a for a in expected
+            if small_world.hosts.get(a) is None
+            or small_world.hosts[a].born_day <= 10_000
+        }
+
+    def test_ramp_is_gradual(self, small_world):
+        source = DnsZoneSource(small_world, ramp_days=365, seed=1)
+        early = source.collect(-1, 30)
+        full = source.collect(-1, 365)
+        assert 0 < len(early) < len(full)
+
+
+class TestAtlasSource:
+    def test_collects_fleet_addresses(self, small_world):
+        source = AtlasSource(small_world)
+        collected = source.collect(0, 3)
+        assert collected
+        rib = small_world.routing.base
+        fleet_asns = {fleet.asn for fleet in small_world.topology.fleets}
+        assert all(rib.origin_as(a) in fleet_asns for a in collected)
+
+    def test_empty_window(self, small_world):
+        assert AtlasSource(small_world).collect(5, 5) == set()
+
+
+class TestCloudEndpointSource:
+    def test_endpoints_in_amazon_space(self, small_world):
+        config = small_config()
+        source = CloudEndpointSource(small_world, config)
+        collected = source.collect(0, 5)
+        assert collected
+        rib = small_world.routing.base
+        amazon = sum(1 for a in collected if rib.origin_as(a) == 16509)
+        assert amazon / len(collected) > 0.7
+
+    def test_daily_rate(self, small_world):
+        config = small_config()
+        source = CloudEndpointSource(small_world, config)
+        one_day = source.collect(9, 10)
+        assert len(one_day) <= config.amazon_endpoints_per_day + config.cdn_endpoints_per_day
+        assert len(one_day) > 0
+
+    def test_deterministic(self, small_world):
+        config = small_config()
+        a = CloudEndpointSource(small_world, config).collect(0, 3)
+        b = CloudEndpointSource(small_world, config).collect(0, 3)
+        assert a == b
+
+
+class TestDefaultSources:
+    def test_roster(self, small_world):
+        sources = default_sources(small_world, small_config())
+        names = {source.name for source in sources}
+        assert {"dns_aaaa", "atlas", "cloud_endpoints", "rdns",
+                "new_deployments", "hosted_services"} <= names

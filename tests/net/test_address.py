@@ -1,0 +1,148 @@
+"""Unit and property tests for IPv6 address parsing/formatting."""
+
+import ipaddress
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.address import (
+    MAX_ADDRESS,
+    AddressError,
+    IPv6Address,
+    format_ipv6,
+    parse_ipv6,
+)
+
+
+class TestParse:
+    def test_loopback(self):
+        assert parse_ipv6("::1") == 1
+
+    def test_unspecified(self):
+        assert parse_ipv6("::") == 0
+
+    def test_full_form(self):
+        assert parse_ipv6("2001:0db8:0000:0000:0000:0000:0000:0001") == (
+            0x20010DB8 << 96
+        ) | 1
+
+    def test_compressed_middle(self):
+        assert parse_ipv6("2001:db8::ff00:42:8329") == 0x20010DB8000000000000FF0000428329
+
+    def test_trailing_compression(self):
+        assert parse_ipv6("fe80::") == 0xFE80 << 112
+
+    def test_ipv4_mapped(self):
+        assert parse_ipv6("::ffff:192.0.2.1") == (0xFFFF << 32) | 0xC0000201
+
+    def test_ipv4_embedded_after_groups(self):
+        assert parse_ipv6("64:ff9b::192.0.2.33") == parse_ipv6("64:ff9b::c000:221")
+
+    def test_whitespace_stripped(self):
+        assert parse_ipv6("  ::1  ") == 1
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            ":::",
+            "1::2::3",
+            "2001:db8",
+            "2001:db8:1:2:3:4:5:6:7",
+            "g::1",
+            "12345::",
+            "::1%eth0",
+            "1.2.3.4",
+            "::ffff:1.2.3.256",
+            "::ffff:1.2.3",
+            "1.2.3.4::1",
+        ],
+    )
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(AddressError):
+            parse_ipv6(bad)
+
+    def test_double_colon_must_expand(self):
+        # eight explicit groups plus '::' leaves nothing to expand
+        with pytest.raises(AddressError):
+            parse_ipv6("1:2:3:4:5:6:7:8::")
+
+
+class TestFormat:
+    def test_loopback(self):
+        assert format_ipv6(1) == "::1"
+
+    def test_unspecified(self):
+        assert format_ipv6(0) == "::"
+
+    def test_no_single_group_compression(self):
+        # RFC 5952: a lone zero group is not compressed
+        value = parse_ipv6("2001:db8:0:1:1:1:1:1")
+        assert format_ipv6(value) == "2001:db8:0:1:1:1:1:1"
+
+    def test_leftmost_longest_run(self):
+        value = parse_ipv6("2001:0:0:1:0:0:0:1")
+        assert format_ipv6(value) == "2001:0:0:1::1"
+
+    def test_lowercase_hex(self):
+        assert format_ipv6(0xABCD << 112) == "abcd::"
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(AddressError):
+            format_ipv6(-1)
+        with pytest.raises(AddressError):
+            format_ipv6(MAX_ADDRESS + 1)
+
+
+@given(st.integers(min_value=0, max_value=MAX_ADDRESS))
+def test_roundtrip_matches_stdlib(value):
+    """Our formatter/parser must agree with the stdlib on every address."""
+    text = format_ipv6(value)
+    assert text == str(ipaddress.IPv6Address(value))
+    assert parse_ipv6(text) == value
+
+
+@given(st.integers(min_value=0, max_value=MAX_ADDRESS))
+def test_parse_accepts_exploded(value):
+    exploded = ipaddress.IPv6Address(value).exploded
+    assert parse_ipv6(exploded) == value
+
+
+class TestIPv6Address:
+    def test_from_string(self):
+        assert IPv6Address("2001:db8::1").value == (0x20010DB8 << 96) | 1
+
+    def test_from_int_and_copy(self):
+        a = IPv6Address(42)
+        assert IPv6Address(a) == a == 42
+
+    def test_ordering_and_hash(self):
+        a, b = IPv6Address(1), IPv6Address(2)
+        assert a < b
+        assert len({a, IPv6Address(1), b}) == 2
+
+    def test_interface_and_network_ids(self):
+        addr = IPv6Address("2001:db8:1:2:3:4:5:6")
+        assert addr.network_id == 0x20010DB800010002
+        assert addr.interface_id == 0x0003000400050006
+
+    def test_exploded(self):
+        assert IPv6Address("2001:db8::1").exploded() == (
+            "2001:0db8:0000:0000:0000:0000:0000:0001"
+        )
+
+    def test_rejects_bad_type(self):
+        with pytest.raises(TypeError):
+            IPv6Address(1.5)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(AddressError):
+            IPv6Address(-1)
+
+    def test_int_conversion(self):
+        assert int(IPv6Address("::2")) == 2
+
+    def test_repr_round_trips(self):
+        addr = IPv6Address("2001:db8::1")
+        assert eval(repr(addr)) == addr

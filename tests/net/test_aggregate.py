@@ -1,0 +1,103 @@
+"""Tests for prefix aggregation utilities."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.address import MAX_ADDRESS
+from repro.net.aggregate import (
+    covered_addresses,
+    drop_nested,
+    merge_adjacent,
+    summarize_addresses,
+)
+from repro.net.prefix import IPv6Prefix, parse_prefix
+
+
+class TestDropNested:
+    def test_removes_inner(self):
+        outer = parse_prefix("2001:db8::/32")
+        inner = parse_prefix("2001:db8:1::/48")
+        assert drop_nested([inner, outer]) == [outer]
+
+    def test_keeps_disjoint(self):
+        a = parse_prefix("2001:db8::/48")
+        b = parse_prefix("2001:db9::/48")
+        assert drop_nested([b, a]) == [a, b]
+
+    def test_deduplicates(self):
+        a = parse_prefix("2001:db8::/48")
+        assert drop_nested([a, a]) == [a]
+
+    def test_empty(self):
+        assert drop_nested([]) == []
+
+
+class TestMergeAdjacent:
+    def test_merges_siblings(self):
+        a = parse_prefix("2001:db8::/33")
+        b = parse_prefix("2001:db8:8000::/33")
+        assert merge_adjacent([a, b]) == [parse_prefix("2001:db8::/32")]
+
+    def test_cascading_merge(self):
+        quarters = list(parse_prefix("2001:db8::/32").subprefixes(34))
+        assert merge_adjacent(quarters) == [parse_prefix("2001:db8::/32")]
+
+    def test_non_siblings_kept(self):
+        # same length, adjacent values, but different parents
+        a = parse_prefix("2001:db8:8000::/33")
+        b = parse_prefix("2001:db9::/33")
+        assert merge_adjacent([a, b]) == sorted([a, b])
+
+    def test_mixed_lengths(self):
+        outer = parse_prefix("2001:db8::/32")
+        inner = parse_prefix("2001:db8:1::/48")
+        other = parse_prefix("2001:db9::/48")
+        assert merge_adjacent([inner, outer, other]) == [outer, other]
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.sets(
+        st.builds(
+            IPv6Prefix,
+            st.integers(min_value=0, max_value=MAX_ADDRESS),
+            st.integers(min_value=8, max_value=128),
+        ),
+        max_size=20,
+    ))
+    def test_space_preserved(self, prefixes):
+        merged = merge_adjacent(prefixes)
+        assert covered_addresses(merged) == covered_addresses(prefixes)
+        # every original address region stays covered
+        for prefix in drop_nested(prefixes):
+            assert any(m.contains_prefix(prefix) for m in merged)
+        # output is minimal w.r.t. nesting
+        assert merged == drop_nested(merged)
+
+
+class TestSummarize:
+    def test_exact_when_budget_allows(self):
+        addresses = [parse_prefix("2001:db8::/126").value + i for i in range(4)]
+        cover = summarize_addresses(addresses, max_prefixes=10)
+        assert cover == [parse_prefix("2001:db8::/126")]
+
+    def test_lossy_compaction(self):
+        base = parse_prefix("2001:db8::/64").value
+        addresses = [base | 0x10, base | 0x20, base | 0x800]
+        cover = summarize_addresses(addresses, max_prefixes=1)
+        assert len(cover) == 1
+        assert all(cover[0].contains(a) for a in addresses)
+
+    def test_budget_validation(self):
+        with pytest.raises(ValueError):
+            summarize_addresses([1], max_prefixes=0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.sets(st.integers(min_value=0, max_value=MAX_ADDRESS), min_size=1, max_size=30),
+        st.integers(min_value=1, max_value=8),
+    )
+    def test_always_covers_and_respects_budget(self, addresses, budget):
+        cover = summarize_addresses(addresses, budget)
+        assert len(cover) <= budget
+        for address in addresses:
+            assert any(prefix.contains(address) for prefix in cover)

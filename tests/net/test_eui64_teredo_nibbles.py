@@ -1,0 +1,174 @@
+"""Tests for EUI-64, Teredo and nibble utilities."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.address import MAX_ADDRESS, parse_ipv6
+from repro.net.eui64 import (
+    OuiRegistry,
+    eui64_interface_id,
+    format_mac,
+    is_eui64_interface_id,
+    mac_from_interface_id,
+    oui_of_mac,
+)
+from repro.net.nibbles import (
+    NIBBLES_PER_ADDRESS,
+    address_from_nibbles,
+    entropy_profile,
+    nibble,
+    nibble_entropy,
+    nibbles,
+    set_nibble,
+)
+from repro.net.teredo import (
+    TEREDO_PREFIX,
+    decode_teredo,
+    encode_teredo,
+    is_teredo,
+)
+
+
+class TestEui64:
+    def test_known_value(self):
+        # RFC 4291 example: MAC 34-56-78-9A-BC-DE -> 3656:78ff:fe9a:bcde
+        iid = eui64_interface_id(0x3456789ABCDE)
+        assert iid == 0x365678FFFE9ABCDE
+
+    def test_marker_detection(self):
+        assert is_eui64_interface_id(0x365678FFFE9ABCDE)
+        assert not is_eui64_interface_id(0x3656780000009ABC)
+
+    def test_full_address_interface_id(self):
+        addr = parse_ipv6("2001:db8::3656:78ff:fe9a:bcde")
+        assert is_eui64_interface_id(addr & ((1 << 64) - 1))
+
+    @given(st.integers(min_value=0, max_value=(1 << 48) - 1))
+    def test_mac_round_trip(self, mac):
+        assert mac_from_interface_id(eui64_interface_id(mac)) == mac
+
+    def test_non_eui64_returns_none(self):
+        assert mac_from_interface_id(0x1234) is None
+
+    def test_rejects_out_of_range_mac(self):
+        with pytest.raises(ValueError):
+            eui64_interface_id(1 << 48)
+
+    def test_oui(self):
+        assert oui_of_mac(0x001F3CAABBCC) == 0x001F3C
+
+    def test_format_mac(self):
+        assert format_mac(0x001F3CAABBCC) == "00:1f:3c:aa:bb:cc"
+
+
+class TestOuiRegistry:
+    def test_register_and_lookup(self):
+        registry = OuiRegistry()
+        registry.register(0x001F3C, "ZTE")
+        assert registry.vendor(0x001F3C) == "ZTE"
+        assert registry.vendor_of_mac(0x001F3CAABBCC) == "ZTE"
+        assert registry.vendor(0xABCDEF) is None
+        assert len(registry) == 1
+
+    def test_rejects_bad_oui(self):
+        with pytest.raises(ValueError):
+            OuiRegistry().register(1 << 24, "bad")
+
+
+class TestTeredo:
+    def test_prefix(self):
+        assert str(TEREDO_PREFIX) == "2001::/32"
+
+    def test_round_trip(self):
+        addr = encode_teredo(0xC0000201, 0xCB007101, 40000, flags=0x8000)
+        decoded = decode_teredo(addr)
+        assert decoded.server_ipv4 == 0xC0000201
+        assert decoded.client_ipv4 == 0xCB007101
+        assert decoded.client_port == 40000
+        assert decoded.cone_nat
+
+    def test_obfuscation(self):
+        # RFC 4380: client address/port are stored ones-complemented
+        addr = encode_teredo(0, 0, 0)
+        assert addr & 0xFFFFFFFF == 0xFFFFFFFF
+        assert (addr >> 32) & 0xFFFF == 0xFFFF
+
+    def test_is_teredo(self):
+        assert is_teredo(parse_ipv6("2001::1"))
+        assert not is_teredo(parse_ipv6("2001:db8::1"))
+        assert not is_teredo(parse_ipv6("2002::1"))
+
+    def test_decode_rejects_non_teredo(self):
+        with pytest.raises(ValueError):
+            decode_teredo(parse_ipv6("2001:db8::1"))
+
+    def test_encode_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            encode_teredo(1 << 32, 0, 0)
+        with pytest.raises(ValueError):
+            encode_teredo(0, 0, 1 << 16)
+
+    @given(
+        st.integers(min_value=0, max_value=(1 << 32) - 1),
+        st.integers(min_value=0, max_value=(1 << 32) - 1),
+        st.integers(min_value=0, max_value=(1 << 16) - 1),
+    )
+    def test_round_trip_property(self, server, client, port):
+        decoded = decode_teredo(encode_teredo(server, client, port))
+        assert (decoded.server_ipv4, decoded.client_ipv4, decoded.client_port) == (
+            server,
+            client,
+            port,
+        )
+
+
+class TestNibbles:
+    def test_nibbles_of_known_address(self):
+        addr = parse_ipv6("2001:db8::")
+        assert nibbles(addr)[:8] == (2, 0, 0, 1, 0, 0xD, 0xB, 8)
+
+    def test_single_nibble(self):
+        addr = parse_ipv6("2001:db8::f")
+        assert nibble(addr, 31) == 0xF
+        assert nibble(addr, 0) == 2
+        with pytest.raises(ValueError):
+            nibble(addr, 32)
+
+    @given(st.integers(min_value=0, max_value=MAX_ADDRESS))
+    def test_round_trip(self, value):
+        assert address_from_nibbles(nibbles(value)) == value
+
+    def test_address_from_nibbles_validates(self):
+        with pytest.raises(ValueError):
+            address_from_nibbles([0] * 31)
+        with pytest.raises(ValueError):
+            address_from_nibbles([16] + [0] * 31)
+
+    def test_set_nibble(self):
+        addr = set_nibble(0, 31, 0xF)
+        assert addr == 0xF
+        assert set_nibble(addr, 31, 0) == 0
+        with pytest.raises(ValueError):
+            set_nibble(0, 0, 17)
+
+    def test_entropy_constant_is_zero(self):
+        assert nibble_entropy([1, 1, 1], 31) == 0.0
+
+    def test_entropy_uniform(self):
+        values = list(range(16))
+        assert math.isclose(nibble_entropy(values, 31), 4.0)
+
+    def test_entropy_empty(self):
+        assert nibble_entropy([], 0) == 0.0
+
+    def test_entropy_profile(self):
+        profile = entropy_profile([0x0, 0x1, 0x2, 0x3])
+        assert len(profile) == NIBBLES_PER_ADDRESS
+        assert profile[:31] == (0.0,) * 31
+        assert math.isclose(profile[31], 2.0)
+
+    def test_entropy_profile_empty(self):
+        assert entropy_profile([]) == (0.0,) * NIBBLES_PER_ADDRESS

@@ -1,0 +1,130 @@
+"""Unit and property tests for IPv6Prefix."""
+
+import ipaddress
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.address import MAX_ADDRESS, AddressError, parse_ipv6
+from repro.net.prefix import IPv6Prefix, parse_prefix
+
+
+class TestConstruction:
+    def test_truncates_host_bits(self):
+        p = IPv6Prefix(parse_ipv6("2001:db8::1"), 32)
+        assert p.value == parse_ipv6("2001:db8::")
+
+    def test_from_string(self):
+        p = IPv6Prefix.from_string("2001:db8::/32")
+        assert (p.value, p.length) == (parse_ipv6("2001:db8::"), 32)
+
+    def test_parse_prefix_shorthand(self):
+        assert parse_prefix("::/0") == IPv6Prefix(0, 0)
+
+    @pytest.mark.parametrize("bad", ["2001:db8::", "2001:db8::/x", "::/129", "::/-1"])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(AddressError):
+            IPv6Prefix.from_string(bad)
+
+    def test_str_round_trip(self):
+        text = "2001:db8:1::/48"
+        assert str(IPv6Prefix.from_string(text)) == text
+
+
+class TestGeometry:
+    def test_first_last(self):
+        p = IPv6Prefix.from_string("2001:db8::/126")
+        assert p.first == parse_ipv6("2001:db8::")
+        assert p.last == parse_ipv6("2001:db8::3")
+
+    def test_num_addresses(self):
+        assert IPv6Prefix.from_string("::/127").num_addresses == 2
+        assert IPv6Prefix.from_string("::/0").num_addresses == 1 << 128
+
+    def test_contains_boundaries(self):
+        p = IPv6Prefix.from_string("2001:db8::/64")
+        assert p.contains(p.first)
+        assert p.contains(p.last)
+        assert not p.contains(p.first - 1)
+        assert not p.contains(p.last + 1)
+
+    def test_contains_prefix(self):
+        outer = IPv6Prefix.from_string("2001:db8::/32")
+        inner = IPv6Prefix.from_string("2001:db8:1::/48")
+        assert outer.contains_prefix(inner)
+        assert outer.contains_prefix(outer)
+        assert not inner.contains_prefix(outer)
+
+    def test_supernet(self):
+        p = IPv6Prefix.from_string("2001:db8:1::/48")
+        assert p.supernet(32) == IPv6Prefix.from_string("2001:db8::/32")
+        with pytest.raises(AddressError):
+            p.supernet(64)
+
+    def test_subprefixes(self):
+        p = IPv6Prefix.from_string("2001:db8::/32")
+        subs = list(p.subprefixes(36))
+        assert len(subs) == 16
+        assert subs[0] == IPv6Prefix.from_string("2001:db8::/36")
+        assert subs[-1] == IPv6Prefix.from_string("2001:db8:f000::/36")
+        assert all(p.contains_prefix(s) for s in subs)
+
+    def test_nth_subprefix(self):
+        p = IPv6Prefix.from_string("2001:db8::/32")
+        assert p.nth_subprefix(36, 3) == IPv6Prefix.from_string("2001:db8:3000::/36")
+        with pytest.raises(AddressError):
+            p.nth_subprefix(36, 16)
+
+    def test_subprefix_length_must_not_shrink(self):
+        p = IPv6Prefix.from_string("2001:db8::/32")
+        with pytest.raises(AddressError):
+            list(p.subprefixes(16))
+
+
+class TestRandomAddress:
+    def test_inside_prefix(self):
+        rng = random.Random(7)
+        p = IPv6Prefix.from_string("2001:db8::/32")
+        for _ in range(50):
+            assert p.contains(p.random_address(rng))
+
+    def test_full_length_prefix(self):
+        rng = random.Random(7)
+        p = IPv6Prefix(parse_ipv6("::5"), 128)
+        assert p.random_address(rng) == parse_ipv6("::5")
+
+
+class TestOrderingHash:
+    def test_sort_order(self):
+        a = IPv6Prefix.from_string("2001:db8::/32")
+        b = IPv6Prefix.from_string("2001:db8::/48")
+        c = IPv6Prefix.from_string("2001:db9::/32")
+        assert sorted([c, b, a]) == [a, b, c]
+
+    def test_hashable(self):
+        assert len({parse_prefix("::/64"), parse_prefix("::/64")}) == 1
+
+
+@given(
+    st.integers(min_value=0, max_value=MAX_ADDRESS),
+    st.integers(min_value=0, max_value=128),
+)
+def test_matches_stdlib_network(value, length):
+    ours = IPv6Prefix(value, length)
+    theirs = ipaddress.IPv6Network((value, length), strict=False)
+    assert ours.value == int(theirs.network_address)
+    assert ours.last == int(theirs.broadcast_address)
+    assert ours.num_addresses == theirs.num_addresses
+
+
+@given(
+    st.integers(min_value=0, max_value=MAX_ADDRESS),
+    st.integers(min_value=1, max_value=128),
+)
+def test_contains_iff_same_network(value, length):
+    p = IPv6Prefix(value, length)
+    assert p.contains(value)
+    shifted = value ^ (1 << (128 - length))  # flip the last network bit
+    assert not p.contains(IPv6Prefix(shifted, length).value)

@@ -1,0 +1,140 @@
+"""Unit and property tests for PrefixTrie."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.address import MAX_ADDRESS
+from repro.net.prefix import IPv6Prefix, parse_prefix
+from repro.net.trie import PrefixTrie
+
+
+@pytest.fixture
+def small_trie():
+    trie = PrefixTrie()
+    trie[parse_prefix("2001:db8::/32")] = "doc"
+    trie[parse_prefix("2001:db8:1::/48")] = "doc-sub"
+    trie[parse_prefix("fe80::/10")] = "link-local"
+    return trie
+
+
+class TestBasics:
+    def test_len_and_bool(self, small_trie):
+        assert len(small_trie) == 3
+        assert small_trie
+        assert not PrefixTrie()
+
+    def test_exact_get(self, small_trie):
+        assert small_trie.get(parse_prefix("2001:db8::/32")) == "doc"
+        assert small_trie.get(parse_prefix("2001:db8::/33")) is None
+        assert small_trie.get(parse_prefix("2001:db8::/33"), "dflt") == "dflt"
+
+    def test_getitem_raises(self, small_trie):
+        with pytest.raises(KeyError):
+            small_trie[parse_prefix("::/1")]
+
+    def test_contains(self, small_trie):
+        assert parse_prefix("fe80::/10") in small_trie
+        assert parse_prefix("fe80::/11") not in small_trie
+
+    def test_replace_keeps_size(self, small_trie):
+        small_trie[parse_prefix("2001:db8::/32")] = "updated"
+        assert len(small_trie) == 3
+        assert small_trie[parse_prefix("2001:db8::/32")] == "updated"
+
+    def test_remove(self, small_trie):
+        assert small_trie.remove(parse_prefix("2001:db8:1::/48"))
+        assert len(small_trie) == 2
+        assert not small_trie.remove(parse_prefix("2001:db8:1::/48"))
+
+    def test_zero_length_prefix(self):
+        trie = PrefixTrie()
+        trie[parse_prefix("::/0")] = "default"
+        assert trie.longest_match(12345) == (IPv6Prefix(12345, 0), "default")
+        assert trie.covers(0)
+
+
+class TestLongestMatch:
+    def test_picks_most_specific(self, small_trie):
+        addr = parse_prefix("2001:db8:1::/48").value | 1
+        prefix, value = small_trie.longest_match(addr)
+        assert value == "doc-sub"
+        assert prefix.length == 48
+
+    def test_falls_back_to_shorter(self, small_trie):
+        addr = parse_prefix("2001:db8:2::/48").value
+        prefix, value = small_trie.longest_match(addr)
+        assert value == "doc"
+        assert prefix.length == 32
+
+    def test_no_match(self, small_trie):
+        assert small_trie.longest_match(1) is None
+
+    def test_covers(self, small_trie):
+        assert small_trie.covers(parse_prefix("2001:db8::/32").value)
+        assert not small_trie.covers(1)
+
+    def test_covering_prefix(self, small_trie):
+        hit = small_trie.covering_prefix(parse_prefix("2001:db8:1:2::/64"))
+        assert hit == (parse_prefix("2001:db8:1::/48"), "doc-sub")
+        assert small_trie.covering_prefix(parse_prefix("::/64")) is None
+
+    def test_covering_prefix_not_partial(self, small_trie):
+        # /16 is shorter than the stored /32: not covered
+        assert small_trie.covering_prefix(parse_prefix("2001::/16")) is None
+
+
+class TestIteration:
+    def test_items_in_address_order(self, small_trie):
+        keys = list(small_trie.keys())
+        assert keys == sorted(keys)
+        assert len(keys) == 3
+
+    def test_values(self, small_trie):
+        assert set(small_trie.values()) == {"doc", "doc-sub", "link-local"}
+
+    def test_iter_protocol(self, small_trie):
+        assert set(small_trie) == set(small_trie.keys())
+
+    def test_round_trip(self, small_trie):
+        rebuilt = PrefixTrie()
+        for prefix, value in small_trie.items():
+            rebuilt[prefix] = value
+        assert dict(rebuilt.items()) == dict(small_trie.items())
+
+
+prefix_strategy = st.builds(
+    IPv6Prefix,
+    st.integers(min_value=0, max_value=MAX_ADDRESS),
+    st.integers(min_value=0, max_value=128),
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.dictionaries(prefix_strategy, st.integers(), max_size=40))
+def test_trie_behaves_like_dict(mapping):
+    trie = PrefixTrie()
+    for prefix, value in mapping.items():
+        trie[prefix] = value
+    assert len(trie) == len(mapping)
+    assert dict(trie.items()) == mapping
+    for prefix, value in mapping.items():
+        assert trie[prefix] == value
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.dictionaries(prefix_strategy, st.integers(), min_size=1, max_size=30),
+    st.integers(min_value=0, max_value=MAX_ADDRESS),
+)
+def test_longest_match_is_truly_longest(mapping, address):
+    trie = PrefixTrie()
+    for prefix, value in mapping.items():
+        trie[prefix] = value
+    expected = [p for p in mapping if p.contains(address)]
+    result = trie.longest_match(address)
+    if not expected:
+        assert result is None
+    else:
+        best = max(expected, key=lambda p: p.length)
+        assert result == (best, mapping[best])

@@ -1,0 +1,43 @@
+"""Tests for the scan blocklist."""
+
+from repro.net.prefix import parse_prefix
+from repro.scan.blocklist import Blocklist, BlocklistEntry
+
+
+class TestBlocklist:
+    def test_empty_blocks_nothing(self):
+        assert not Blocklist().is_blocked(42)
+
+    def test_blocks_inside_prefix(self):
+        bl = Blocklist()
+        bl.add(parse_prefix("2001:db8::/32"), reason="opt-out")
+        assert bl.is_blocked(parse_prefix("2001:db8::/32").value | 7)
+        assert not bl.is_blocked(1)
+
+    def test_filter(self):
+        bl = Blocklist()
+        bl.add(parse_prefix("2001:db8::/32"))
+        inside = parse_prefix("2001:db8::/32").value | 1
+        assert bl.filter([inside, 42]) == {42}
+
+    def test_filter_empty_blocklist_passthrough(self):
+        assert Blocklist().filter([1, 2]) == {1, 2}
+
+    def test_seed_from(self):
+        existing = Blocklist([BlocklistEntry(parse_prefix("2001:db8::/32"))])
+        fresh = Blocklist()
+        fresh.seed_from(existing)
+        assert fresh.is_blocked(parse_prefix("2001:db8::/32").value)
+        assert len(fresh) == 1
+
+    def test_duplicate_add_ignored(self):
+        bl = Blocklist()
+        bl.add(parse_prefix("2001:db8::/32"))
+        bl.add(parse_prefix("2001:db8::/32"))
+        assert len(bl) == 1
+
+    def test_iteration_exposes_reasons(self):
+        bl = Blocklist()
+        bl.add(parse_prefix("2001:db8::/32"), reason="NOC request")
+        (entry,) = list(bl)
+        assert entry.reason == "NOC request"

@@ -1,0 +1,88 @@
+"""Tests for the DNS scanner and control experiment."""
+
+import pytest
+
+from repro.protocols import Protocol
+from repro.scan.dnsscan import DnsScanner
+from repro.simnet.hosts import DnsBehavior
+
+
+class TestZoneResolution:
+    def test_resolves_all_domains(self, small_world):
+        scanner = DnsScanner(small_world)
+        result = scanner.resolve_zone(small_world.zone)
+        assert result.domains_resolved == small_world.zone.domain_count
+        assert result.aaaa_addresses
+
+    def test_ns_mx_addresses_collected(self, small_world):
+        scanner = DnsScanner(small_world)
+        result = scanner.resolve_zone(small_world.zone)
+        truth = small_world.ground_truth.get("ns_mx_addresses")
+        assert truth <= result.ns_mx_addresses
+
+    def test_ns_mx_optional(self, small_world):
+        scanner = DnsScanner(small_world)
+        result = scanner.resolve_zone(small_world.zone, include_ns_mx=False)
+        assert not result.ns_mx_addresses
+
+
+class TestControlExperiment:
+    def _hosts_with_behavior(self, world, behavior, day, limit=50):
+        found = []
+        for address, record in world.hosts.items():
+            if record.dns_behavior is behavior and record.is_up(address, day, world._seed):
+                found.append(address)
+                if len(found) >= limit:
+                    break
+        return found
+
+    def test_auth_servers_classified_as_valid_error(self, small_world):
+        day = 10
+        targets = self._hosts_with_behavior(
+            small_world, DnsBehavior.AUTH_OR_CLOSED, day
+        )
+        if not targets:
+            pytest.skip("no auth servers up")
+        result = DnsScanner(small_world).control_experiment(targets, day)
+        assert result.valid_error == set(targets)
+
+    def test_open_resolvers_confirmed_at_ns(self, small_world):
+        day = 10
+        targets = self._hosts_with_behavior(small_world, DnsBehavior.OPEN_RESOLVER, day)
+        if not targets:
+            pytest.skip("no open resolvers up")
+        result = DnsScanner(small_world).control_experiment(targets, day)
+        assert result.correct_resolution == set(targets)
+
+    def test_silent_targets(self, small_world):
+        result = DnsScanner(small_world).control_experiment([0x3FFF << 112], 0)
+        assert result.silent == {0x3FFF << 112}
+        assert result.responded == 0
+
+    def test_unique_subdomains_per_target(self, small_world):
+        scanner = DnsScanner(small_world)
+        assert scanner._hash_name(1) != scanner._hash_name(2)
+        assert scanner._hash_name(1).endswith(small_world.control_domain)
+
+    def test_gfw_injection_not_triggered_by_control_domain(self, small_world):
+        # control domain is not blocked: Chinese dead addresses stay silent
+        gfw = small_world.gfw
+        day = gfw.eras[-1].start_day
+        cn_asn = next(iter(gfw._boundary.inside_asns))
+        prefix = small_world.routing.base.prefixes_of(cn_asn)[0]
+        dead = prefix.value | 0xDEAD
+        result = DnsScanner(small_world).control_experiment([dead], day)
+        assert dead in result.silent
+
+    def test_mixed_population_accounting(self, small_world):
+        day = 10
+        ups = [
+            address
+            for address, record in small_world.hosts.items()
+            if record.protocols & Protocol.UDP53
+            and record.is_up(address, day, small_world._seed)
+        ][:80]
+        if not ups:
+            pytest.skip("no DNS hosts up")
+        result = DnsScanner(small_world).control_experiment(ups, day)
+        assert result.responded == len(ups)

@@ -1,0 +1,122 @@
+"""Tests for the Too Big Trick prober and TCP fingerprinter."""
+
+import pytest
+
+from repro.protocols import Protocol, TcpFingerprint
+from repro.scan.fingerprint import FingerprintClass, TcpFingerprinter
+from repro.scan.tbt import TbtOutcome, TbtProber
+
+
+def _region_where(world, predicate):
+    region = next((r for r in world.regions if predicate(r)), None)
+    if region is None:
+        pytest.skip("no matching region in small world")
+    return region
+
+
+class TestTbt:
+    def test_shared_cache_full(self, small_world):
+        region = _region_where(
+            small_world,
+            lambda r: r.answers_large_echo and r.pmtu_groups == 1
+            and r.active_from == 0 and r.protocols & Protocol.ICMP,
+        )
+        small_world.reset_pmtu_caches()
+        result = TbtProber(small_world).probe_prefix(region.prefix, 0)
+        assert result.outcome is TbtOutcome.FULL_SHARED
+        assert result.shared_count == 8
+
+    def test_per_address_cache_none(self, small_world):
+        region = _region_where(
+            small_world,
+            lambda r: r.answers_large_echo and r.pmtu_groups == 0
+            and r.active_from == 0 and r.protocols & Protocol.ICMP,
+        )
+        small_world.reset_pmtu_caches()
+        result = TbtProber(small_world).probe_prefix(region.prefix, 0)
+        assert result.outcome is TbtOutcome.NONE_SHARED
+
+    def test_partial_groups(self, small_world):
+        region = _region_where(
+            small_world,
+            lambda r: r.answers_large_echo and r.pmtu_groups >= 2
+            and r.backend_count > r.pmtu_groups
+            and r.active_from == 0 and r.protocols & Protocol.ICMP,
+        )
+        small_world.reset_pmtu_caches()
+        result = TbtProber(small_world).probe_prefix(region.prefix, 0)
+        assert result.outcome in (TbtOutcome.PARTIAL_SHARED, TbtOutcome.FULL_SHARED)
+        if result.outcome is TbtOutcome.PARTIAL_SHARED:
+            assert 2 <= result.shared_count <= 7
+
+    def test_non_cooperative_not_applicable(self, small_world):
+        region = _region_where(
+            small_world,
+            lambda r: not r.answers_large_echo and r.active_from == 0
+            and r.protocols & Protocol.ICMP,
+        )
+        small_world.reset_pmtu_caches()
+        result = TbtProber(small_world).probe_prefix(region.prefix, 0)
+        assert result.outcome is TbtOutcome.NOT_APPLICABLE
+
+    def test_unresponsive_prefix_not_applicable(self, small_world):
+        from repro.net.prefix import parse_prefix
+
+        small_world.reset_pmtu_caches()
+        result = TbtProber(small_world).probe_prefix(parse_prefix("3fff::/64"), 0)
+        assert result.outcome is TbtOutcome.NOT_APPLICABLE
+
+    def test_needs_two_addresses(self, small_world):
+        with pytest.raises(ValueError):
+            TbtProber(small_world, addresses_per_prefix=1)
+
+
+class TestFingerprinter:
+    def test_uniform_region(self, small_world):
+        region = _region_where(
+            small_world,
+            lambda r: r.fingerprint is not None and not r.window_varies
+            and r.active_from == 0 and r.protocols & Protocol.TCP80,
+        )
+        result = TcpFingerprinter(small_world).fingerprint_prefix(region.prefix, 0)
+        assert result.verdict is FingerprintClass.UNIFORM
+        assert result.sample_count == 16
+
+    def test_window_varying_region(self, small_world):
+        region = _region_where(
+            small_world,
+            lambda r: r.fingerprint is not None and r.window_varies
+            and r.backend_count > 1 and r.active_from == 0
+            and r.protocols & Protocol.TCP80,
+        )
+        result = TcpFingerprinter(small_world).fingerprint_prefix(region.prefix, 0)
+        assert result.verdict in (
+            FingerprintClass.WINDOW_ONLY, FingerprintClass.UNIFORM
+        )
+
+    def test_icmp_only_region_no_tcp(self, small_world):
+        region = _region_where(
+            small_world,
+            lambda r: not (r.protocols & (Protocol.TCP80 | Protocol.TCP443))
+            and r.active_from == 0,
+        )
+        result = TcpFingerprinter(small_world).fingerprint_prefix(region.prefix, 0)
+        assert result.verdict is FingerprintClass.NO_TCP
+
+    def test_classify_diverse(self):
+        a = TcpFingerprint("mss", 100, 1, 1460, 64)
+        b = TcpFingerprint("mss;ts", 100, 1, 1460, 64)
+        assert TcpFingerprinter.classify([a, b]) is FingerprintClass.DIVERSE
+
+    def test_classify_window_only(self):
+        a = TcpFingerprint("mss", 100, 1, 1460, 64)
+        b = TcpFingerprint("mss", 200, 1, 1460, 64)
+        assert TcpFingerprinter.classify([a, b]) is FingerprintClass.WINDOW_ONLY
+
+    def test_classify_uniform(self):
+        a = TcpFingerprint("mss", 100, 1, 1460, 64)
+        assert TcpFingerprinter.classify([a, a]) is FingerprintClass.UNIFORM
+
+    def test_needs_two_samples(self, small_world):
+        with pytest.raises(ValueError):
+            TcpFingerprinter(small_world, samples_per_prefix=1)

@@ -1,0 +1,98 @@
+"""Tests for fully responsive region semantics."""
+
+import pytest
+
+from repro.net.prefix import parse_prefix
+from repro.protocols import Protocol, TcpFingerprint
+from repro.simnet.aliases import FullyResponsiveRegion, RegionKind
+
+FP = TcpFingerprint("mss;sackOK", 65535, 7, 1460, 64)
+
+
+def region(**kwargs):
+    defaults = dict(
+        region_id=1,
+        prefix=parse_prefix("2001:db8::/48"),
+        asn=64500,
+        protocols=int(Protocol.ICMP | Protocol.TCP80),
+    )
+    defaults.update(kwargs)
+    return FullyResponsiveRegion(**defaults)
+
+
+class TestActivity:
+    def test_default_always_active(self):
+        assert region().active(0)
+        assert region().active(10_000)
+
+    def test_activation_window(self):
+        r = region(active_from=100, active_until=200)
+        assert not r.active(99)
+        assert r.active(100)
+        assert r.active(199)
+        assert not r.active(200)
+
+
+class TestBackends:
+    def test_single_backend(self):
+        r = region(backend_count=1)
+        assert r.backend_of(123) == 0
+        assert r.backend_of(456) == 0
+
+    def test_backend_deterministic_and_spread(self):
+        r = region(backend_count=8)
+        picks = {r.backend_of(addr) for addr in range(1000)}
+        assert picks == set(range(8))
+        assert r.backend_of(42) == r.backend_of(42)
+
+    def test_invalid_backend_count(self):
+        with pytest.raises(ValueError):
+            region(backend_count=0)
+
+
+class TestPmtuKeys:
+    def test_shared_cache(self):
+        r = region(pmtu_groups=1)
+        assert r.pmtu_cache_key(1) == r.pmtu_cache_key(999)
+
+    def test_per_address_cache(self):
+        r = region(pmtu_groups=0)
+        assert r.pmtu_cache_key(1) != r.pmtu_cache_key(2)
+
+    def test_partial_groups(self):
+        r = region(backend_count=8, pmtu_groups=3)
+        keys = {r.pmtu_cache_key(addr) for addr in range(500)}
+        assert len(keys) == 3
+
+    def test_invalid_groups(self):
+        with pytest.raises(ValueError):
+            region(pmtu_groups=-1)
+
+
+class TestFingerprints:
+    def test_no_fingerprint(self):
+        assert region(fingerprint=None).fingerprint_for(1) is None
+
+    def test_uniform_fingerprint(self):
+        r = region(fingerprint=FP, backend_count=16)
+        assert r.fingerprint_for(1) == FP
+        assert r.fingerprint_for(2) == FP
+
+    def test_window_varies_across_backends(self):
+        r = region(fingerprint=FP, backend_count=16, window_varies=True)
+        windows = {r.fingerprint_for(addr).window_size for addr in range(200)}
+        assert len(windows) > 1
+        # everything else uniform
+        rest = {
+            (f.options_text, f.window_scale, f.mss, f.ittl)
+            for f in (r.fingerprint_for(addr) for addr in range(200))
+        }
+        assert len(rest) == 1
+
+    def test_window_varies_still_matches_ignoring_window(self):
+        r = region(fingerprint=FP, backend_count=4, window_varies=True)
+        a, b = r.fingerprint_for(10), r.fingerprint_for(20)
+        assert a.matches(b, ignore_window=True)
+
+    def test_kind_default(self):
+        assert region().kind is RegionKind.SINGLE_HOST

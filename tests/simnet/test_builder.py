@@ -1,0 +1,122 @@
+"""Structural tests for the scenario builder (small world)."""
+
+from repro._util import FINAL_DAY
+from repro.net.eui64 import is_eui64_interface_id
+from repro.protocols import Protocol
+from repro.simnet import build_internet, small_config
+from repro.simnet.aliases import RegionKind
+
+_LOW64 = (1 << 64) - 1
+
+
+class TestDeterminism:
+    def test_same_seed_same_world(self):
+        a = build_internet(small_config(seed=99))
+        b = build_internet(small_config(seed=99))
+        assert set(a.hosts) == set(b.hosts)
+        assert [r.prefix for r in a.regions] == [r.prefix for r in b.regions]
+        assert a.ground_truth.get("initial_input") == b.ground_truth.get("initial_input")
+
+    def test_different_seed_different_world(self):
+        a = build_internet(small_config(seed=1))
+        b = build_internet(small_config(seed=2))
+        assert set(a.hosts) != set(b.hosts)
+
+
+class TestStructure:
+    def test_every_host_routed(self, small_world):
+        rib = small_world.routing.base
+        unrouted = [a for a in list(small_world.hosts)[:500] if rib.origin_as(a) is None]
+        assert unrouted == []
+
+    def test_regions_belong_to_their_asn(self, small_world):
+        snapshot = small_world.routing.snapshot_at(FINAL_DAY)
+        for region in small_world.regions[:50]:
+            origin = snapshot.origin_as(region.prefix.value)
+            assert origin == region.asn
+
+    def test_trafficforce_regions_appear_at_event(self, small_world):
+        config = small_config()
+        tf = [r for r in small_world.regions if r.asn == 212144]
+        assert len(tf) == config.trafficforce_prefix_count
+        assert all(r.active_from == config.trafficforce_event_day for r in tf)
+        assert all(r.prefix.length == 64 for r in tf)
+        assert all(r.protocols == int(Protocol.ICMP) for r in tf)
+        # announced only after the event
+        before = small_world.routing.snapshot_at(config.trafficforce_event_day - 1)
+        after = small_world.routing.snapshot_at(config.trafficforce_event_day)
+        assert before.origin_as(tf[0].prefix.value) is None
+        assert after.origin_as(tf[0].prefix.value) == 212144
+
+    def test_epicup_28s(self, small_world):
+        config = small_config()
+        epicup = [r for r in small_world.regions if r.asn == 397165]
+        assert len(epicup) == config.epicup_prefix_count
+        assert all(r.prefix.length == 28 for r in epicup)
+
+    def test_cloudflare_regions_split_web_and_dns(self, small_world):
+        cf = [r for r in small_world.regions if r.asn == 13335]
+        assert cf
+        dns_serving = [r for r in cf if r.protocols & Protocol.UDP53]
+        web_serving = [r for r in cf if r.protocols & Protocol.UDP443]
+        assert dns_serving, "some prefixes serve DNS (1.1.1.1-style)"
+        assert web_serving, "most prefixes are QUIC-capable front-ends"
+        # Table 2: no prefix combines UDP/443 and UDP/53
+        assert not {r.prefix for r in dns_serving} & {r.prefix for r in web_serving}
+        assert all(r.kind is RegionKind.LOADBALANCED for r in cf)
+
+    def test_fleets_exist_for_named_isps(self, small_world):
+        assert small_world.topology.fleets_of(6057)
+        assert small_world.topology.fleets_of(3320)
+
+    def test_antel_fleet_is_zte_eui64_with_shared_macs(self, small_world):
+        (fleet,) = small_world.topology.fleets_of(6057)
+        assert fleet.vendor == "ZTE"
+        assert fleet.eui64_iids
+        assert fleet.shared_mac_devices > 0
+        address = fleet.address_of(0, 10)
+        assert is_eui64_interface_id(address & _LOW64)
+
+    def test_chinese_fleets_use_random_iids(self, small_world):
+        cn_fleets = small_world.topology.fleets_of(4134)
+        assert cn_fleets
+        assert not cn_fleets[0].eui64_iids
+
+    def test_initial_input_size(self, small_world):
+        config = small_config()
+        initial = small_world.ground_truth.get("initial_input")
+        assert len(initial) >= config.initial_input_size * 0.95
+
+    def test_hidden_farm_hosts_not_in_initial_input(self, small_world):
+        initial = small_world.ground_truth.get("initial_input")
+        hidden = small_world.ground_truth.get("farm_hidden")
+        assert hidden
+        assert not (hidden & initial)
+
+    def test_blocked_domains_resolve(self, small_world):
+        for name in small_config().blocked_domains:
+            assert small_world.zone.resolve_aaaa(name)
+
+    def test_zone_has_top_lists(self, small_world):
+        for top_list in ("alexa", "majestic", "umbrella"):
+            entries = small_world.zone.top_list(top_list)
+            assert entries
+            ranks = [small_world.zone.domain(n).rank(top_list) for n in entries]
+            assert ranks == sorted(ranks)
+
+    def test_ns_mx_mostly_in_amazon(self, small_world):
+        rib = small_world.routing.base
+        ns_mx = small_world.ground_truth.get("ns_mx_addresses")
+        amazon = sum(1 for a in ns_mx if rib.origin_as(a) == 16509)
+        assert amazon / len(ns_mx) > 0.5
+
+    def test_deep_flappers_have_long_down_periods(self, small_world):
+        config = small_config()
+        flappers = small_world.ground_truth.get("deep_flappers")
+        record = small_world.hosts[next(iter(flappers))]
+        assert record.flap_period > 30
+        assert record.stability < 1.0
+
+    def test_oui_registry_knows_zte(self, small_world):
+        (fleet,) = small_world.topology.fleets_of(6057)
+        assert small_world.oui_registry.vendor(fleet.oui) == "ZTE"

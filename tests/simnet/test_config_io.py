@@ -1,0 +1,44 @@
+"""Tests for scenario config JSON round-tripping."""
+
+import io
+
+import pytest
+
+from repro.simnet import default_config, small_config
+from repro.simnet.config_io import (
+    config_from_dict,
+    config_to_dict,
+    load_config,
+    save_config,
+)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("factory", [small_config, default_config])
+    def test_full_round_trip(self, factory):
+        config = factory()
+        rebuilt = config_from_dict(config_to_dict(config))
+        assert rebuilt == config
+
+    def test_json_stream_round_trip(self):
+        config = small_config(seed=77)
+        out = io.StringIO()
+        save_config(config, out)
+        rebuilt = load_config(io.StringIO(out.getvalue()))
+        assert rebuilt == config
+
+    def test_nested_types_restored(self):
+        rebuilt = config_from_dict(config_to_dict(small_config()))
+        assert rebuilt.farms[0].asn == small_config().farms[0].asn
+        assert rebuilt.fleets[0].vendor == "ZTE"
+        assert isinstance(rebuilt.gfw_as_shares[0][0], int)
+        assert all(isinstance(k, int) for k in rebuilt.responsive_org_shares)
+
+    def test_unknown_field_rejected(self):
+        data = config_to_dict(small_config())
+        data["bogus_field"] = 1
+        with pytest.raises(ValueError):
+            config_from_dict(data)
+
+    def test_with_seed_helper(self):
+        assert small_config().with_seed(99).seed == 99

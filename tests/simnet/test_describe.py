@@ -1,0 +1,38 @@
+"""Tests for world introspection."""
+
+from repro.simnet import small_config
+from repro.simnet.describe import describe_world
+
+
+class TestDescribeWorld:
+    def test_inventory_consistent(self, small_world):
+        summary = describe_world(small_world)
+        assert summary.host_count == len(small_world.hosts)
+        assert summary.region_count == len(small_world.regions)
+        assert summary.fleet_count == len(small_world.topology.fleets)
+        assert summary.domain_count == small_world.zone.domain_count
+        assert summary.announced_prefixes == small_world.routing.base.prefix_count
+        assert sum(summary.regions_by_kind.values()) == summary.region_count
+        assert sum(summary.regions_by_length.values()) == summary.region_count
+
+    def test_protocol_counts_bounded(self, small_world):
+        summary = describe_world(small_world)
+        for label, count in summary.hosts_by_protocol.items():
+            assert 0 <= count <= summary.host_count, label
+        assert summary.hosts_by_protocol["ICMP"] > 0
+
+    def test_top_asns(self, small_world):
+        summary = describe_world(small_world, top=3)
+        assert len(summary.top_host_asns) == 3
+        counts = [count for _name, count in summary.top_host_asns]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_chinese_asns_counted(self, small_world):
+        config = small_config()
+        summary = describe_world(small_world)
+        assert summary.chinese_asns >= config.generic_cn_as_count
+
+    def test_render(self, small_world):
+        text = describe_world(small_world).render()
+        assert "World summary" in text
+        assert "Top ASes" in text

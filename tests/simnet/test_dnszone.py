@@ -1,0 +1,69 @@
+"""Tests for the DNS zone."""
+
+import pytest
+
+from repro.simnet.dnszone import DnsZone, Domain
+
+
+@pytest.fixture
+def zone():
+    z = DnsZone()
+    z.add_domain(Domain(name="a.example", addresses=(1,), ranks={"alexa": 2}))
+    z.add_domain(
+        Domain(
+            name="b.example",
+            addresses=(2, 3),
+            ns_hosts=("ns1.prov.example",),
+            mx_hosts=("mx1.prov.example",),
+            ranks={"alexa": 1, "majestic": 5},
+        )
+    )
+    z.add_host_record("ns1.prov.example", (10,))
+    z.add_host_record("mx1.prov.example", (11, 12))
+    z.finalize()
+    return z
+
+
+class TestResolution:
+    def test_domain_aaaa(self, zone):
+        assert zone.resolve_aaaa("b.example") == (2, 3)
+
+    def test_host_record_aaaa(self, zone):
+        assert zone.resolve_aaaa("ns1.prov.example") == (10,)
+
+    def test_unknown(self, zone):
+        assert zone.resolve_aaaa("nope.example") == ()
+
+    def test_domain_lookup(self, zone):
+        assert zone.domain("a.example").rank("alexa") == 2
+        assert zone.domain("a.example").rank("umbrella") is None
+        assert zone.domain("missing.example") is None
+
+
+class TestTopLists:
+    def test_sorted_by_rank(self, zone):
+        assert zone.top_list("alexa") == ["b.example", "a.example"]
+
+    def test_limit(self, zone):
+        assert zone.top_list("alexa", limit=1) == ["b.example"]
+
+    def test_unknown_list_empty(self, zone):
+        assert zone.top_list("tranco") == []
+
+
+class TestRegistration:
+    def test_counts(self, zone):
+        assert zone.domain_count == 2
+        assert zone.host_record_count == 2
+
+    def test_conflicting_domain_rejected(self, zone):
+        with pytest.raises(ValueError):
+            zone.add_domain(Domain(name="a.example", addresses=(9,)))
+
+    def test_identical_reregistration_ok(self, zone):
+        zone.add_domain(Domain(name="a.example", addresses=(1,), ranks={"alexa": 2}))
+        assert zone.domain_count == 2
+
+    def test_iteration(self, zone):
+        assert {d.name for d in zone.domains()} == {"a.example", "b.example"}
+        assert dict(zone.host_records())["mx1.prov.example"] == (11, 12)

@@ -1,0 +1,109 @@
+"""Tests for the Great Firewall injector model."""
+
+import pytest
+
+from repro.asn.topology import GfwBoundary
+from repro.net.teredo import decode_teredo, is_teredo
+from repro.protocols import DnsStatus, RecordType
+from repro.simnet.gfwsim import (
+    DEFAULT_IPV4_POOL,
+    GfwEra,
+    GreatFirewall,
+    InjectionMode,
+)
+
+CN_ASN = 4134
+DE_ASN = 3320
+
+
+@pytest.fixture
+def gfw():
+    boundary = GfwBoundary(inside_asns=frozenset({CN_ASN}))
+    eras = [
+        GfwEra(100, 200, InjectionMode.A_RECORD),
+        GfwEra(300, 400, InjectionMode.TEREDO),
+    ]
+    return GreatFirewall(
+        boundary=boundary,
+        eras=eras,
+        blocked_domains=["www.google.com"],
+        seed=1,
+        burst_probability=0.0,
+    )
+
+
+class TestEraSelection:
+    def test_active_era(self, gfw):
+        assert gfw.active_era(150).mode is InjectionMode.A_RECORD
+        assert gfw.active_era(350).mode is InjectionMode.TEREDO
+        assert gfw.active_era(250) is None
+        assert gfw.active_era(400) is None
+
+    def test_would_inject(self, gfw):
+        assert gfw.would_inject(CN_ASN, "www.google.com", 150)
+        assert not gfw.would_inject(DE_ASN, "www.google.com", 150)
+        assert not gfw.would_inject(CN_ASN, "example.com", 150)
+        assert not gfw.would_inject(CN_ASN, "www.google.com", 250)
+        assert not gfw.would_inject(None, "www.google.com", 150)
+
+    def test_blocked_is_case_insensitive(self, gfw):
+        assert gfw.is_blocked("WWW.GOOGLE.COM")
+
+
+class TestInjection:
+    def test_no_injection_outside_conditions(self, gfw):
+        assert gfw.inject(1, DE_ASN, "www.google.com", 150) == []
+        assert gfw.inject(1, CN_ASN, "unblocked.example", 150) == []
+        assert gfw.inject(1, CN_ASN, "www.google.com", 250) == []
+
+    def test_a_record_era_shape(self, gfw):
+        responses = gfw.inject(0xABC, CN_ASN, "www.google.com", 150)
+        assert 2 <= len(responses) <= 3
+        for response in responses:
+            assert response.injected
+            assert response.responder == 0xABC  # spoofed as the target
+            assert response.status is DnsStatus.NOERROR
+            (answer,) = response.answers
+            assert answer.rtype is RecordType.A
+            assert DEFAULT_IPV4_POOL.owner_of(answer.address) is not None
+
+    def test_teredo_era_shape(self, gfw):
+        responses = gfw.inject(0xABC, CN_ASN, "www.google.com", 350)
+        assert responses
+        for response in responses:
+            (answer,) = response.answers
+            assert answer.rtype is RecordType.AAAA
+            assert is_teredo(answer.address)
+            embedded = decode_teredo(answer.address).client_ipv4
+            assert DEFAULT_IPV4_POOL.owner_of(embedded) is not None
+
+    def test_deterministic(self, gfw):
+        first = gfw.inject(77, CN_ASN, "www.google.com", 150)
+        second = gfw.inject(77, CN_ASN, "www.google.com", 150)
+        assert first == second
+
+    def test_different_targets_different_answers(self, gfw):
+        a = gfw.inject(1, CN_ASN, "www.google.com", 150)
+        b = gfw.inject(2, CN_ASN, "www.google.com", 150)
+        assert a[0].answers != b[0].answers or len(a) != len(b)
+
+    def test_bursts_when_enabled(self):
+        boundary = GfwBoundary(inside_asns=frozenset({CN_ASN}))
+        gfw = GreatFirewall(
+            boundary=boundary,
+            eras=[GfwEra(0, 10_000, InjectionMode.A_RECORD)],
+            blocked_domains=["www.google.com"],
+            burst_probability=1.0,
+        )
+        responses = gfw.inject(5, CN_ASN, "www.google.com", 1)
+        assert len(responses) >= 64
+
+
+class TestIpv4Pool:
+    def test_pick_within_ranges(self):
+        for draw in range(0, 10_000, 97):
+            ipv4, owner = DEFAULT_IPV4_POOL.pick(draw)
+            assert DEFAULT_IPV4_POOL.owner_of(ipv4) == owner
+
+    def test_owner_of_unknown(self):
+        assert DEFAULT_IPV4_POOL.owner_of(0x01010101) is None

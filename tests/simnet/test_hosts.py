@@ -1,0 +1,65 @@
+"""Tests for HostRecord temporal behaviour."""
+
+from repro.protocols import Protocol
+from repro.simnet.hosts import DnsBehavior, HostRecord
+
+
+class TestLifetime:
+    def test_exists_window(self):
+        host = HostRecord(protocols=int(Protocol.ICMP), born_day=10, dead_day=20)
+        assert not host.exists(9)
+        assert host.exists(10)
+        assert host.exists(19)
+        assert not host.exists(20)
+
+    def test_immortal_host(self):
+        host = HostRecord(protocols=int(Protocol.ICMP))
+        assert host.exists(10_000)
+
+    def test_not_up_before_birth(self):
+        host = HostRecord(protocols=int(Protocol.ICMP), born_day=100)
+        assert not host.is_up(42, 50)
+        assert host.is_up(42, 100)
+
+
+class TestChurn:
+    def test_stable_host_always_up(self):
+        host = HostRecord(protocols=int(Protocol.ICMP), stability=1.0)
+        assert all(host.is_up(7, day) for day in range(0, 400, 13))
+
+    def test_up_state_constant_within_epoch(self):
+        host = HostRecord(protocols=int(Protocol.ICMP), stability=0.5, flap_period=30)
+        for address in (11, 222, 3333):
+            states = {host.is_up(address, day) for day in range(30)}
+            assert len(states) == 1
+
+    def test_stability_fraction_approximate(self):
+        host = HostRecord(protocols=int(Protocol.ICMP), stability=0.5, flap_period=1)
+        ups = sum(host.is_up(9, day) for day in range(2000))
+        assert 800 < ups < 1200
+
+    def test_zero_stability_never_up(self):
+        host = HostRecord(protocols=int(Protocol.ICMP), stability=0.0, flap_period=1)
+        assert not any(host.is_up(5, day) for day in range(100))
+
+    def test_deterministic_across_instances(self):
+        a = HostRecord(protocols=int(Protocol.ICMP), stability=0.5, flap_period=7)
+        b = HostRecord(protocols=int(Protocol.ICMP), stability=0.5, flap_period=7)
+        assert [a.is_up(99, d) for d in range(100)] == [b.is_up(99, d) for d in range(100)]
+
+    def test_seed_changes_phase(self):
+        host = HostRecord(protocols=int(Protocol.ICMP), stability=0.5, flap_period=3)
+        seq0 = [host.is_up(1234, day, seed=0) for day in range(90)]
+        seq1 = [host.is_up(1234, day, seed=1) for day in range(90)]
+        assert seq0 != seq1
+
+
+class TestResponds:
+    def test_protocol_mask_respected(self):
+        host = HostRecord(protocols=int(Protocol.ICMP | Protocol.TCP80))
+        assert host.responds(1, Protocol.ICMP, 0)
+        assert host.responds(1, Protocol.TCP80, 0)
+        assert not host.responds(1, Protocol.UDP53, 0)
+
+    def test_default_dns_behavior(self):
+        assert HostRecord(protocols=0).dns_behavior is DnsBehavior.NOT_DNS

@@ -1,0 +1,63 @@
+"""Cache-correctness tests for SimInternet hot paths."""
+
+from repro.protocols import Protocol
+
+
+class TestOriginCache:
+    def test_cache_invalidated_by_routing_event(self, small_world):
+        tf_region = next(r for r in small_world.regions if r.asn == 212144)
+        address = tf_region.prefix.value | 5
+        event_day = tf_region.active_from
+        # query before the event populates the cache with None
+        assert small_world.origin_as(address, event_day - 1) is None
+        # after the announcement the cached snapshot must be replaced
+        assert small_world.origin_as(address, event_day) == 212144
+        # and flipping back to the old snapshot is consistent too
+        assert small_world.origin_as(address, event_day - 1) is None
+
+    def test_cache_consistent_with_direct_lookup(self, small_world):
+        rib = small_world.routing.base
+        for address in list(small_world.hosts)[:200]:
+            assert small_world.origin_as(address, 0) == rib.origin_as(address)
+
+
+class TestCpeCache:
+    def test_daily_cache_switches(self, small_world):
+        fleet = next(
+            f for f in small_world.topology.fleets if f.responsive_share > 0
+        )
+        device = next(
+            d for d in range(fleet.device_count) if fleet.device_responds(d)
+        )
+        day = 10
+        current = fleet.address_of(device, day)
+        assert small_world.responds(current, Protocol.ICMP, day)
+        # after rotation, the old address goes quiet and the new answers
+        later = day + fleet.rotation_period
+        rotated = fleet.address_of(device, later)
+        assert rotated != current
+        assert small_world.responds(rotated, Protocol.ICMP, later)
+        assert not small_world.responds(current, Protocol.ICMP, later)
+
+    def test_unresponsive_device_never_answers(self, small_world):
+        fleet = next(
+            f for f in small_world.topology.fleets if f.responsive_share > 0
+        )
+        device = next(
+            d for d in range(fleet.device_count) if not fleet.device_responds(d)
+        )
+        address = fleet.address_of(device, 10)
+        if address in small_world.hosts:
+            return  # rare collision with a host; nothing to assert
+        assert not small_world.responds(address, Protocol.ICMP, 10)
+
+
+class TestRegionCacheActivity:
+    def test_inactive_region_cached_but_gated(self, small_world):
+        region = next(r for r in small_world.regions if r.active_from > 10)
+        address = region.prefix.value | 3
+        # cache the lookup while inactive …
+        assert small_world.region_of(address, region.active_from - 1) is None
+        # … the same cache entry must serve the active day correctly
+        active = small_world.region_of(address, region.active_from)
+        assert active is not None and active.prefix == region.prefix

@@ -1,0 +1,36 @@
+"""Ground-truth invariants from the paper's Table 2 observations."""
+
+from repro.protocols import Protocol
+
+
+class TestRegionProtocolInvariants:
+    def test_no_region_combines_quic_and_dns(self, small_world):
+        """Paper: 'In no prefix was UDP/443 and UDP/53 seen in combination.'"""
+        for region in small_world.regions:
+            both = (Protocol.UDP443 | Protocol.UDP53)
+            assert (region.protocols & both) != both, region.prefix
+
+    def test_only_cloudflare_covers_every_probe(self, small_world):
+        """Paper: only Cloudflare originates at least one prefix responsive
+        to each probe respectively (across different prefixes)."""
+        coverage = {}
+        for region in small_world.regions:
+            coverage.setdefault(region.asn, 0)
+            coverage[region.asn] |= region.protocols
+        full = int(Protocol.ICMP | Protocol.TCP80 | Protocol.TCP443
+                   | Protocol.UDP443 | Protocol.UDP53)
+        complete = {asn for asn, mask in coverage.items() if mask & full == full}
+        assert complete == {13335}
+
+    def test_dns_serving_aliased_asns(self, small_world):
+        """Paper Table 2: only Cloudflare and Misaka answer UDP/53."""
+        dns_asns = {
+            region.asn for region in small_world.regions
+            if region.protocols & Protocol.UDP53
+        }
+        assert dns_asns == {13335, 50069}
+
+    def test_trafficforce_is_icmp_only(self, small_world):
+        for region in small_world.regions:
+            if region.asn == 212144:
+                assert region.protocols == int(Protocol.ICMP)

@@ -1,0 +1,129 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.net.address import parse_ipv6
+from repro.net.prefix import parse_prefix
+
+
+class TestConfigCommand:
+    def test_dump_and_round_trip(self, tmp_path, capsys):
+        path = tmp_path / "cfg.json"
+        assert main(["config", "--preset", "small", "--seed", "5",
+                     "-o", str(path)]) == 0
+        data = json.loads(path.read_text())
+        assert data["seed"] == 5
+        # feed it back through --config
+        out2 = tmp_path / "cfg2.json"
+        assert main(["config", "--config", str(path), "-o", str(out2)]) == 0
+        assert json.loads(out2.read_text()) == data
+
+    def test_dump_to_stdout(self, capsys):
+        assert main(["config", "--preset", "small"]) == 0
+        out = capsys.readouterr().out
+        assert json.loads(out)["generic_as_count"] > 0
+
+
+class TestGenerateCommand:
+    def test_distance_clustering_end_to_end(self, tmp_path):
+        base = parse_ipv6("2001:db8::")
+        seeds = tmp_path / "seeds.txt"
+        seeds.write_text(
+            "\n".join(str_addr(base + i * 10) for i in range(12)) + "\n"
+        )
+        output = tmp_path / "candidates.txt"
+        assert main(["generate", "distance-clustering", str(seeds),
+                     "-o", str(output)]) == 0
+        lines = [l for l in output.read_text().splitlines() if l]
+        assert lines
+        for line in lines:
+            value = parse_ipv6(line)
+            assert base <= value <= base + 110
+
+    def test_empty_seed_file(self, tmp_path, capsys):
+        seeds = tmp_path / "seeds.txt"
+        seeds.write_text("\n")
+        assert main(["generate", "6graph", str(seeds)]) == 1
+
+    def test_budget_respected(self, tmp_path):
+        seeds = tmp_path / "seeds.txt"
+        base = parse_ipv6("2001:db8::")
+        seeds.write_text("\n".join(str_addr(base + i) for i in range(30)) + "\n")
+        output = tmp_path / "out.txt"
+        assert main(["generate", "distance-clustering", str(seeds),
+                     "--budget", "5", "-o", str(output)]) == 0
+        assert len(output.read_text().splitlines()) <= 5
+
+
+class TestAggregateCommand:
+    def test_merges_siblings(self, tmp_path):
+        source = tmp_path / "prefixes.txt"
+        source.write_text("2001:db8::/33\n2001:db8:8000::/33\n")
+        output = tmp_path / "agg.txt"
+        assert main(["aggregate", str(source), "-o", str(output)]) == 0
+        assert output.read_text().strip() == "2001:db8::/32"
+
+
+class TestSimulateCommand:
+    def test_small_simulation(self, tmp_path, capsys):
+        outdir = tmp_path / "run"
+        assert main([
+            "simulate", "--preset", "small", "--seed", "3",
+            "--days", "60", "--interval", "10", "-o", str(outdir),
+        ]) == 0
+        responsive = (outdir / "responsive.txt").read_text().splitlines()
+        assert responsive
+        for line in responsive[:10]:
+            parse_ipv6(line)
+        prefixes = (outdir / "aliased-prefixes.txt").read_text().splitlines()
+        assert prefixes
+        parse_prefix(prefixes[0])
+        report = (outdir / "report.txt").read_text()
+        assert "Table 1" in report
+        assert "Figure 10" in report
+        scenario = json.loads((outdir / "scenario.json").read_text())
+        assert scenario["seed"] == 3
+        figures = outdir / "figures"
+        assert (figures / "fig3_timeline.csv").exists()
+        assert (figures / "fig10_protocol_overlap.csv").exists()
+        assert "validation" in (outdir / "validation.txt").read_text().lower()
+        summary = json.loads((outdir / "summary.json").read_text())
+        assert summary["format_version"] == 1
+        assert summary["snapshots"]
+
+    def test_compare_two_runs(self, tmp_path, capsys):
+        for seed, name in ((8, "a"), (9, "b")):
+            assert main([
+                "simulate", "--preset", "small", "--seed", str(seed),
+                "--days", "40", "--interval", "10",
+                "-o", str(tmp_path / name),
+            ]) == 0
+        capsys.readouterr()
+        assert main([
+            "compare",
+            str(tmp_path / "a" / "summary.json"),
+            str(tmp_path / "b" / "summary.json"),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Run comparison" in out
+        assert "accumulated input" in out
+
+    def test_small_evaluation(self, tmp_path):
+        outdir = tmp_path / "eval"
+        assert main([
+            "evaluate", "--preset", "small", "--seed", "4",
+            "--days", "50", "--interval", "10", "-o", str(outdir),
+        ]) == 0
+        report = (outdir / "report.txt").read_text()
+        assert "Tables 3-4" in report
+        assert (outdir / "new-responsive.txt").exists()
+        assert (outdir / "figures" / "fig7_source_overlap.csv").exists()
+
+
+def str_addr(value: int) -> str:
+    from repro.net.address import format_ipv6
+
+    return format_ipv6(value)

@@ -1,0 +1,41 @@
+"""Execute the usage examples embedded in docstrings.
+
+Several public modules carry doctest examples; running them keeps the
+documentation honest as the code evolves.
+"""
+
+import doctest
+import importlib
+
+import pytest
+
+MODULE_NAMES = [
+    "repro._util",
+    "repro.analysis.formatting",
+    "repro.net.address",
+    "repro.net.aggregate",
+    "repro.net.eui64",
+    "repro.net.nibbles",
+    "repro.net.prefix",
+    "repro.net.random_addr",
+    "repro.net.teredo",
+    "repro.net.trie",
+    "repro.protocols",
+]
+
+# import_module avoids attribute shadowing (repro.net re-exports a
+# `nibbles` *function*, which hides the submodule of the same name)
+MODULES = [importlib.import_module(name) for name in MODULE_NAMES]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_doctests(module):
+    result = doctest.testmod(module, verbose=False)
+    assert result.failed == 0, f"doctest failures in {module.__name__}"
+
+
+def test_doc_examples_exist():
+    attempted = sum(
+        doctest.testmod(module, verbose=False).attempted for module in MODULES
+    )
+    assert attempted > 20, "doc examples should actually exist"

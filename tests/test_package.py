@@ -1,0 +1,49 @@
+"""Package-level smoke tests: imports, version, public API."""
+
+import importlib
+
+import pytest
+
+SUBPACKAGES = [
+    "repro",
+    "repro.net",
+    "repro.asn",
+    "repro.simnet",
+    "repro.scan",
+    "repro.hitlist",
+    "repro.gfw",
+    "repro.tga",
+    "repro.analysis",
+    "repro.cli",
+    "repro.protocols",
+]
+
+
+@pytest.mark.parametrize("name", SUBPACKAGES)
+def test_imports_cleanly(name):
+    module = importlib.import_module(name)
+    assert module.__doc__, f"{name} needs a module docstring"
+
+
+def test_version():
+    import repro
+
+    assert repro.__version__ == "1.0.0"
+
+
+def test_public_api_exports_exist():
+    import repro
+
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+@pytest.mark.parametrize(
+    "name",
+    ["repro.net", "repro.asn", "repro.simnet", "repro.scan",
+     "repro.hitlist", "repro.gfw", "repro.tga", "repro.analysis"],
+)
+def test_subpackage_all_resolves(name):
+    module = importlib.import_module(name)
+    for symbol in getattr(module, "__all__", []):
+        assert hasattr(module, symbol), f"{name}.{symbol}"

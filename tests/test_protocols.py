@@ -1,0 +1,94 @@
+"""Tests for the shared protocol and wire-record types."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.protocols import (
+    ALL_PROTOCOLS,
+    APD_PROTOCOLS,
+    DnsAnswer,
+    DnsResponse,
+    DnsStatus,
+    Protocol,
+    RecordType,
+    TcpFingerprint,
+    mask_of,
+    protocols_in,
+)
+
+
+class TestProtocol:
+    def test_flags_are_disjoint(self):
+        combined = 0
+        for protocol in ALL_PROTOCOLS:
+            assert not combined & protocol
+            combined |= protocol
+
+    def test_labels(self):
+        assert Protocol.ICMP.label == "ICMP"
+        assert Protocol.TCP80.label == "TCP/80"
+        assert Protocol.UDP443.label == "UDP/443"
+
+    def test_all_protocols_order_matches_table1(self):
+        assert [p.label for p in ALL_PROTOCOLS] == [
+            "ICMP", "TCP/443", "TCP/80", "UDP/443", "UDP/53",
+        ]
+
+    def test_apd_uses_icmp_and_http(self):
+        assert set(APD_PROTOCOLS) == {Protocol.ICMP, Protocol.TCP80}
+
+    def test_mask_round_trip(self):
+        subset = (Protocol.ICMP, Protocol.UDP53)
+        assert protocols_in(mask_of(subset)) == frozenset(subset)
+
+    @given(st.sets(st.sampled_from(list(ALL_PROTOCOLS))))
+    def test_mask_round_trip_property(self, subset):
+        assert protocols_in(mask_of(subset)) == frozenset(subset)
+
+    def test_empty_mask(self):
+        assert protocols_in(0) == frozenset()
+        assert mask_of([]) == 0
+
+
+class TestDnsRecords:
+    def test_answer_addresses_filters_names(self):
+        response = DnsResponse(
+            responder=1,
+            qname="x.example",
+            answers=(
+                DnsAnswer(rtype=RecordType.AAAA, address=7),
+                DnsAnswer(rtype=RecordType.NS, target="ns.example"),
+                DnsAnswer(rtype=RecordType.A, address=9),
+            ),
+        )
+        assert response.answer_addresses == (7, 9)
+
+    def test_default_status(self):
+        response = DnsResponse(responder=1, qname="x")
+        assert response.status is DnsStatus.NOERROR
+        assert not response.injected
+        assert response.answers == ()
+
+
+class TestTcpFingerprint:
+    FP = TcpFingerprint("mss;sackOK", 65535, 7, 1460, 64)
+
+    def test_exact_match(self):
+        assert self.FP.matches(self.FP)
+
+    def test_window_difference(self):
+        other = TcpFingerprint("mss;sackOK", 29200, 7, 1460, 64)
+        assert not self.FP.matches(other)
+        assert self.FP.matches(other, ignore_window=True)
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [("options_text", "mss"), ("window_scale", 8), ("mss", 1440), ("ittl", 255)],
+    )
+    def test_strong_feature_differences(self, field, value):
+        kwargs = dict(options_text="mss;sackOK", window_size=65535,
+                      window_scale=7, mss=1460, ittl=64)
+        kwargs[field] = value
+        other = TcpFingerprint(**kwargs)
+        assert not self.FP.matches(other, ignore_window=True)

@@ -1,0 +1,17 @@
+"""Fixtures for the evaluation harness tests."""
+
+import pytest
+
+from repro.hitlist import HitlistService
+from repro.simnet import build_internet, small_config
+
+
+@pytest.fixture(scope="session")
+def small_world():
+    return build_internet(small_config())
+
+
+@pytest.fixture(scope="session")
+def short_history(small_world):
+    service = HitlistService(small_world, small_config())
+    return service.run(list(range(0, 140, 7)))

@@ -1,0 +1,58 @@
+"""Tests for the Entropy/IP-style extension generator."""
+
+import pytest
+
+from repro.net.address import parse_ipv6
+from repro.tga import EntropyIp
+
+BASE = parse_ipv6("2001:db8:200::")
+
+
+def seeds_with_structure():
+    # constant /48 prefix; subnet nibble varies 0-7; each subnet uses a
+    # shifted IID window so unseen subnet×IID combinations exist
+    return [
+        BASE | (subnet << 64) | iid
+        for subnet in range(8)
+        for iid in range(1 + subnet, 10 + subnet)
+    ]
+
+
+class TestEntropyIp:
+    def test_pins_low_entropy_positions(self):
+        result = EntropyIp(budget=300).generate(seeds_with_structure())
+        assert result.candidates
+        for candidate in result.candidates:
+            assert candidate >> 80 == BASE >> 80  # constant prefix kept
+
+    def test_samples_high_entropy_positions(self):
+        result = EntropyIp(budget=300).generate(seeds_with_structure())
+        subnets = {(c >> 64) & 0xFFFF for c in result.candidates}
+        assert len(subnets) > 1, "high-entropy dimension is explored"
+
+    def test_values_come_from_observed_vocabulary(self):
+        result = EntropyIp(budget=300).generate(seeds_with_structure())
+        for candidate in result.candidates:
+            assert (candidate >> 64) & 0xFFFF <= 7
+            # per-position sampling: each IID nibble stays within its
+            # observed vocabulary (values 0-1 high nibble, 0-f low)
+            assert candidate & 0xFFFF <= 0x1F
+
+    def test_budget_and_dedup(self):
+        generator = EntropyIp(budget=50)
+        result = generator.generate(seeds_with_structure())
+        assert len(result.candidates) <= 50
+        assert not result.candidates & set(seeds_with_structure())
+
+    def test_deterministic(self):
+        seeds = seeds_with_structure()
+        assert EntropyIp(budget=64).generate(seeds).candidates == (
+            EntropyIp(budget=64).generate(seeds).candidates
+        )
+
+    def test_too_few_seeds(self):
+        assert EntropyIp().generate([BASE]).candidates == set()
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            EntropyIp(low_entropy_threshold=-1)

@@ -1,0 +1,89 @@
+"""Tests for the Sec. 6 new-source evaluation harness."""
+
+import pytest
+
+from repro.protocols import ALL_PROTOCOLS
+from repro.simnet import small_config
+from repro.tga import DistanceClustering, SixGraph, evaluate_new_sources
+from repro.tga.evaluation import default_generators
+
+
+@pytest.fixture(scope="module")
+def evaluation(small_world, short_history):
+    # seeds from the last retained scan of the short run; scan shortly after
+    day = max(short_history.retained)
+    return evaluate_new_sources(
+        small_world,
+        short_history,
+        small_config(),
+        generators=[SixGraph(budget=20_000), DistanceClustering()],
+        seeds_day=day,
+        scan_days=[day + 1, day + 3],
+        loss_rate=0.0,
+    )
+
+
+class TestEvaluation:
+    def test_all_sources_reported(self, evaluation):
+        assert {"passive", "unresponsive", "6graph", "distance_clustering"} == set(
+            evaluation.reports
+        )
+
+    def test_seed_metadata(self, evaluation, short_history):
+        assert evaluation.seed_count == len(short_history.final.cleaned_any())
+        assert len(evaluation.scan_days) == 2
+
+    def test_passive_mostly_known(self, evaluation):
+        report = evaluation.reports["passive"]
+        assert report.candidates > 0
+        # paper: ~90 % of passive candidates were already in the input
+        assert report.already_known / report.candidates > 0.4
+
+    def test_generators_find_new_responsive(self, evaluation):
+        report = evaluation.reports["6graph"]
+        assert report.responsive_any
+        assert report.scanned > 0
+        for protocol in ALL_PROTOCOLS:
+            assert report.responsive[protocol] <= report.responsive_any
+
+    def test_responsive_not_already_in_hitlist(self, evaluation, short_history):
+        for name in ("6graph", "distance_clustering", "passive"):
+            report = evaluation.reports[name]
+            assert not (report.responsive_any & short_history.input_ever)
+
+    def test_unresponsive_rescan_finds_flappers(self, evaluation, small_world):
+        report = evaluation.reports["unresponsive"]
+        flappers = small_world.ground_truth.get("deep_flappers")
+        assert report.responsive_any & flappers
+
+    def test_overlap_matrix_shape(self, evaluation):
+        names, matrix = evaluation.overlap_matrix()
+        assert len(matrix) == len(names)
+        for row_index, row in enumerate(matrix):
+            assert len(row) == len(names)
+            assert row[row_index] == pytest.approx(100.0)
+            assert all(0.0 <= cell <= 100.0 for cell in row)
+
+    def test_combined_totals(self, evaluation):
+        combined = evaluation.combined_any()
+        per_source = set()
+        for report in evaluation.reports.values():
+            per_source |= report.responsive_any
+        assert combined == per_source
+
+    def test_hit_rate_bounds(self, evaluation):
+        for report in evaluation.reports.values():
+            assert 0.0 <= report.hit_rate <= 1.0
+
+    def test_as_distribution(self, evaluation, small_world):
+        report = evaluation.reports["6graph"]
+        distribution = report.as_distribution(small_world.routing.base)
+        assert sum(distribution.values()) <= len(report.responsive_any)
+        if report.responsive_any:
+            assert distribution
+
+
+class TestDefaultGenerators:
+    def test_roster(self):
+        names = {g.name for g in default_generators(small_config())}
+        assert names == {"6graph", "6tree", "6gan", "6veclm", "distance_clustering"}

@@ -1,0 +1,57 @@
+"""Regression: generated candidates inside fully responsive space are
+caught by the evaluation's own alias detection (the paper's 6Tree/Akamai
+trap, Sec. 6.1)."""
+
+import pytest
+
+from repro.simnet import small_config
+from repro.tga import evaluate_new_sources
+from repro.tga.base import TargetGenerator
+
+
+class RegionWalker(TargetGenerator):
+    """A degenerate generator that walks straight into aliased space."""
+
+    name = "region_walker"
+
+    def __init__(self, region_prefix, budget=500):
+        super().__init__(budget)
+        self._prefix = region_prefix
+
+    def _generate(self, seeds):
+        # 300 addresses spread over a few /64s of the responsive region
+        base = self._prefix.value
+        return {
+            base | (subnet << 64) | iid
+            for subnet in range(3)
+            for iid in range(1, 101)
+        }
+
+
+def test_generated_aliased_space_is_filtered(small_world, short_history):
+    # pick a region whose space the service has never had input for
+    trap = next(
+        (r for r in small_world.regions
+         if r.asn == 20940 and r.active_from == 0), None
+    )
+    if trap is None:
+        pytest.skip("no Akamai trap region in this world")
+    day = max(short_history.retained)
+    evaluation = evaluate_new_sources(
+        small_world,
+        short_history,
+        small_config(),
+        generators=[RegionWalker(trap.prefix)],
+        seeds_day=day,
+        scan_days=[day + 1],
+        loss_rate=0.0,
+    )
+    report = evaluation.reports["region_walker"]
+    assert report.candidates == 300
+    # every fresh candidate inside the responsive region is flagged
+    # aliased and removed from the scan set
+    assert report.aliased + report.already_known + report.scanned == 300
+    assert report.aliased > 0
+    assert report.scanned == 0
+    # the decisive check: no region-covered address is reported responsive
+    assert not report.responsive_any

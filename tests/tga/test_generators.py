@@ -1,0 +1,192 @@
+"""Unit tests for the target generation algorithms."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.address import parse_ipv6
+from repro.tga import (
+    DistanceClustering,
+    SixGan,
+    SixGraph,
+    SixTree,
+    SixVecLm,
+)
+
+BASE = parse_ipv6("2001:db8:100::")
+
+
+def farm_seeds(subnets=12, per_subnet=6, stride=1):
+    """A structured farm: low-byte IIDs across consecutive /64 subnets."""
+    seeds = []
+    for subnet in range(subnets):
+        network = BASE | (subnet << 64)
+        for iid in range(1, per_subnet + 1):
+            seeds.append(network | (iid * stride))
+    return seeds
+
+
+class TestContract:
+    @pytest.mark.parametrize(
+        "generator",
+        [SixTree(), SixGraph(), SixGan(), SixVecLm(budget=64), DistanceClustering()],
+        ids=lambda g: g.name,
+    )
+    def test_seeds_never_returned(self, generator):
+        seeds = farm_seeds()
+        result = generator.generate(seeds)
+        assert not (result.candidates & set(seeds))
+        assert result.seeds_used == len(set(seeds))
+
+    @pytest.mark.parametrize(
+        "cls", [SixTree, SixGraph, SixGan, SixVecLm, DistanceClustering]
+    )
+    def test_budget_respected(self, cls):
+        generator = cls(budget=25)
+        result = generator.generate(farm_seeds())
+        assert len(result.candidates) <= 25
+
+    @pytest.mark.parametrize(
+        "cls", [SixTree, SixGraph, SixGan, SixVecLm, DistanceClustering]
+    )
+    def test_invalid_budget(self, cls):
+        with pytest.raises(ValueError):
+            cls(budget=0)
+
+    @pytest.mark.parametrize(
+        "generator",
+        [SixTree(), SixGraph(), SixGan(), SixVecLm(budget=32), DistanceClustering()],
+        ids=lambda g: g.name,
+    )
+    def test_deterministic(self, generator):
+        seeds = farm_seeds()
+        assert generator.generate(seeds).candidates == generator.generate(seeds).candidates
+
+    @pytest.mark.parametrize(
+        "generator",
+        [SixTree(), SixGraph(), SixGan(), SixVecLm(budget=32), DistanceClustering()],
+        ids=lambda g: g.name,
+    )
+    def test_empty_and_tiny_seeds(self, generator):
+        assert generator.generate([]).candidates == set()
+        assert generator.generate([BASE]).candidates == set()
+
+
+class TestSixTree:
+    def test_expands_low_nibble_dimension(self):
+        # seeds ::1..::6 in one subnet: the space tree should sweep the
+        # last nibble over all 16 values
+        seeds = [BASE | iid for iid in range(1, 7)]
+        result = SixTree().generate(seeds)
+        assert (BASE | 0xF) in result.candidates
+
+    def test_stays_near_pattern(self):
+        seeds = farm_seeds()
+        result = SixTree().generate(seeds)
+        assert all((c >> 80) == (BASE >> 80) for c in result.candidates)
+
+    def test_leaf_size_validation(self):
+        with pytest.raises(ValueError):
+            SixTree(leaf_size=1)
+
+
+class TestSixGraph:
+    def test_finds_subnet_pattern(self):
+        # gateways at ::1 across scattered subnets: pattern = subnet nibbles
+        seeds = [BASE | (s << 64) | 1 for s in (1, 3, 4, 7, 9, 12, 14)]
+        result = SixGraph().generate(seeds)
+        # in-between subnets are generated
+        assert (BASE | (5 << 64) | 1) in result.candidates
+
+    def test_interpolates_ranges_sixtree_does_not(self):
+        # two varying dimensions: even subnets × a few IIDs.  6Tree only
+        # sweeps the rightmost dimension (the IID) fully and keeps the
+        # observed subnet values; 6Graph interpolates the subnet range.
+        seeds = [
+            BASE | (s << 64) | iid
+            for s in range(0, 14, 2)
+            for iid in (1, 2, 3)
+        ]
+        graph = SixGraph().generate(seeds).candidates
+        tree = SixTree().generate(seeds).candidates
+        missing_subnet = BASE | (5 << 64) | 1
+        assert missing_subnet in graph
+        assert missing_subnet not in tree
+
+    def test_min_cluster_respected(self):
+        # three isolated seeds: below the min cluster size, no output
+        seeds = [BASE | 1, (BASE ^ (5 << 100)) | 7, (BASE ^ (9 << 90)) | 3]
+        assert SixGraph().generate(seeds).candidates == set()
+
+
+class TestDistanceClustering:
+    def test_fills_gaps(self):
+        seeds = [BASE + offset for offset in (0, 10, 22, 30, 41, 50, 63, 70, 82, 90)]
+        dc = DistanceClustering()
+        result = dc.generate(seeds)
+        expected = set(range(BASE, BASE + 91)) - set(seeds)
+        assert result.candidates == expected
+
+    def test_distance_threshold_breaks_runs(self):
+        near = [BASE + i * 10 for i in range(10)]
+        far = [BASE + 10_000 + i * 10 for i in range(10)]
+        dc = DistanceClustering()
+        clusters = dc.clusters(near + far)
+        assert len(clusters) == 2
+
+    def test_min_cluster_size(self):
+        seeds = [BASE + i for i in range(5)]  # only 5 members
+        assert DistanceClustering().generate(seeds).candidates == set()
+
+    def test_gap_above_threshold_excluded(self):
+        seeds = [BASE + i * 65 for i in range(20)]  # gaps of 65 > 64
+        assert DistanceClustering().generate(seeds).candidates == set()
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            DistanceClustering(max_distance=0)
+        with pytest.raises(ValueError):
+            DistanceClustering(min_cluster_size=1)
+
+    @given(st.lists(st.integers(min_value=0, max_value=5000), min_size=0, max_size=80))
+    @settings(max_examples=40, deadline=None)
+    def test_generated_within_cluster_spans(self, offsets):
+        seeds = [BASE + offset for offset in offsets]
+        dc = DistanceClustering(min_cluster_size=3)
+        result = dc.generate(seeds)
+        spans = [(run[0], run[-1]) for run in dc.clusters(seeds)]
+        for candidate in result.candidates:
+            assert any(low <= candidate <= high for low, high in spans)
+
+
+class TestGenerativeModels:
+    def test_sixgan_output_plausible(self):
+        # sparse combinations: each subnet uses a shifted IID window, so
+        # unseen subnet×IID combinations exist for the model to find
+        seeds = [
+            BASE | (s << 64) | iid
+            for s in range(16)
+            for iid in range(1 + s % 5, 6 + s % 5)
+        ]
+        result = SixGan(budget=200).generate(seeds)
+        assert result.candidates
+        # the model learns the constant high nibbles; smoothing allows a
+        # small exploration rate, so most (not all) share the seeds' /32
+        in_network = sum(1 for c in result.candidates if (c >> 96) == (BASE >> 96))
+        assert in_network / len(result.candidates) > 0.8
+
+    def test_sixveclm_respects_observed_vocabulary(self):
+        seeds = [
+            BASE | (s << 64) | iid
+            for s in range(4)
+            for iid in range(1 + s * 2, 9 + s * 2)
+        ]
+        result = SixVecLm(budget=64).generate(seeds)
+        assert result.candidates
+        # nibble positions 0-14 are constant across seeds, so the
+        # per-position vocabulary forces them constant in the output
+        assert all((c >> 68) == (seeds[0] >> 68) for c in result.candidates)
+
+    def test_sixveclm_temperature_validation(self):
+        with pytest.raises(ValueError):
+            SixVecLm(temperature=0.0)
