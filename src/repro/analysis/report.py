@@ -46,6 +46,7 @@ def full_report(history: HitlistHistory, evaluation=None) -> str:
 
     # --- overview -------------------------------------------------------
     last = history.snapshots[-1]
+    degraded_scans = sum(1 for s in history.snapshots if s.degraded)
     overview = ascii_table(
         ["metric", "value"],
         [
@@ -55,9 +56,11 @@ def full_report(history: HitlistHistory, evaluation=None) -> str:
             ["scan pool", si_format(last.scan_target_count)],
             ["aliased prefixes", last.aliased_prefix_count],
             ["responsive (cleaned)", si_format(last.cleaned_total)],
+            ["UDP/53 hit rate (last scan)", f"{last.udp53_hit_rate:.2%}"],
             ["GFW-impacted ever", si_format(history.gfw.impacted_count
                                             if history.gfw else 0)],
             ["excluded (30-day)", si_format(len(history.excluded))],
+            ["degraded scans", degraded_scans],
         ],
     )
     sections.append(_section("Run overview", overview))

@@ -81,12 +81,45 @@ def _scan_days(args: argparse.Namespace, config) -> List[int]:
     return [day for day in default_scan_days(config.final_day) if day <= until]
 
 
+def _load_faults(args: argparse.Namespace):
+    path = getattr(args, "faults", None)
+    if not path:
+        return None
+    from repro.runtime import load_fault_plan
+
+    with open(path, "r", encoding="ascii") as handle:
+        return load_fault_plan(handle)
+
+
 def _run_pipeline(args: argparse.Namespace):
+    resume_path = getattr(args, "resume", None)
+    checkpoint_dir = getattr(args, "checkpoint_dir", None)
+    checkpoint_every = getattr(args, "checkpoint_every", None) or (
+        1 if checkpoint_dir else None
+    )
+    if checkpoint_dir:
+        pathlib.Path(checkpoint_dir).mkdir(parents=True, exist_ok=True)
+    if resume_path:
+        # config, settings and fault plan come from the checkpoint
+        service = HitlistService.resume(resume_path)
+        history = service.run(
+            checkpoint_every=checkpoint_every, checkpoint_path=checkpoint_dir
+        )
+        return service.config, service.internet, history
     config = _resolve_config(args)
     internet = build_internet(config)
-    settings = ServiceSettings(gfw_filter_deploy_day=config.gfw_filter_deploy_day)
-    service = HitlistService(internet, config, settings=settings)
-    history = service.run(_scan_days(args, config))
+    settings = ServiceSettings(
+        gfw_filter_deploy_day=config.gfw_filter_deploy_day,
+        retry_attempts=getattr(args, "retry_attempts", None) or 1,
+    )
+    service = HitlistService(
+        internet, config, settings=settings, fault_plan=_load_faults(args)
+    )
+    history = service.run(
+        _scan_days(args, config),
+        checkpoint_every=checkpoint_every,
+        checkpoint_path=checkpoint_dir,
+    )
     return config, internet, history
 
 
@@ -224,6 +257,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="simulate only the first N days")
         p.add_argument("--interval", type=int,
                        help="fixed scan interval in days")
+        p.add_argument("--faults",
+                       help="JSON fault plan (outages, rate limits, loss "
+                            "bursts, source failures) to inject")
+        p.add_argument("--retry-attempts", type=int, dest="retry_attempts",
+                       help="probe tries per target per scan (default: 1)")
+        p.add_argument("--checkpoint-dir", dest="checkpoint_dir",
+                       help="write per-scan state checkpoints to this "
+                            "directory (created if missing)")
+        p.add_argument("--checkpoint-every", type=int, dest="checkpoint_every",
+                       help="checkpoint every N scans (default: 1 when "
+                            "--checkpoint-dir is set)")
+        p.add_argument("--resume", dest="resume",
+                       help="resume an interrupted run from a checkpoint "
+                            "file or directory (ignores world/schedule flags)")
 
     p_sim = sub.add_parser("simulate", help="run the hitlist pipeline")
     add_world_args(p_sim)

@@ -13,8 +13,10 @@ from repro.hitlist.sources import (
     AtlasSource,
     CloudEndpointSource,
     DnsZoneSource,
+    FlakySource,
     InputSource,
     RdnsBatchSource,
+    SourceUnavailable,
     StaticSource,
     default_sources,
 )
@@ -32,12 +34,14 @@ __all__ = [
     "CloudEndpointSource",
     "DetectedAlias",
     "DnsZoneSource",
+    "FlakySource",
     "HitlistHistory",
     "HitlistService",
     "InputSource",
     "RdnsBatchSource",
     "ScanSnapshot",
     "ServiceSettings",
+    "SourceUnavailable",
     "StaticSource",
     "alias_representatives",
     "default_scan_days",

@@ -38,6 +38,8 @@ def history_summary(history: HitlistHistory) -> Dict[str, Any]:
                 "recurring": snapshot.churn_recurring,
                 "gone": snapshot.churn_gone,
             },
+            "udp53_hit_rate": snapshot.udp53_hit_rate,
+            "degraded": list(snapshot.degraded),
         })
     retained = {}
     for day, scan in history.retained.items():
@@ -72,11 +74,28 @@ def save_history_summary(history: HitlistHistory, stream: IO[str]) -> None:
 
 
 def load_history_summary(stream: IO[str]) -> Dict[str, Any]:
-    """Read a summary written by :func:`save_history_summary`."""
+    """Read a summary written by :func:`save_history_summary`.
+
+    Raises :class:`ValueError` when the document is not a summary or was
+    written by an incompatible format version, instead of failing later
+    with an opaque ``KeyError`` deep inside an analysis.
+    """
     data = json.load(stream)
-    version = data.get("format_version")
+    if not isinstance(data, dict):
+        raise ValueError(
+            f"not a history summary: expected a JSON object, got {type(data).__name__}"
+        )
+    if "format_version" not in data:
+        raise ValueError(
+            "not a history summary: missing 'format_version' "
+            "(was this file written by save_history_summary?)"
+        )
+    version = data["format_version"]
     if version != _FORMAT_VERSION:
-        raise ValueError(f"unsupported summary format version: {version!r}")
+        raise ValueError(
+            f"unsupported summary format version {version!r}; "
+            f"this build reads version {_FORMAT_VERSION}"
+        )
     return data
 
 
@@ -109,6 +128,8 @@ def rebuild_snapshots(data: Dict[str, Any]) -> list:
                 churn_new=entry["churn"]["new"],
                 churn_recurring=entry["churn"]["recurring"],
                 churn_gone=entry["churn"]["gone"],
+                udp53_hit_rate=entry.get("udp53_hit_rate", 0.0),
+                degraded=tuple(entry.get("degraded", ())),
             )
         )
     return snapshots

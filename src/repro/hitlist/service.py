@@ -18,8 +18,9 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tup
 
 from repro.gfw.filter import GfwFilter
 from repro.hitlist.apd import AliasedPrefixDetection, DetectedAlias
-from repro.hitlist.sources import InputSource, default_sources
+from repro.hitlist.sources import FlakySource, InputSource, default_sources
 from repro.protocols import ALL_PROTOCOLS, Protocol
+from repro.runtime.faults import FaultPlan, RetryPolicy
 from repro.scan.blocklist import Blocklist
 from repro.scan.yarrp import YarrpTracer
 from repro.scan.zmap import ZMapScanner
@@ -69,6 +70,9 @@ class ServiceSettings:
     #: days whose full responder sets are kept: the paper's Table 1
     #: snapshots plus December 2021 (the TGA seed set of Sec. 6).
     retain_days: Tuple[int, ...] = tuple(sorted(SNAPSHOT_DAYS + (DAY_2021_12_01,)))
+    #: total tries per probe (1 = single-shot); extra attempts re-draw
+    #: loss deterministically so transient loss does not look like churn.
+    retry_attempts: int = 1
 
 
 @dataclass
@@ -88,6 +92,10 @@ class ScanSnapshot:
     churn_recurring: int = 0
     churn_gone: int = 0
     excluded_now: int = 0
+    udp53_hit_rate: float = 0.0
+    #: faults absorbed during this scan ("vantage_outage",
+    #: "source:<name>"); empty for a clean scan
+    degraded: Tuple[str, ...] = ()
 
 
 @dataclass
@@ -158,6 +166,7 @@ class HitlistService:
         settings: Optional[ServiceSettings] = None,
         sources: Optional[Sequence[InputSource]] = None,
         blocklist: Optional[Blocklist] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         self.internet = internet
         self.config = config
@@ -165,17 +174,26 @@ class HitlistService:
             gfw_filter_deploy_day=config.gfw_filter_deploy_day
         )
         self.blocklist = blocklist or Blocklist()
+        self.fault_plan = fault_plan
+        retry = (
+            RetryPolicy(attempts=self.settings.retry_attempts)
+            if self.settings.retry_attempts > 1
+            else None
+        )
         self.scanner = ZMapScanner(
             internet, blocklist=self.blocklist,
             loss_rate=self.settings.loss_rate, seed=config.seed,
+            fault_plan=fault_plan, retry=retry,
         )
         self.tracer = YarrpTracer(
             internet, blocklist=self.blocklist,
             sample_rate=self.settings.trace_sample_rate, seed=config.seed,
+            fault_plan=fault_plan,
         )
         self.apd = AliasedPrefixDetection(
             ZMapScanner(internet, blocklist=self.blocklist, loss_rate=self.settings.loss_rate,
-                        seed=config.seed ^ 0xA11A5),
+                        seed=config.seed ^ 0xA11A5,
+                        fault_plan=fault_plan, retry=retry),
             min_longer_addresses=self.settings.apd_min_longer_addresses,
             reconfirm_interval=self.settings.apd_reconfirm_interval,
         )
@@ -183,6 +201,12 @@ class HitlistService:
         self.sources: List[InputSource] = list(
             sources if sources is not None else default_sources(internet, config)
         )
+        if fault_plan is not None and fault_plan.source_outages:
+            flaky = fault_plan.flaky_source_names
+            self.sources = [
+                FlakySource(source, fault_plan) if source.name in flaky else source
+                for source in self.sources
+            ]
 
         self.history = HitlistHistory(
             gfw=self.gfw_filter, apd=self.apd, internet=internet
@@ -197,6 +221,11 @@ class HitlistService:
         self._last_responsive: Dict[int, int] = {}
         self._prev_responsive_any: Set[int] = set()
         self._gfw_purge_applied = False
+        #: per-source last successfully collected day; a failed source
+        #: keeps its cursor so the missed window is retried next scan
+        self._source_cursor: Dict[str, int] = {}
+        #: schedule left over from a checkpoint (set by resume)
+        self._pending_schedule: Optional[Dict[str, object]] = None
 
         # seed the accumulated input
         initial = internet.ground_truth.get("initial_input")
@@ -228,15 +257,25 @@ class HitlistService:
         return new
 
     def _apply_30day_filter(self, day: int) -> int:
-        """Drop addresses unresponsive for more than the threshold."""
+        """Drop addresses unresponsive for more than the threshold.
+
+        Days lost to scheduled vantage outages do not count towards the
+        threshold: an address cannot prove responsiveness while no probe
+        leaves the vantage, and excluding it for our own downtime would
+        fabricate churn.
+        """
         threshold = self.settings.unresponsive_days
+        plan = self.fault_plan
         history = self.history
         to_remove = []
         for address in self._scan_pool:
             reference = self._last_responsive.get(
                 address, self._first_seen.get(address, day)
             )
-            if day - reference > threshold:
+            elapsed = day - reference
+            if plan is not None and elapsed > threshold:
+                elapsed -= plan.outage_days_between(reference, day)
+            if elapsed > threshold:
                 to_remove.append(address)
         for address in to_remove:
             self._scan_pool.discard(address)
@@ -266,14 +305,49 @@ class HitlistService:
     # ------------------------------------------------------------------
 
     def run_scan(self, day: int, prev_day: int) -> ScanSnapshot:
-        """Execute one full pipeline iteration."""
+        """Execute one full pipeline iteration.
+
+        The iteration is fault-tolerant: a raising source is skipped
+        (its window is retried next scan) and a vantage outage degrades
+        the scan to input collection only.  Absorbed faults are recorded
+        in :attr:`ScanSnapshot.degraded` instead of aborting the run.
+        """
         settings = self.settings
         history = self.history
+        degraded: List[str] = []
 
-        # 1. input collection
+        # 1. input collection — a failing source must not kill a
+        # multi-year run; its cursor stays put so the next scan retries
+        # the whole missed window
         for source in self.sources:
-            collected = source.collect(prev_day, day)
+            start = self._source_cursor.get(source.name, prev_day)
+            try:
+                collected = source.collect(start, day)
+            except Exception:
+                self._source_cursor[source.name] = start
+                degraded.append(f"source:{source.name}")
+                continue
             self._ingest(source.name, collected, day)
+            self._source_cursor[source.name] = day
+
+        # 1b. vantage outage: nothing can be probed, so APD, the
+        # unresponsiveness filter, scans and traceroutes all stand down.
+        # Collected input stays queued for the next working scan, and
+        # churn bookkeeping freezes (an outage is not churn).
+        plan = self.fault_plan
+        if plan is not None and plan.vantage_down(day):
+            degraded.append("vantage_outage")
+            snapshot = ScanSnapshot(
+                day=day,
+                input_total=len(history.input_ever),
+                scan_target_count=len(self._scan_pool),
+                aliased_prefix_count=self.apd.aliased_count,
+                published_counts={protocol: 0 for protocol in ALL_PROTOCOLS},
+                cleaned_counts={protocol: 0 for protocol in ALL_PROTOCOLS},
+                degraded=tuple(degraded),
+            )
+            history.snapshots.append(snapshot)
+            return snapshot
 
         # 2. aliased prefix detection (incremental).  Everything ingested
         # since the last detection round — sources, the initial seed, and
@@ -386,6 +460,8 @@ class HitlistService:
             churn_recurring=churn_recurring,
             churn_gone=churn_gone,
             excluded_now=excluded_now,
+            udp53_hit_rate=udp53.hit_rate,
+            degraded=tuple(degraded),
         )
         history.snapshots.append(snapshot)
         return snapshot
@@ -405,23 +481,121 @@ class HitlistService:
         self.apd.retest_followups(day)
         self._drop_newly_aliased()
 
-    def run(self, scan_days: Optional[Sequence[int]] = None) -> HitlistHistory:
-        """Run the whole schedule and return the recorded history."""
-        if scan_days is None:
-            scan_days = default_scan_days(self.config.final_day)
-        retain_pending = sorted(self.settings.retain_days)
-        if scan_days:
-            self.bootstrap(scan_days[0])
-        prev_day = -1
-        for day in scan_days:
-            self.run_scan(day, prev_day)
-            while retain_pending and day >= retain_pending[0]:
-                self._retain(day)
-                retain_pending.pop(0)
+    def run(
+        self,
+        scan_days: Optional[Sequence[int]] = None,
+        checkpoint_every: Optional[int] = None,
+        checkpoint_path: Optional[str] = None,
+    ) -> HitlistHistory:
+        """Run the whole schedule and return the recorded history.
+
+        With ``checkpoint_every=N`` and ``checkpoint_path`` set, the full
+        live pipeline state is written to disk after every N scans (and
+        once more on completion); a run killed at any point resumes from
+        the file via :meth:`resume` and finishes bit-identically to an
+        uninterrupted run.  ``checkpoint_path`` may name a file
+        (atomically overwritten) or an existing directory (one
+        ``checkpoint-dayNNNNN.ckpt`` per checkpointed scan).
+
+        On a service returned by :meth:`resume`, call ``run()`` with no
+        ``scan_days`` to continue the stored schedule; the bootstrap is
+        skipped because the restored APD state already carries it.
+        """
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise ValueError(
+                f"checkpoint_every must be >= 1, got {checkpoint_every}"
+            )
+        schedule = self._pending_schedule
+        if scan_days is None and schedule is not None:
+            self._pending_schedule = None
+            scan_days = [int(day) for day in schedule["scan_days"]]
+            start_index = int(schedule["next_index"])
+            prev_day = int(schedule["prev_day"])
+            retain_pending = [int(day) for day in schedule["retain_pending"]]
+            if checkpoint_every is None:
+                checkpoint_every = schedule.get("checkpoint_every")
+            if checkpoint_path is None:
+                stored = schedule.get("checkpoint_path")
+                checkpoint_path = str(stored) if stored is not None else None
+        else:
+            if scan_days is None:
+                scan_days = default_scan_days(self.config.final_day)
+            scan_days = list(scan_days)
+            start_index = 0
+            prev_day = -1
+            retain_pending = sorted(self.settings.retain_days)
+            if scan_days:
+                self.bootstrap(scan_days[0])
+        for index in range(start_index, len(scan_days)):
+            day = scan_days[index]
+            snapshot = self.run_scan(day, prev_day)
+            if "vantage_outage" not in snapshot.degraded:
+                # retention needs real scan data; during an outage the
+                # pending day waits for the next working scan
+                while retain_pending and day >= retain_pending[0]:
+                    self._retain(day)
+                    retain_pending.pop(0)
             prev_day = day
-        if scan_days and scan_days[-1] not in self.history.retained:
-            self._retain(scan_days[-1])
+            if (
+                checkpoint_every
+                and checkpoint_path is not None
+                and ((index + 1) % checkpoint_every == 0 or index + 1 == len(scan_days))
+            ):
+                self._write_checkpoint(
+                    checkpoint_path, scan_days, index + 1, prev_day,
+                    retain_pending, checkpoint_every,
+                )
+        stash = getattr(self, "_last_scan_full", None)
+        if stash is not None and stash[0] not in self.history.retained:
+            self._retain(stash[0])
         return self.history
+
+    def _write_checkpoint(
+        self,
+        path: str,
+        scan_days: Sequence[int],
+        next_index: int,
+        prev_day: int,
+        retain_pending: Sequence[int],
+        checkpoint_every: Optional[int],
+    ) -> str:
+        from repro.runtime.checkpoint import checkpoint_service
+
+        return checkpoint_service(
+            self, path,
+            schedule={
+                "scan_days": list(scan_days),
+                "next_index": next_index,
+                "prev_day": prev_day,
+                "retain_pending": list(retain_pending),
+                "checkpoint_every": checkpoint_every,
+                "checkpoint_path": path,
+            },
+        )
+
+    @classmethod
+    def resume(
+        cls,
+        path: str,
+        internet: Optional[SimInternet] = None,
+        sources: Optional[Sequence[InputSource]] = None,
+        blocklist: Optional[Blocklist] = None,
+    ) -> "HitlistService":
+        """Restore a service from a checkpoint file (or directory).
+
+        The scenario config, settings, fault plan and full pipeline
+        state come from the checkpoint; the world is rebuilt
+        deterministically from the config unless ``internet`` is given.
+        Calling :meth:`run` with no arguments then finishes the stored
+        schedule, bit-identical to the uninterrupted run.  Custom
+        ``sources`` or a non-empty ``blocklist`` are not serialized and
+        must be passed again here.
+        """
+        from repro.runtime.checkpoint import resume_service
+
+        return resume_service(
+            path, internet=internet, sources=sources, blocklist=blocklist
+        )
 
     def run_adaptive(
         self,
@@ -441,6 +615,10 @@ class HitlistService:
         rate = self.settings.probes_per_day
         if rate is None or rate <= 0:
             raise ValueError("run_adaptive requires settings.probes_per_day")
+        if base_interval < 1:
+            # with base_interval=0 and an empty pool, runtime_days is 0
+            # and the loop would never advance past `day`
+            raise ValueError(f"base_interval must be >= 1, got {base_interval}")
         retain_pending = sorted(self.settings.retain_days)
         self.bootstrap(start_day)
         day = start_day

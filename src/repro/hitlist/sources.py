@@ -18,6 +18,16 @@ from repro.simnet.config import ScenarioConfig
 from repro.simnet.internet import SimInternet
 
 
+class SourceUnavailable(RuntimeError):
+    """A source's upstream (zone feed, Atlas dump, ...) is down.
+
+    The service absorbs this per scan: the source is skipped, the scan is
+    recorded as degraded, and the missed collection window is retried on
+    the next scan (sources collect half-open day windows, so no address
+    is lost as long as the source eventually recovers).
+    """
+
+
 class InputSource(abc.ABC):
     """A producer of candidate addresses over time."""
 
@@ -27,6 +37,28 @@ class InputSource(abc.ABC):
     @abc.abstractmethod
     def collect(self, start_day: int, end_day: int) -> Set[int]:
         """New candidates that surfaced during ``(start_day, end_day]``."""
+
+
+class FlakySource(InputSource):
+    """Wrap a source so it raises during scheduled outage windows.
+
+    ``plan`` is duck-typed (any object with ``source_down(name, day)``,
+    normally a :class:`~repro.runtime.faults.FaultPlan`); the outage
+    fires when the window covers the collection end day — the day the
+    service actually contacts the upstream.
+    """
+
+    def __init__(self, inner: InputSource, plan) -> None:
+        self._inner = inner
+        self._plan = plan
+        self.name = inner.name
+
+    def collect(self, start_day: int, end_day: int) -> Set[int]:
+        if self._plan.source_down(self.name, end_day):
+            raise SourceUnavailable(
+                f"source {self.name!r} unavailable on day {end_day}"
+            )
+        return self._inner.collect(start_day, end_day)
 
 
 class StaticSource(InputSource):

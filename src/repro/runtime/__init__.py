@@ -1,0 +1,41 @@
+"""Fault-tolerant service runtime: fault injection and checkpoint/resume.
+
+The real hitlist service is a multi-year production pipeline; this
+package models its operational layer.  :mod:`repro.runtime.faults`
+describes deterministic fault scenarios (vantage outages, per-AS rate
+limiting, correlated loss bursts, flaky input sources) and the probe
+retry policy; :mod:`repro.runtime.checkpoint` persists the full live
+pipeline state so an interrupted run resumes bit-identically.
+"""
+
+from repro.runtime.faults import (
+    FaultPlan,
+    LossBurst,
+    RateLimit,
+    RetryPolicy,
+    SourceOutage,
+    VantageOutage,
+    load_fault_plan,
+)
+from repro.runtime.checkpoint import (
+    CheckpointError,
+    checkpoint_service,
+    read_checkpoint,
+    resume_service,
+    write_checkpoint,
+)
+
+__all__ = [
+    "CheckpointError",
+    "FaultPlan",
+    "LossBurst",
+    "RateLimit",
+    "RetryPolicy",
+    "SourceOutage",
+    "VantageOutage",
+    "checkpoint_service",
+    "load_fault_plan",
+    "read_checkpoint",
+    "resume_service",
+    "write_checkpoint",
+]

@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Optional, Set
 
 from repro._util import mix64
+from repro.runtime.faults import FaultPlan
 from repro.scan.blocklist import Blocklist
 from repro.simnet.internet import SimInternet
 
@@ -34,6 +35,7 @@ class YarrpTracer:
         blocklist: Optional[Blocklist] = None,
         sample_rate: float = 1.0,
         seed: int = 0,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         if not 0.0 < sample_rate <= 1.0:
             raise ValueError(f"sample rate out of range: {sample_rate}")
@@ -42,6 +44,7 @@ class YarrpTracer:
         self._sample_rate = sample_rate
         self._sample_threshold = int(sample_rate * float(1 << 64))
         self._seed = seed
+        self._fault_plan = fault_plan
 
     def _sampled(self, target: int, day: int) -> bool:
         if self._sample_rate >= 1.0:
@@ -52,8 +55,15 @@ class YarrpTracer:
         return draw < self._sample_threshold
 
     def trace_targets(self, targets: Iterable[int], day: int) -> TraceRunResult:
-        """Traceroute every (sampled, non-blocked) target once."""
+        """Traceroute every (sampled, non-blocked) target once.
+
+        During a vantage outage no traceroute leaves the scan host, so
+        the run discovers nothing.
+        """
         result = TraceRunResult(day=day)
+        plan = self._fault_plan
+        if plan is not None and plan.vantage_down(day):
+            return result
         internet = self._internet
         blocklist = self._blocklist
         for target in targets:

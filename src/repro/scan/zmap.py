@@ -15,14 +15,16 @@ forgeries poison the hitlist (Sec. 4.2).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro._util import mix64
 from repro.protocols import DnsResponse, Protocol
+from repro.runtime.faults import RETRY_SALT, FaultPlan, RetryPolicy
 from repro.scan.blocklist import Blocklist
 from repro.simnet.internet import SimInternet
 
 _UINT64_SPAN = float(1 << 64)
+_M64 = 0xFFFFFFFFFFFFFFFF
 
 
 @dataclass(frozen=True)
@@ -55,6 +57,11 @@ class Udp53Result:
     responders: Set[int] = field(default_factory=set)
     responses: Dict[int, Tuple[DnsResponse, ...]] = field(default_factory=dict)
 
+    @property
+    def hit_rate(self) -> float:
+        """Responders per probed target (parity with :class:`ScanResult`)."""
+        return len(self.responders) / self.targets if self.targets else 0.0
+
 
 class ZMapScanner:
     """Stateless scanner issuing probes through the oracle."""
@@ -65,6 +72,8 @@ class ZMapScanner:
         blocklist: Optional[Blocklist] = None,
         loss_rate: float = 0.03,
         seed: int = 0,
+        fault_plan: Optional[FaultPlan] = None,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         if not 0.0 <= loss_rate < 1.0:
             raise ValueError(f"loss rate out of range: {loss_rate}")
@@ -73,6 +82,8 @@ class ZMapScanner:
         self._loss_rate = loss_rate
         self._loss_threshold = int(loss_rate * _UINT64_SPAN)
         self._seed = seed
+        self._fault_plan = fault_plan
+        self._retry_attempts = 1 if retry is None else retry.attempts
         self.probes_sent = 0
 
     @property
@@ -81,19 +92,50 @@ class ZMapScanner:
         return self._blocklist
 
     def _lost(self, address: int, protocol: Protocol, day: int) -> bool:
+        plan = self._fault_plan
+        if plan is not None and plan.burst_lost(address, day):
+            # correlated loss: retransmissions inside the burst die too
+            return True
         if self._loss_threshold == 0:
             return False
-        draw = mix64(
-            (address & 0xFFFFFFFFFFFFFFFF)
-            ^ (address >> 64)
-            ^ mix64((day << 8) ^ int(protocol) ^ self._seed)
+        base = (address & _M64) ^ (address >> 64)
+        for attempt in range(self._retry_attempts):
+            draw = mix64(
+                base
+                ^ mix64(
+                    (day << 8)
+                    ^ int(protocol)
+                    ^ self._seed
+                    ^ ((attempt * RETRY_SALT) & _M64)
+                )
+            )
+            if draw >= self._loss_threshold:
+                return False
+        return True
+
+    def _suppressed(
+        self, probed: List[int], protocol: Protocol, day: int
+    ) -> FrozenSet[int]:
+        """Responders dropped by per-AS rate limiting this scan."""
+        plan = self._fault_plan
+        if plan is None:
+            return frozenset()
+        internet = self._internet
+        return plan.suppressed_responders(
+            probed, protocol, day, lambda address: internet.origin_as(address, day)
         )
-        return draw < self._loss_threshold
 
     def scan(
         self, targets: Iterable[int], protocol: Protocol, day: int
     ) -> ScanResult:
         """Probe every non-blocked target once with one protocol."""
+        plan = self._fault_plan
+        if plan is not None and plan.vantage_down(day):
+            return ScanResult(
+                protocol=protocol, day=day, targets=0, responders=frozenset()
+            )
+        limited = plan is not None and plan.limits_protocol(protocol)
+        probed: List[int] = []
         responders = set()
         count = 0
         internet = self._internet
@@ -102,10 +144,14 @@ class ZMapScanner:
             if blocklist.is_blocked(target):
                 continue
             count += 1
+            if limited:
+                probed.append(target)
             if self._lost(target, protocol, day):
                 continue
             if internet.responds(target, protocol, day):
                 responders.add(target)
+        if limited:
+            responders -= self._suppressed(probed, protocol, day)
         self.probes_sent += count
         return ScanResult(
             protocol=protocol, day=day, targets=count, responders=frozenset(responders)
@@ -120,18 +166,29 @@ class ZMapScanner:
         "any DNS packet came back from the probed address".
         """
         result = Udp53Result(day=day, qname=qname)
+        plan = self._fault_plan
+        if plan is not None and plan.vantage_down(day):
+            return result
+        limited = plan is not None and plan.limits_protocol(Protocol.UDP53)
+        probed: List[int] = []
         internet = self._internet
         blocklist = self._blocklist
         for target in targets:
             if blocklist.is_blocked(target):
                 continue
             result.targets += 1
+            if limited:
+                probed.append(target)
             if self._lost(target, Protocol.UDP53, day):
                 continue
             responses = internet.dns_probe(target, qname, day)
             if responses:
                 result.responders.add(target)
                 result.responses[target] = tuple(responses)
+        if limited:
+            for address in self._suppressed(probed, Protocol.UDP53, day):
+                result.responders.discard(address)
+                result.responses.pop(address, None)
         self.probes_sent += result.targets
         return result
 
@@ -146,10 +203,20 @@ class ZMapScanner:
         from disjoint 16-bit slices of one 64-bit hash.
         """
         fast_protocols = (Protocol.ICMP, Protocol.TCP80, Protocol.TCP443, Protocol.UDP443)
+        plan = self._fault_plan
+        if plan is not None and plan.vantage_down(day):
+            empty = {
+                protocol: ScanResult(
+                    protocol=protocol, day=day, targets=0, responders=frozenset()
+                )
+                for protocol in fast_protocols
+            }
+            return empty, Udp53Result(day=day, qname=qname)
         responders: Dict[Protocol, set] = {protocol: set() for protocol in fast_protocols}
         internet = self._internet
         blocklist = self._blocklist
         threshold16 = int(self._loss_rate * 65536.0)
+        attempts = self._retry_attempts
         count = 0
         scannable = []
         for target in targets:
@@ -157,23 +224,42 @@ class ZMapScanner:
                 continue
             scannable.append(target)
             count += 1
+            if plan is not None and plan.burst_lost(target, day):
+                continue
             mask = internet.response_mask(target, day)
             if not mask:
                 continue
             if threshold16:
-                draw = mix64(
-                    (target & 0xFFFFFFFFFFFFFFFF)
-                    ^ (target >> 64)
-                    ^ mix64((day << 8) ^ self._seed ^ 0x5CA11)
-                )
+                # bit i set = some attempt's probe of fast protocol i survived
+                surviving = 0
+                base = (target & _M64) ^ (target >> 64)
+                for attempt in range(attempts):
+                    draw = mix64(
+                        base
+                        ^ mix64(
+                            (day << 8)
+                            ^ self._seed
+                            ^ 0x5CA11
+                            ^ ((attempt * RETRY_SALT) & _M64)
+                        )
+                    )
+                    for index in range(4):
+                        if ((draw >> (16 * index)) & 0xFFFF) >= threshold16:
+                            surviving |= 1 << index
+                    if surviving == 0b1111:
+                        break
             else:
-                draw = 0
+                surviving = 0b1111
             for index, protocol in enumerate(fast_protocols):
                 if not mask & protocol:
                     continue
-                if threshold16 and ((draw >> (16 * index)) & 0xFFFF) < threshold16:
+                if not (surviving >> index) & 1:
                     continue
                 responders[protocol].add(target)
+        if plan is not None:
+            for protocol in fast_protocols:
+                if plan.limits_protocol(protocol):
+                    responders[protocol] -= self._suppressed(scannable, protocol, day)
         self.probes_sent += 4 * count
         results = {
             protocol: ScanResult(

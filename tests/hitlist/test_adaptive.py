@@ -48,3 +48,24 @@ class TestAdaptiveScheduling:
     def test_final_state_retained(self, adaptive_history):
         assert adaptive_history.retained
         assert adaptive_history.final.day == adaptive_history.snapshots[-1].day
+
+
+class TestAdaptiveValidation:
+    def test_zero_base_interval_rejected(self):
+        """base_interval=0 with an empty pool would loop forever on one day."""
+        config = small_config(seed=41)
+        service = HitlistService(
+            build_internet(config), config,
+            settings=ServiceSettings(probes_per_day=8_000),
+        )
+        with pytest.raises(ValueError, match="base_interval"):
+            service.run_adaptive(until_day=10, base_interval=0)
+
+    def test_negative_base_interval_rejected(self):
+        config = small_config(seed=41)
+        service = HitlistService(
+            build_internet(config), config,
+            settings=ServiceSettings(probes_per_day=8_000),
+        )
+        with pytest.raises(ValueError, match="base_interval"):
+            service.run_adaptive(until_day=10, base_interval=-3)

@@ -60,3 +60,36 @@ class TestSummary:
         out = io.StringIO()
         save_history_summary(short_history, out)
         json.loads(out.getvalue())
+
+
+class TestFormatValidation:
+    def test_version_error_names_supported_version(self):
+        payload = json.dumps({"format_version": 99})
+        with pytest.raises(ValueError, match="version 99.*reads version 1"):
+            load_history_summary(io.StringIO(payload))
+
+    def test_missing_version_explained(self):
+        with pytest.raises(ValueError, match="missing 'format_version'"):
+            load_history_summary(io.StringIO("{}"))
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ValueError, match="expected a JSON object"):
+            load_history_summary(io.StringIO("[1, 2, 3]"))
+
+
+class TestRuntimeFields:
+    def test_degraded_and_hit_rate_round_trip(self, short_history):
+        data = history_summary(short_history)
+        rebuilt = rebuild_snapshots(data)
+        for original, copy in zip(short_history.snapshots, rebuilt):
+            assert copy.degraded == original.degraded
+            assert copy.udp53_hit_rate == original.udp53_hit_rate
+
+    def test_old_summaries_without_runtime_fields_still_load(self, short_history):
+        data = history_summary(short_history)
+        for entry in data["snapshots"]:
+            del entry["degraded"]
+            del entry["udp53_hit_rate"]
+        rebuilt = rebuild_snapshots(data)
+        assert all(s.degraded == () for s in rebuilt)
+        assert all(s.udp53_hit_rate == 0.0 for s in rebuilt)

@@ -1,0 +1,30 @@
+"""Shared fixtures for the runtime-layer tests.
+
+The kill/resume property tests need several full (short) pipeline runs;
+the expensive world build and the uninterrupted baseline are session-
+scoped so every parametrized case reuses them.
+"""
+
+import pytest
+
+from repro.hitlist import HitlistService
+from repro.simnet import build_internet, small_config
+
+SCAN_DAYS = list(range(0, 120, 8))
+
+
+@pytest.fixture(scope="session")
+def config():
+    return small_config()
+
+
+@pytest.fixture(scope="session")
+def world(config):
+    return build_internet(config)
+
+
+@pytest.fixture(scope="session")
+def baseline_history(world, config):
+    """The uninterrupted reference run every resume case must match."""
+    service = HitlistService(build_internet(config), config)
+    return service.run(SCAN_DAYS)

@@ -1,0 +1,161 @@
+"""Checkpoint/resume: crash recovery must be invisible in the output.
+
+The property under test: for every scan index k, killing the service
+right after scan k and resuming from its checkpoint produces a history
+(summary, retained responder sets, aliased prefixes, accounting) that is
+bit-identical to the uninterrupted baseline — including when the world
+is rebuilt from the serialized config instead of reusing the live one.
+"""
+
+import os
+
+import pytest
+
+from repro.hitlist import HitlistService
+from repro.hitlist.history_io import history_summary
+from repro.runtime import (
+    CheckpointError,
+    read_checkpoint,
+    write_checkpoint,
+)
+from repro.simnet import build_internet
+
+from tests.runtime.conftest import SCAN_DAYS
+
+
+class _Killed(Exception):
+    pass
+
+
+def _run_killed(config, kill_after, tmp_path, **service_kwargs):
+    """Run the schedule but die right after ``kill_after`` scans."""
+    service = HitlistService(build_internet(config), config, **service_kwargs)
+    original = service.run_scan
+    executed = {"count": 0}
+
+    def dying_run_scan(day, prev_day):
+        if executed["count"] == kill_after:
+            raise _Killed()
+        executed["count"] += 1
+        return original(day, prev_day)
+
+    service.run_scan = dying_run_scan
+    with pytest.raises(_Killed):
+        service.run(SCAN_DAYS, checkpoint_every=1, checkpoint_path=str(tmp_path))
+    files = sorted(f for f in os.listdir(tmp_path) if f.endswith(".ckpt"))
+    assert len(files) == kill_after
+    return tmp_path / files[-1]
+
+
+def _assert_identical(baseline, resumed):
+    assert history_summary(baseline) == history_summary(resumed)
+    assert set(baseline.retained) == set(resumed.retained)
+    for day in baseline.retained:
+        assert baseline.retained[day].responders == resumed.retained[day].responders
+        assert baseline.retained[day].injected == resumed.retained[day].injected
+        assert (
+            baseline.retained[day].aliased_prefixes
+            == resumed.retained[day].aliased_prefixes
+        )
+    assert baseline.input_ever == resumed.input_ever
+    assert baseline.excluded == resumed.excluded
+    assert baseline.ever_responsive == resumed.ever_responsive
+    assert baseline.ever_responsive_any == resumed.ever_responsive_any
+    assert baseline.per_source_counts == resumed.per_source_counts
+
+
+class TestKillAndResume:
+    @pytest.mark.parametrize("kill_after", [1, 5, 10, len(SCAN_DAYS) - 1])
+    def test_resume_is_bit_identical(
+        self, config, baseline_history, tmp_path, kill_after
+    ):
+        checkpoint = _run_killed(config, kill_after, tmp_path)
+        resumed = HitlistService.resume(str(checkpoint))
+        _assert_identical(baseline_history, resumed.run())
+
+    def test_resume_accepts_directory(self, config, baseline_history, tmp_path):
+        """A directory resolves to its newest per-day checkpoint."""
+        _run_killed(config, 4, tmp_path)
+        resumed = HitlistService.resume(str(tmp_path))
+        _assert_identical(baseline_history, resumed.run())
+
+    def test_resume_with_live_internet(self, config, world, baseline_history, tmp_path):
+        """Passing the original world skips the rebuild, same result."""
+        checkpoint = _run_killed(config, 6, tmp_path)
+        resumed = HitlistService.resume(str(checkpoint), internet=world)
+        assert resumed.internet is world
+        _assert_identical(baseline_history, resumed.run())
+
+    def test_completed_run_checkpoint_restores_final_state(
+        self, config, baseline_history, tmp_path
+    ):
+        service = HitlistService(build_internet(config), config)
+        history = service.run(
+            SCAN_DAYS, checkpoint_every=5, checkpoint_path=str(tmp_path)
+        )
+        _assert_identical(baseline_history, history)
+        # the final checkpoint carries the finished schedule: resuming it
+        # runs zero scans and reproduces the full history
+        resumed = HitlistService.resume(str(tmp_path))
+        _assert_identical(baseline_history, resumed.run())
+
+    def test_checkpoint_every_validation(self, config, world):
+        service = HitlistService(world, config)
+        with pytest.raises(ValueError, match="checkpoint_every"):
+            service.run(SCAN_DAYS[:2], checkpoint_every=0, checkpoint_path="x")
+
+
+class TestCheckpointFormat:
+    def test_roundtrip(self, tmp_path):
+        path = str(tmp_path / "state.ckpt")
+        payload = {"alpha": [1, 2, 3], "nested": {"day": 7}}
+        write_checkpoint(path, payload)
+        assert read_checkpoint(path) == payload
+
+    def test_flipped_byte_rejected(self, config, tmp_path):
+        checkpoint = _run_killed(config, 1, tmp_path)
+        blob = bytearray(checkpoint.read_bytes())
+        blob[-10] ^= 0xFF
+        checkpoint.write_bytes(bytes(blob))
+        with pytest.raises(CheckpointError, match="checksum mismatch"):
+            read_checkpoint(str(checkpoint))
+
+    def test_truncation_rejected(self, tmp_path):
+        path = tmp_path / "state.ckpt"
+        write_checkpoint(str(path), {"key": "value" * 100})
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) - 5])
+        with pytest.raises(CheckpointError, match="truncated"):
+            read_checkpoint(str(path))
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "state.ckpt"
+        path.write_bytes(b"definitely not a checkpoint\n")
+        with pytest.raises(CheckpointError, match="not a checkpoint"):
+            read_checkpoint(str(path))
+
+    def test_unsupported_version_rejected(self, tmp_path):
+        path = tmp_path / "state.ckpt"
+        write_checkpoint(str(path), {"key": 1})
+        header, _, body = path.read_bytes().partition(b"\n")
+        parts = header.split()
+        parts[1] = b"99"
+        path.write_bytes(b" ".join(parts) + b"\n" + body)
+        with pytest.raises(CheckpointError, match="version 99"):
+            read_checkpoint(str(path))
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(CheckpointError, match="cannot read"):
+            read_checkpoint(str(tmp_path / "nope.ckpt"))
+
+    def test_empty_directory_rejected(self, tmp_path):
+        with pytest.raises(CheckpointError, match="no checkpoint files"):
+            read_checkpoint(str(tmp_path))
+
+    def test_corrupted_resume_is_rejected_not_garbage(self, config, tmp_path):
+        checkpoint = _run_killed(config, 2, tmp_path)
+        blob = bytearray(checkpoint.read_bytes())
+        blob[len(blob) // 2] ^= 0x01
+        checkpoint.write_bytes(bytes(blob))
+        with pytest.raises(CheckpointError):
+            HitlistService.resume(str(checkpoint))

@@ -1,0 +1,288 @@
+"""Fault injection: deterministic failures the service must absorb.
+
+Faulted runs must complete without exceptions, record what they absorbed
+in ``ScanSnapshot.degraded``, stay reproducible from the scenario seed,
+and — combined with checkpointing — still resume bit-identically.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.hitlist import HitlistService, ServiceSettings
+from repro.hitlist.history_io import history_summary
+from repro.hitlist.sources import FlakySource, SourceUnavailable, StaticSource
+from repro.protocols import ALL_PROTOCOLS, Protocol
+from repro.runtime import (
+    FaultPlan,
+    LossBurst,
+    RateLimit,
+    RetryPolicy,
+    SourceOutage,
+    VantageOutage,
+    load_fault_plan,
+)
+from repro.scan.zmap import ZMapScanner
+from repro.simnet import build_internet
+
+from tests.runtime.conftest import SCAN_DAYS
+
+
+class TestFaultPlanPrimitives:
+    def test_vantage_down_window(self):
+        plan = FaultPlan(outages=(VantageOutage(10, 12),))
+        assert [plan.vantage_down(d) for d in range(9, 14)] == [
+            False, True, True, True, False,
+        ]
+
+    def test_outage_days_subtracted_half_open(self):
+        plan = FaultPlan(outages=(VantageOutage(10, 12), VantageOutage(11, 15)))
+        # (9, 20] covers the merged window 10..15 entirely
+        assert plan.outage_days_between(9, 20) == 6
+        # (12, 20] only covers 13..15
+        assert plan.outage_days_between(12, 20) == 3
+        assert plan.outage_days_between(15, 20) == 0
+
+    def test_inverted_windows_rejected(self):
+        with pytest.raises(ValueError):
+            VantageOutage(5, 4)
+        with pytest.raises(ValueError):
+            LossBurst(5, 4, 0.5)
+        with pytest.raises(ValueError):
+            SourceOutage("atlas", 5, 4)
+
+    def test_retry_policy_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(attempts=2, backoff_days=-1.0)
+
+    def test_burst_hits_same_cohort_every_day(self):
+        plan = FaultPlan(seed=3, bursts=(LossBurst(5, 9, 0.25),))
+        addresses = [(0x2001 << 112) | n for n in range(4000)]
+        victims_by_day = [
+            {a for a in addresses if plan.burst_lost(a, day)} for day in range(5, 10)
+        ]
+        assert all(v == victims_by_day[0] for v in victims_by_day)
+        share = len(victims_by_day[0]) / len(addresses)
+        assert 0.2 < share < 0.3
+        assert not any(plan.burst_lost(a, 4) for a in addresses[:100])
+
+    def test_burst_full_loss_rate_kills_everything(self):
+        plan = FaultPlan(seed=3, bursts=(LossBurst(5, 5, 1.0),))
+        assert all(plan.burst_lost((7 << 120) | n, 5) for n in range(500))
+
+    def test_rate_limit_order_independent(self):
+        plan = FaultPlan(seed=1, rate_limits=(RateLimit(asn=64500, budget=3),))
+        targets = [(0xFD << 120) | n for n in range(20)]
+        forward = plan.suppressed_responders(
+            targets, Protocol.ICMP, 7, lambda a: 64500
+        )
+        backward = plan.suppressed_responders(
+            list(reversed(targets)), Protocol.ICMP, 7, lambda a: 64500
+        )
+        assert forward == backward
+        assert len(forward) == len(targets) - 3
+
+    def test_rate_limit_protocol_scoping(self):
+        plan = FaultPlan(rate_limits=(RateLimit(asn=1, budget=0),))
+        assert plan.limits_protocol(Protocol.ICMP)
+        assert not plan.limits_protocol(Protocol.TCP80)
+
+    def test_roundtrip_and_loading(self):
+        plan = FaultPlan(
+            seed=11,
+            outages=(VantageOutage(1, 2),),
+            rate_limits=(RateLimit(asn=9, budget=4, protocols=int(Protocol.UDP53)),),
+            bursts=(LossBurst(3, 4, 0.5),),
+            source_outages=(SourceOutage("atlas", 5, 6),),
+        )
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+        assert load_fault_plan(io.StringIO(json.dumps(plan.to_dict()))) == plan
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault plan fields"):
+            FaultPlan.from_dict({"seed": 1, "typo_field": []})
+        with pytest.raises(ValueError, match="unknown protocol label"):
+            FaultPlan.from_dict(
+                {"rate_limits": [{"asn": 1, "budget": 2, "protocols": ["SCTP"]}]}
+            )
+
+
+class TestRetryPolicy:
+    def test_attempt_zero_matches_single_shot(self, world, config):
+        """attempts=1 must reproduce the seed scanner bit-for-bit."""
+        targets = sorted(world.ground_truth.get("initial_input"))[:3000]
+        single = ZMapScanner(world, loss_rate=0.05, seed=config.seed)
+        retried = ZMapScanner(
+            world, loss_rate=0.05, seed=config.seed, retry=RetryPolicy(attempts=1)
+        )
+        assert (
+            single.scan(targets, Protocol.ICMP, 30).responders
+            == retried.scan(targets, Protocol.ICMP, 30).responders
+        )
+
+    def test_more_attempts_recover_lost_probes(self, world, config):
+        targets = sorted(world.ground_truth.get("initial_input"))[:3000]
+        results = {}
+        for attempts in (1, 3):
+            scanner = ZMapScanner(
+                world, loss_rate=0.2, seed=config.seed,
+                retry=RetryPolicy(attempts=attempts),
+            )
+            results[attempts] = scanner.scan(targets, Protocol.ICMP, 30).responders
+        assert results[3] > results[1]  # strict superset at 20 % loss
+
+    def test_retry_does_not_recover_burst_loss(self, world, config):
+        plan = FaultPlan(seed=config.seed, bursts=(LossBurst(30, 30, 1.0),))
+        scanner = ZMapScanner(
+            world, loss_rate=0.0, seed=config.seed,
+            fault_plan=plan, retry=RetryPolicy(attempts=5),
+        )
+        targets = sorted(world.ground_truth.get("initial_input"))[:500]
+        assert not scanner.scan(targets, Protocol.ICMP, 30).responders
+
+
+class TestFaultedService:
+    @pytest.fixture(scope="class")
+    def faulted_history(self, config):
+        plan = FaultPlan(
+            seed=config.seed,
+            outages=(VantageOutage(40, 47),),
+            rate_limits=(RateLimit(asn=1, budget=5),),
+            bursts=(LossBurst(64, 72, 0.5),),
+            source_outages=(SourceOutage("atlas", 16, 40),),
+        )
+        service = HitlistService(
+            build_internet(config), config,
+            settings=ServiceSettings(
+                gfw_filter_deploy_day=config.gfw_filter_deploy_day,
+                retry_attempts=2,
+            ),
+            fault_plan=plan,
+        )
+        return service.run(SCAN_DAYS)
+
+    def test_faulted_run_completes_and_records_degradation(self, faulted_history):
+        degraded = {s.day: s.degraded for s in faulted_history.snapshots if s.degraded}
+        assert degraded, "no degraded scans recorded"
+        outage_days = [d for d, tags in degraded.items() if "vantage_outage" in tags]
+        assert outage_days == [40]
+        source_days = [d for d, tags in degraded.items() if "source:atlas" in tags]
+        assert source_days == [16, 24, 32, 40]
+
+    def test_outage_scan_publishes_nothing(self, faulted_history):
+        snapshot = next(s for s in faulted_history.snapshots if s.day == 40)
+        assert snapshot.published_total == 0
+        assert snapshot.cleaned_total == 0
+        assert all(snapshot.published_counts[p] == 0 for p in ALL_PROTOCOLS)
+
+    def test_outage_does_not_fabricate_churn(self, faulted_history):
+        outage = next(s for s in faulted_history.snapshots if s.day == 40)
+        after = next(s for s in faulted_history.snapshots if s.day == 48)
+        assert (outage.churn_new, outage.churn_recurring, outage.churn_gone) == (0, 0, 0)
+        # recovery scan diffs against the last *working* scan, so the
+        # whole population must not reappear as churn
+        assert after.churn_new + after.churn_recurring < after.cleaned_total // 2
+
+    def test_source_window_recovered_after_outage(self, config):
+        """A flaky source loses no addresses once its upstream recovers.
+
+        Collections are half-open day windows and a failed source keeps
+        its cursor, so the catch-up pull after the outage covers every
+        missed day: the run's accumulated input must contain everything
+        the source would have delivered without the outage.
+        """
+        from repro.hitlist.sources import AtlasSource
+
+        plan = FaultPlan(
+            seed=config.seed,
+            source_outages=(SourceOutage("atlas", 16, 40),),
+        )
+        faulted = HitlistService(
+            build_internet(config), config, fault_plan=plan
+        ).run(SCAN_DAYS)
+        expected = set()
+        atlas = AtlasSource(build_internet(config))
+        previous = -1
+        for day in SCAN_DAYS:
+            expected |= atlas.collect(previous, day)
+            previous = day
+        assert expected <= faulted.input_ever
+
+    def test_faulted_run_is_seed_deterministic(self, config, faulted_history):
+        plan = FaultPlan(
+            seed=config.seed,
+            outages=(VantageOutage(40, 47),),
+            rate_limits=(RateLimit(asn=1, budget=5),),
+            bursts=(LossBurst(64, 72, 0.5),),
+            source_outages=(SourceOutage("atlas", 16, 40),),
+        )
+        rerun = HitlistService(
+            build_internet(config), config,
+            settings=ServiceSettings(
+                gfw_filter_deploy_day=config.gfw_filter_deploy_day,
+                retry_attempts=2,
+            ),
+            fault_plan=plan,
+        ).run(SCAN_DAYS)
+        assert history_summary(rerun) == history_summary(faulted_history)
+
+    def test_faulted_checkpoint_resume_identical(self, config, faulted_history, tmp_path):
+        plan = FaultPlan(
+            seed=config.seed,
+            outages=(VantageOutage(40, 47),),
+            rate_limits=(RateLimit(asn=1, budget=5),),
+            bursts=(LossBurst(64, 72, 0.5),),
+            source_outages=(SourceOutage("atlas", 16, 40),),
+        )
+        settings = ServiceSettings(
+            gfw_filter_deploy_day=config.gfw_filter_deploy_day, retry_attempts=2
+        )
+        service = HitlistService(
+            build_internet(config), config, settings=settings, fault_plan=plan
+        )
+
+        class Killed(Exception):
+            pass
+
+        original = service.run_scan
+        executed = {"count": 0}
+
+        def dying_run_scan(day, prev_day):
+            if executed["count"] == 7:  # dies mid-vantage-outage recovery
+                raise Killed()
+            executed["count"] += 1
+            return original(day, prev_day)
+
+        service.run_scan = dying_run_scan
+        with pytest.raises(Killed):
+            service.run(SCAN_DAYS, checkpoint_every=1, checkpoint_path=str(tmp_path))
+        resumed = HitlistService.resume(str(tmp_path))
+        assert resumed.fault_plan == plan
+        assert history_summary(resumed.run()) == history_summary(faulted_history)
+
+
+class TestFlakySource:
+    def test_raises_only_inside_window(self):
+        plan = FaultPlan(source_outages=(SourceOutage("feed", 5, 6),))
+        source = FlakySource(StaticSource("feed", [42], available_day=3), plan)
+        assert source.collect(2, 4) == {42}
+        with pytest.raises(SourceUnavailable, match="day 5"):
+            source.collect(4, 5)
+        assert source.collect(6, 7) == set()
+
+    def test_service_skips_raising_source(self, config):
+        """Any exception from a source degrades the scan, never kills it."""
+
+        class Exploding(StaticSource):
+            def collect(self, start_day, end_day):
+                raise RuntimeError("boom")
+
+        service = HitlistService(
+            build_internet(config), config,
+            sources=[Exploding("broken", [])],
+        )
+        history = service.run(SCAN_DAYS[:3])
+        assert all("source:broken" in s.degraded for s in history.snapshots)

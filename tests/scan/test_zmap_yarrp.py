@@ -148,3 +148,21 @@ class TestYarrp:
     def test_invalid_sample_rate(self, small_world):
         with pytest.raises(ValueError):
             YarrpTracer(small_world, sample_rate=0.0)
+
+
+class TestUdp53HitRate:
+    def test_hit_rate_matches_counts(self, small_world):
+        scanner = ZMapScanner(small_world, loss_rate=0.0)
+        dns_hosts = _up_hosts(small_world, Protocol.UDP53, 10)
+        if not dns_hosts:
+            pytest.skip("no DNS hosts up in this tiny world")
+        dead = [0x3FFF << 112, (0x3FFF << 112) | 1]
+        result = scanner.scan_udp53(dns_hosts + dead, 10, "www.google.com")
+        assert result.hit_rate == len(result.responders) / result.targets
+        assert 0.0 < result.hit_rate < 1.0
+
+    def test_hit_rate_empty_scan(self, small_world):
+        scanner = ZMapScanner(small_world, loss_rate=0.0)
+        result = scanner.scan_udp53([], 10, "www.google.com")
+        assert result.targets == 0
+        assert result.hit_rate == 0.0

@@ -127,3 +127,59 @@ def str_addr(value: int) -> str:
     from repro.net.address import format_ipv6
 
     return format_ipv6(value)
+
+
+class TestRuntimeFlags:
+    def test_checkpoint_faults_and_resume(self, tmp_path, capsys):
+        faults = tmp_path / "faults.json"
+        faults.write_text(json.dumps({
+            "seed": 3,
+            "vantage_outages": [{"start_day": 30, "end_day": 35}],
+            "source_outages": [
+                {"source": "atlas", "start_day": 10, "end_day": 20}
+            ],
+        }))
+        ckpt = tmp_path / "ckpt"
+        outdir = tmp_path / "run"
+        assert main([
+            "simulate", "--preset", "small", "--seed", "3",
+            "--days", "60", "--interval", "10",
+            "--faults", str(faults), "--retry-attempts", "2",
+            "--checkpoint-dir", str(ckpt),
+            "-o", str(outdir),
+        ]) == 0
+        capsys.readouterr()
+        checkpoints = sorted(ckpt.glob("checkpoint-day*.ckpt"))
+        assert len(checkpoints) == 7  # one per scan (days 0..60 step 10)
+        baseline = json.loads((outdir / "summary.json").read_text())
+        degraded = [s for s in baseline["snapshots"] if s["degraded"]]
+        assert degraded, "fault plan left no degraded scans"
+
+        # resume from a mid-run checkpoint: identical artefacts
+        outdir2 = tmp_path / "resumed"
+        assert main([
+            "simulate", "--resume", str(checkpoints[3]), "-o", str(outdir2),
+        ]) == 0
+        resumed = json.loads((outdir2 / "summary.json").read_text())
+        assert resumed == baseline
+        assert (
+            (outdir2 / "responsive.txt").read_text()
+            == (outdir / "responsive.txt").read_text()
+        )
+
+    def test_resume_rejects_corrupted_checkpoint(self, tmp_path):
+        from repro.runtime import CheckpointError
+
+        ckpt = tmp_path / "ckpt"
+        assert main([
+            "simulate", "--preset", "small", "--seed", "3",
+            "--days", "20", "--interval", "10",
+            "--checkpoint-dir", str(ckpt),
+            "-o", str(tmp_path / "run"),
+        ]) == 0
+        victim = sorted(ckpt.glob("*.ckpt"))[-1]
+        blob = bytearray(victim.read_bytes())
+        blob[-1] ^= 0xFF
+        victim.write_bytes(bytes(blob))
+        with pytest.raises(CheckpointError, match="checksum"):
+            main(["simulate", "--resume", str(victim), "-o", str(tmp_path / "x")])
