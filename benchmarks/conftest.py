@@ -12,11 +12,13 @@ so the artifacts survive pytest's output capturing.
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import pytest
 
 from repro.hitlist import HitlistService, default_scan_days
+from repro.obs import MonotonicClock
 from repro.hitlist.service import ServiceSettings
 from repro.simnet import build_internet, default_config
 from repro.tga import evaluate_new_sources
@@ -76,6 +78,31 @@ def emit():
     return _emit
 
 
+_CLOCK = MonotonicClock()
+
+
+def _record_bench_time(name: str, seconds: float) -> None:
+    """Append one wall-time sample to ``results/BENCH_<name>.json``.
+
+    Each pytest session appends, so repeated runs build a trajectory
+    that regression tooling can plot or threshold.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    runs = []
+    if path.exists():
+        try:
+            runs = json.loads(path.read_text()).get("runs", [])
+        except ValueError:
+            runs = []
+    runs.append({"seconds": seconds})
+    path.write_text(json.dumps({"name": name, "runs": runs}, indent=2) + "\n")
+
+
 def once(benchmark, func, *args, **kwargs):
     """Run an analysis step exactly once under pytest-benchmark timing."""
-    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    start = _CLOCK.now()
+    result = benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    _record_bench_time(getattr(benchmark, "name", None) or func.__name__,
+                       _CLOCK.now() - start)
+    return result

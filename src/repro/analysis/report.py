@@ -26,12 +26,41 @@ from repro.analysis.tables import (
 )
 from repro.analysis.timeline import churn_series, responsiveness_series, spike_ratio
 from repro.hitlist.service import HitlistHistory
+from repro.obs.export import deterministic_metrics, registry_to_dict
 from repro.protocols import ALL_PROTOCOLS, Protocol
 
 
 def _section(title: str, body: str) -> str:
     bar = "=" * len(title)
     return f"{title}\n{bar}\n{body}\n"
+
+
+def metrics_section(history: HitlistHistory) -> Optional[str]:
+    """The run's deterministic counters/gauges as one table.
+
+    Volatile families (wall-clock timings) are excluded so the section
+    renders identically for same-seed and resumed runs; ``None`` when
+    the history carries no metrics registry.
+    """
+    if history.metrics is None:
+        return None
+    document = deterministic_metrics(registry_to_dict(history.metrics))
+    rows: List[List[str]] = []
+    for name in sorted(document["metrics"]):
+        entry = document["metrics"][name]
+        if entry["type"] == "histogram":
+            continue
+        for series in entry["series"]:
+            labels = ",".join(
+                f"{key}={value}" for key, value in sorted(series["labels"].items())
+            )
+            rows.append([name, labels or "-", si_format(series["value"])])
+    if not rows:
+        return None
+    return _section(
+        "Observability — run counters",
+        ascii_table(["metric", "labels", "value"], rows),
+    )
 
 
 def full_report(history: HitlistHistory, evaluation=None) -> str:
@@ -219,5 +248,9 @@ def full_report(history: HitlistHistory, evaluation=None) -> str:
                  f"union with hitlist: {si_format(len(combined | hitlist))} "
                  f"(+{gain:.0f} %)")
         sections.append(_section("Sec. 6 / Tables 3-4 — new sources", sec6))
+
+    obs = metrics_section(history)
+    if obs is not None:
+        sections.append(obs)
 
     return "\n".join(sections)

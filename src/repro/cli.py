@@ -105,7 +105,7 @@ def _run_pipeline(args: argparse.Namespace):
         history = service.run(
             checkpoint_every=checkpoint_every, checkpoint_path=checkpoint_dir
         )
-        return service.config, service.internet, history
+        return service.config, service.internet, history, service
     config = _resolve_config(args)
     internet = build_internet(config)
     settings = ServiceSettings(
@@ -120,11 +120,43 @@ def _run_pipeline(args: argparse.Namespace):
         checkpoint_every=checkpoint_every,
         checkpoint_path=checkpoint_dir,
     )
-    return config, internet, history
+    return config, internet, history, service
+
+
+def _write_observability(args: argparse.Namespace, service) -> None:
+    """Honor the --metrics-json / --metrics-prom / --trace flags."""
+    from repro.obs import (
+        deterministic_metrics,
+        metrics_to_json,
+        registry_to_dict,
+        to_prometheus_text,
+    )
+
+    metrics_json = getattr(args, "metrics_json", None)
+    if metrics_json:
+        # deterministic view only: byte-identical across same-seed runs
+        # and kill-and-resume, so files can be diffed directly
+        document = deterministic_metrics(registry_to_dict(service.metrics))
+        pathlib.Path(metrics_json).write_text(metrics_to_json(document))
+        print(f"wrote metrics (deterministic view) to {metrics_json}")
+    metrics_prom = getattr(args, "metrics_prom", None)
+    if metrics_prom:
+        pathlib.Path(metrics_prom).write_text(
+            to_prometheus_text(service.metrics)
+        )
+        print(f"wrote Prometheus exposition to {metrics_prom}")
+    trace_path = getattr(args, "trace", None)
+    if trace_path:
+        import json as _json
+
+        pathlib.Path(trace_path).write_text(
+            _json.dumps(service.spans.to_json(), indent=2) + "\n"
+        )
+        print(f"wrote stage trace to {trace_path}")
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
-    config, internet, history = _run_pipeline(args)
+    config, internet, history, service = _run_pipeline(args)
     outdir = pathlib.Path(args.output)
     outdir.mkdir(parents=True, exist_ok=True)
     with open(outdir / "responsive.txt", "w", encoding="ascii") as handle:
@@ -143,6 +175,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     (outdir / "validation.txt").write_text(validation.render() + "\n")
     with open(outdir / "summary.json", "w", encoding="ascii") as handle:
         save_history_summary(history, handle)
+    _write_observability(args, service)
     print(f"wrote {count} responsive addresses, {aliased} aliased prefixes, "
           f"report.txt, figures/, validation.txt and scenario.json to {outdir}")
     if not validation.passed:
@@ -153,7 +186,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def cmd_evaluate(args: argparse.Namespace) -> int:
-    config, internet, history = _run_pipeline(args)
+    config, internet, history, service = _run_pipeline(args)
     seeds_day = max(history.retained)
     evaluation = evaluate_new_sources(
         internet, history, config,
@@ -169,6 +202,7 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
         count = write_address_list(handle, evaluation.combined_any())
     rib = internet.routing.snapshot_at(max(history.retained))
     export_all_figures(outdir / "figures", history, rib, evaluation)
+    _write_observability(args, service)
     print(f"wrote report.txt, figures/ and {count} new responsive addresses "
           f"to {outdir}")
     return 0
@@ -271,6 +305,14 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--resume", dest="resume",
                        help="resume an interrupted run from a checkpoint "
                             "file or directory (ignores world/schedule flags)")
+        p.add_argument("--metrics-json", dest="metrics_json", metavar="PATH",
+                       help="write the run's metrics (deterministic view, "
+                            "canonical JSON) to PATH")
+        p.add_argument("--metrics-prom", dest="metrics_prom", metavar="PATH",
+                       help="write the run's metrics (including wall-clock "
+                            "timings) to PATH in Prometheus text format")
+        p.add_argument("--trace", dest="trace", metavar="PATH",
+                       help="write per-stage span timings to PATH as JSON")
 
     p_sim = sub.add_parser("simulate", help="run the hitlist pipeline")
     add_world_args(p_sim)

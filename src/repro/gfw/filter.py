@@ -16,7 +16,7 @@ Two roles, matching the paper's deployment in February 2022:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Set
+from typing import Dict, Optional, Set
 
 from repro.gfw.detector import (
     DEFAULT_WHOIS,
@@ -26,6 +26,7 @@ from repro.gfw.detector import (
     is_injected_target,
 )
 from repro.net.teredo import decode_teredo, is_teredo
+from repro.obs.metrics import MetricsRegistry
 from repro.protocols import RecordType
 from repro.scan.zmap import Udp53Result
 
@@ -43,7 +44,8 @@ class ScanCleaningResult:
 class GfwFilter:
     """Stateful injection bookkeeping across the service lifetime."""
 
-    def __init__(self, whois: Ipv4Whois = DEFAULT_WHOIS) -> None:
+    def __init__(self, whois: Ipv4Whois = DEFAULT_WHOIS,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         #: addresses that showed injection evidence in at least one scan
         self.ever_injected: Set[int] = set()
         #: addresses that ever genuinely answered a non-DNS probe
@@ -52,6 +54,12 @@ class GfwFilter:
         #: the paper's Facebook/Microsoft/Dropbox observation
         self.forged_answer_owners: Dict[int, int] = {}
         self._whois = whois
+        self._metrics = metrics
+        if metrics is not None:
+            self._m_evidence = metrics.counter(
+                "repro_gfw_evidence_total",
+                "Forgery evidence observed in UDP/53 responses, by kind.",
+                ("kind",))
 
     def _attribute_answers(self, responses) -> None:
         for response in responses:
@@ -79,6 +87,8 @@ class GfwFilter:
                     cleaning.evidence_counts[kind] = (
                         cleaning.evidence_counts.get(kind, 0) + count
                     )
+                    if self._metrics is not None:
+                        self._m_evidence.labels(kind=kind.value).inc(count)
                 self._attribute_answers(responses)
             else:
                 cleaning.clean_responders.add(responder)

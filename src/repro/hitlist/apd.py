@@ -24,6 +24,7 @@ from repro.asn.rib import RibSnapshot
 from repro.net.prefix import IPv6Prefix
 from repro.net.random_addr import spread_addresses
 from repro.net.trie import PrefixTrie
+from repro.obs.metrics import MetricsRegistry
 from repro.protocols import Protocol
 from repro.scan.zmap import ZMapScanner
 
@@ -50,8 +51,21 @@ class AliasedPrefixDetection:
         min_longer_addresses: int = 100,
         history_window: int = 3,
         reconfirm_interval: int = 30,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self._scanner = scanner
+        self._metrics = metrics
+        if metrics is not None:
+            self._m_tested = metrics.counter(
+                "repro_apd_prefixes_tested_total",
+                "APD detection rounds run, by candidate level.", ("level",))
+            self._m_verdicts = metrics.counter(
+                "repro_apd_alias_verdicts_total",
+                "Alias state transitions, by verdict and candidate level.",
+                ("verdict", "level"))
+            self._m_aliased = metrics.gauge(
+                "repro_apd_aliased_prefixes",
+                "Currently detected aliased prefixes.")
         self._min_longer = min_longer_addresses
         self._window = history_window
         self._reconfirm_interval = reconfirm_interval
@@ -151,6 +165,9 @@ class AliasedPrefixDetection:
 
     def test_prefix(self, prefix: IPv6Prefix, day: int) -> bool:
         """Run one detection round for one prefix and update state."""
+        level = self._candidate_level.get(prefix, "slash64")
+        if self._metrics is not None:
+            self._m_tested.labels(level=level).inc()
         history = self._history.setdefault(prefix, [])
         bitmap = self._probe_bitmap(prefix, day, attempt=len(history))
         history.append(bitmap)
@@ -175,10 +192,12 @@ class AliasedPrefixDetection:
                 detected = DetectedAlias(
                     prefix=prefix,
                     first_detected_day=day,
-                    level=self._candidate_level.get(prefix, "slash64"),
+                    level=level,
                 )
                 self._aliased[prefix] = detected
                 self._aliased_trie[prefix] = detected
+                if self._metrics is not None:
+                    self._m_verdicts.labels(verdict="aliased", level=level).inc()
         elif prefix in self._aliased and bitmap != (1 << _PROBE_COUNT) - 1:
             # de-listed only when the *current* round clearly fails
             recent = history[-self._window:]
@@ -188,6 +207,10 @@ class AliasedPrefixDetection:
             if merged_recent != (1 << _PROBE_COUNT) - 1:
                 del self._aliased[prefix]
                 self._aliased_trie.remove(prefix)
+                if self._metrics is not None:
+                    self._m_verdicts.labels(verdict="delisted", level=level).inc()
+        if self._metrics is not None:
+            self._m_aliased.set(len(self._aliased))
         return prefix in self._aliased
 
     def run(

@@ -13,6 +13,7 @@ from typing import IO, Any, Dict
 
 from repro._util import day_to_date
 from repro.hitlist.service import HitlistHistory, ScanSnapshot
+from repro.obs.export import deterministic_metrics, registry_to_dict
 from repro.protocols import ALL_PROTOCOLS, Protocol
 
 _FORMAT_VERSION = 1
@@ -40,6 +41,7 @@ def history_summary(history: HitlistHistory) -> Dict[str, Any]:
             },
             "udp53_hit_rate": snapshot.udp53_hit_rate,
             "degraded": list(snapshot.degraded),
+            "metrics": dict(snapshot.metrics),
         })
     retained = {}
     for day, scan in history.retained.items():
@@ -52,10 +54,16 @@ def history_summary(history: HitlistHistory) -> Dict[str, Any]:
             "injected": len(scan.injected),
             "aliased_prefixes": len(scan.aliased_prefixes),
         }
+    # only the deterministic view: volatile wall-clock timings would
+    # break summary equality between a straight run and a resumed one
+    metrics_block: Dict[str, Any] = {}
+    if history.metrics is not None:
+        metrics_block = deterministic_metrics(registry_to_dict(history.metrics))
     return {
         "format_version": _FORMAT_VERSION,
         "snapshots": snapshots,
         "retained": retained,
+        "metrics": metrics_block,
         "input_total": len(history.input_ever),
         "excluded_total": len(history.excluded),
         "gfw_impacted": history.gfw.impacted_count if history.gfw else 0,
@@ -130,6 +138,10 @@ def rebuild_snapshots(data: Dict[str, Any]) -> list:
                 churn_gone=entry["churn"]["gone"],
                 udp53_hit_rate=entry.get("udp53_hit_rate", 0.0),
                 degraded=tuple(entry.get("degraded", ())),
+                metrics={
+                    str(key): int(value)
+                    for key, value in entry.get("metrics", {}).items()
+                },
             )
         )
     return snapshots

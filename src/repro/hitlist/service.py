@@ -19,6 +19,9 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tup
 from repro.gfw.filter import GfwFilter
 from repro.hitlist.apd import AliasedPrefixDetection, DetectedAlias
 from repro.hitlist.sources import FlakySource, InputSource, default_sources
+from repro.obs.clock import Clock, MonotonicClock
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
 from repro.protocols import ALL_PROTOCOLS, Protocol
 from repro.runtime.faults import FaultPlan, RetryPolicy
 from repro.scan.blocklist import Blocklist
@@ -26,6 +29,22 @@ from repro.scan.yarrp import YarrpTracer
 from repro.scan.zmap import ZMapScanner
 from repro.simnet.config import DAY_2021_12_01, SNAPSHOT_DAYS, ScenarioConfig
 from repro.simnet.internet import SimInternet
+
+#: The per-scan metrics block of a :class:`ScanSnapshot`: short key ->
+#: registry counter whose per-scan delta it records.
+SCAN_METRIC_COUNTERS: Dict[str, str] = {
+    "probes_sent": "repro_probes_sent_total",
+    "probe_hits": "repro_probe_hits_total",
+    "probe_retries": "repro_probe_retries_total",
+    "burst_suppressed": "repro_burst_suppressed_total",
+    "rate_limited": "repro_rate_limited_total",
+    "trace_hops": "repro_trace_hops_total",
+    "apd_tested": "repro_apd_prefixes_tested_total",
+    "gfw_injected": "repro_gfw_injected_detected_total",
+    "gfw_dropped": "repro_gfw_dropped_total",
+    "faults_absorbed": "repro_faults_absorbed_total",
+    "excluded": "repro_excluded_total",
+}
 
 
 def default_scan_days(final_day: int) -> List[int]:
@@ -96,6 +115,9 @@ class ScanSnapshot:
     #: faults absorbed during this scan ("vantage_outage",
     #: "source:<name>"); empty for a clean scan
     degraded: Tuple[str, ...] = ()
+    #: per-scan observability block: deltas of the deterministic
+    #: registry counters in :data:`SCAN_METRIC_COUNTERS`
+    metrics: Dict[str, int] = field(default_factory=dict)
 
 
 @dataclass
@@ -142,6 +164,8 @@ class HitlistHistory:
     gfw: Optional[GfwFilter] = None
     apd: Optional[AliasedPrefixDetection] = None
     internet: Optional[SimInternet] = None
+    #: the run's metrics registry (set by the service)
+    metrics: Optional[MetricsRegistry] = None
 
     def retained_at(self, day: int) -> RetainedScan:
         """The retained scan closest to ``day``."""
@@ -167,6 +191,8 @@ class HitlistService:
         sources: Optional[Sequence[InputSource]] = None,
         blocklist: Optional[Blocklist] = None,
         fault_plan: Optional[FaultPlan] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        clock: Optional[Clock] = None,
     ) -> None:
         self.internet = internet
         self.config = config
@@ -175,6 +201,10 @@ class HitlistService:
         )
         self.blocklist = blocklist or Blocklist()
         self.fault_plan = fault_plan
+        self.clock: Clock = clock if clock is not None else MonotonicClock()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.spans = Tracer(self.clock, registry=self.metrics)
+        self._init_service_metrics()
         retry = (
             RetryPolicy(attempts=self.settings.retry_attempts)
             if self.settings.retry_attempts > 1
@@ -183,21 +213,22 @@ class HitlistService:
         self.scanner = ZMapScanner(
             internet, blocklist=self.blocklist,
             loss_rate=self.settings.loss_rate, seed=config.seed,
-            fault_plan=fault_plan, retry=retry,
+            fault_plan=fault_plan, retry=retry, metrics=self.metrics,
         )
         self.tracer = YarrpTracer(
             internet, blocklist=self.blocklist,
             sample_rate=self.settings.trace_sample_rate, seed=config.seed,
-            fault_plan=fault_plan,
+            fault_plan=fault_plan, metrics=self.metrics,
         )
         self.apd = AliasedPrefixDetection(
             ZMapScanner(internet, blocklist=self.blocklist, loss_rate=self.settings.loss_rate,
                         seed=config.seed ^ 0xA11A5,
-                        fault_plan=fault_plan, retry=retry),
+                        fault_plan=fault_plan, retry=retry, metrics=self.metrics),
             min_longer_addresses=self.settings.apd_min_longer_addresses,
             reconfirm_interval=self.settings.apd_reconfirm_interval,
+            metrics=self.metrics,
         )
-        self.gfw_filter = GfwFilter()
+        self.gfw_filter = GfwFilter(metrics=self.metrics)
         self.sources: List[InputSource] = list(
             sources if sources is not None else default_sources(internet, config)
         )
@@ -209,7 +240,8 @@ class HitlistService:
             ]
 
         self.history = HitlistHistory(
-            gfw=self.gfw_filter, apd=self.apd, internet=internet
+            gfw=self.gfw_filter, apd=self.apd, internet=internet,
+            metrics=self.metrics,
         )
         self.history.ever_responsive = {protocol: set() for protocol in ALL_PROTOCOLS}
 
@@ -230,6 +262,44 @@ class HitlistService:
         # seed the accumulated input
         initial = internet.ground_truth.get("initial_input")
         self._ingest("initial_seed", initial, day=0)
+
+    def _init_service_metrics(self) -> None:
+        """Declare the service-level metric families."""
+        metrics = self.metrics
+        self._m_scans = metrics.counter(
+            "repro_scans_total", "Pipeline scans run, by outcome.", ("outcome",))
+        self._m_input = metrics.counter(
+            "repro_input_addresses_total",
+            "New candidate addresses ingested, by input source.", ("source",))
+        self._m_excluded = metrics.counter(
+            "repro_excluded_total",
+            "Addresses dropped from the scan pool, by reason.", ("reason",))
+        self._m_churn = metrics.counter(
+            "repro_churn_total",
+            "Responsive-set churn between consecutive scans, by kind.",
+            ("kind",))
+        self._m_faults = metrics.counter(
+            "repro_faults_absorbed_total",
+            "Faults absorbed without aborting the run, by component.",
+            ("component",))
+        self._m_gfw_detected = metrics.counter(
+            "repro_gfw_injected_detected_total",
+            "UDP/53 responders with forged answers, by filter era.", ("era",))
+        self._m_gfw_dropped = metrics.counter(
+            "repro_gfw_dropped_total",
+            "Injected responders removed from the published view, by era.",
+            ("era",))
+        self._m_pool_size = metrics.gauge(
+            "repro_scan_pool_size", "Current post-filter scan targets.")
+        self._m_input_total = metrics.gauge(
+            "repro_input_total", "Accumulated input addresses ever seen.")
+        self._m_ckpt_write = metrics.histogram(
+            "repro_checkpoint_write_seconds",
+            "Wall-clock duration of checkpoint writes.", volatile=True)
+        self._m_ckpt_read = metrics.histogram(
+            "repro_checkpoint_read_seconds",
+            "Wall-clock duration of checkpoint read + restore on resume.",
+            volatile=True)
 
     # ------------------------------------------------------------------
 
@@ -254,6 +324,7 @@ class HitlistService:
             history.per_source_counts[source_name] = (
                 history.per_source_counts.get(source_name, 0) + len(new)
             )
+            self._m_input.labels(source=source_name).inc(len(new))
         return new
 
     def _apply_30day_filter(self, day: int) -> int:
@@ -282,6 +353,8 @@ class HitlistService:
             self._first_seen.pop(address, None)
             self._last_responsive.pop(address, None)
             history.excluded.add(address)
+        if to_remove:
+            self._m_excluded.labels(reason="30day").inc(len(to_remove))
         return len(to_remove)
 
     def _apply_gfw_historical_purge(self) -> None:
@@ -293,6 +366,9 @@ class HitlistService:
             self._last_responsive.pop(address, None)
         self.history.excluded.update(purge)
         self._gfw_purge_applied = True
+        if purge:
+            self._m_excluded.labels(reason="gfw_purge").inc(len(purge))
+            self._m_gfw_dropped.labels(era="post-filter").inc(len(purge))
 
     def _drop_newly_aliased(self) -> None:
         """Remove scan-pool members now covered by detected aliases."""
@@ -311,7 +387,32 @@ class HitlistService:
         (its window is retried next scan) and a vantage outage degrades
         the scan to input collection only.  Absorbed faults are recorded
         in :attr:`ScanSnapshot.degraded` instead of aborting the run.
+
+        Each stage runs inside a tracing span, and the snapshot carries
+        a per-scan :attr:`ScanSnapshot.metrics` block: the deltas of the
+        deterministic registry counters caused by this scan.
         """
+        metrics = self.metrics
+        before = {
+            key: metrics.counter_total(name)
+            for key, name in SCAN_METRIC_COUNTERS.items()
+        }
+        with self.spans.span("scan", day=day):
+            snapshot = self._run_scan_stages(day, prev_day)
+        for component in snapshot.degraded:
+            self._m_faults.labels(component=component).inc()
+        self._m_scans.labels(
+            outcome="degraded" if snapshot.degraded else "ok").inc()
+        self._m_pool_size.set(len(self._scan_pool))
+        self._m_input_total.set(len(self.history.input_ever))
+        snapshot.metrics = {
+            key: int(metrics.counter_total(name) - before[key])
+            for key, name in SCAN_METRIC_COUNTERS.items()
+        }
+        return snapshot
+
+    def _run_scan_stages(self, day: int, prev_day: int) -> ScanSnapshot:
+        """The pipeline stages of one scan (see :meth:`run_scan`)."""
         settings = self.settings
         history = self.history
         degraded: List[str] = []
@@ -319,16 +420,17 @@ class HitlistService:
         # 1. input collection — a failing source must not kill a
         # multi-year run; its cursor stays put so the next scan retries
         # the whole missed window
-        for source in self.sources:
-            start = self._source_cursor.get(source.name, prev_day)
-            try:
-                collected = source.collect(start, day)
-            except Exception:
-                self._source_cursor[source.name] = start
-                degraded.append(f"source:{source.name}")
-                continue
-            self._ingest(source.name, collected, day)
-            self._source_cursor[source.name] = day
+        with self.spans.span("source-pull"):
+            for source in self.sources:
+                start = self._source_cursor.get(source.name, prev_day)
+                try:
+                    collected = source.collect(start, day)
+                except Exception:
+                    self._source_cursor[source.name] = start
+                    degraded.append(f"source:{source.name}")
+                    continue
+                self._ingest(source.name, collected, day)
+                self._source_cursor[source.name] = day
 
         # 1b. vantage outage: nothing can be probed, so APD, the
         # unresponsiveness filter, scans and traceroutes all stand down.
@@ -352,31 +454,49 @@ class HitlistService:
         # 2. aliased prefix detection (incremental).  Everything ingested
         # since the last detection round — sources, the initial seed, and
         # the previous scan's traceroute hops — is candidate input.
-        rib = self.internet.routing.snapshot_at(day)
-        pending = self._pending_apd_input
-        self._pending_apd_input = set()
-        changed = self.apd.run(day, pending, self._slash64_members, rib)
-        if changed:
-            self._drop_newly_aliased()
+        with self.spans.span("apd"):
+            rib = self.internet.routing.snapshot_at(day)
+            pending = self._pending_apd_input
+            self._pending_apd_input = set()
+            changed = self.apd.run(day, pending, self._slash64_members, rib)
+            if changed:
+                self._drop_newly_aliased()
 
         # 3. GFW historical purge once the filter deploys
-        deploy = settings.gfw_filter_deploy_day
-        gfw_active = deploy is not None and day >= deploy
-        if gfw_active and not self._gfw_purge_applied:
-            self._apply_gfw_historical_purge()
+        with self.spans.span("gfw-filter"):
+            deploy = settings.gfw_filter_deploy_day
+            gfw_active = deploy is not None and day >= deploy
+            if gfw_active and not self._gfw_purge_applied:
+                self._apply_gfw_historical_purge()
 
         # 4. 30-day unresponsive filter
-        excluded_now = self._apply_30day_filter(day)
+        with self.spans.span("hygiene"):
+            excluded_now = self._apply_30day_filter(day)
 
         # 5. scans
-        targets = list(self._scan_pool)
-        results, udp53 = self.scanner.scan_all_protocols(targets, day, settings.qname)
-        cleaning = self.gfw_filter.clean_scan(udp53)
+        with self.spans.span("probe"):
+            targets = list(self._scan_pool)
+            results, udp53 = self.scanner.scan_all_protocols(
+                targets, day, settings.qname
+            )
+            cleaning = self.gfw_filter.clean_scan(udp53)
 
-        other_responders: Set[int] = set()
-        for protocol in (Protocol.ICMP, Protocol.TCP80, Protocol.TCP443, Protocol.UDP443):
-            other_responders |= results[protocol].responders
-        self.gfw_filter.note_other_protocol_responders(other_responders)
+            other_responders: Set[int] = set()
+            for protocol in (Protocol.ICMP, Protocol.TCP80, Protocol.TCP443,
+                             Protocol.UDP443):
+                other_responders |= results[protocol].responders
+            self.gfw_filter.note_other_protocol_responders(other_responders)
+
+        era = "post-filter" if gfw_active else "pre-filter"
+        if cleaning.injected_responders:
+            self._m_gfw_detected.labels(era=era).inc(
+                len(cleaning.injected_responders)
+            )
+            if gfw_active:
+                # the active filter removes them from the published view
+                self._m_gfw_dropped.labels(era=era).inc(
+                    len(cleaning.injected_responders)
+                )
 
         udp53_effective = (
             cleaning.clean_responders if gfw_active else set(udp53.responders)
@@ -430,6 +550,9 @@ class HitlistService:
         churn_new = len(appeared - ever)
         churn_recurring = len(appeared & ever)
         churn_gone = len(prev - cleaned_any)
+        self._m_churn.labels(kind="new").inc(churn_new)
+        self._m_churn.labels(kind="recurring").inc(churn_recurring)
+        self._m_churn.labels(kind="gone").inc(churn_gone)
         self._prev_responsive_any = cleaned_any
         ever |= cleaned_any
         for protocol in ALL_PROTOCOLS:
@@ -439,8 +562,9 @@ class HitlistService:
                 history.ever_responsive[protocol] |= responders[protocol]
 
         # 7. the service's own traceroutes feed the next scan's input
-        trace_result = self.tracer.trace_targets(targets, day)
-        self._ingest("yarrp", trace_result.hops, day)
+        with self.spans.span("trace"):
+            trace_result = self.tracer.trace_targets(targets, day)
+            self._ingest("yarrp", trace_result.hops, day)
 
         # stash full sets so a retention request for this day reuses the
         # actual scan instead of re-probing a mutated pool
@@ -474,12 +598,13 @@ class HitlistService:
         first published snapshot.  Two detection rounds over the seeded
         input (attempt-varied probes) bring the miss rate to ~0.02 %.
         """
-        pending = self._pending_apd_input
-        self._pending_apd_input = set()
-        rib = self.internet.routing.snapshot_at(day)
-        self.apd.run(day, pending, self._slash64_members, rib)
-        self.apd.retest_followups(day)
-        self._drop_newly_aliased()
+        with self.spans.span("bootstrap", day=day):
+            pending = self._pending_apd_input
+            self._pending_apd_input = set()
+            rib = self.internet.routing.snapshot_at(day)
+            self.apd.run(day, pending, self._slash64_members, rib)
+            self.apd.retest_followups(day)
+            self._drop_newly_aliased()
 
     def run(
         self,
@@ -561,7 +686,8 @@ class HitlistService:
     ) -> str:
         from repro.runtime.checkpoint import checkpoint_service
 
-        return checkpoint_service(
+        start = self.clock.now()
+        target = checkpoint_service(
             self, path,
             schedule={
                 "scan_days": list(scan_days),
@@ -572,6 +698,8 @@ class HitlistService:
                 "checkpoint_path": path,
             },
         )
+        self._m_ckpt_write.observe(self.clock.now() - start)
+        return target
 
     @classmethod
     def resume(

@@ -1,0 +1,52 @@
+"""Observability for the hitlist pipeline (metrics, spans, exporters).
+
+The paper's central lesson is that a measurement service rots silently
+unless it measures *itself*: GFW-forged UDP/53 answers inflated the
+published hitlist for years and a wholesale alias-filter removal went
+unnoticed (Sec. 4).  This package is the self-measurement layer — a
+dependency-free :class:`MetricsRegistry` (counters, gauges, histograms
+with labeled series), span-based stage tracing driven by an injectable
+:class:`Clock`, and exporters to the Prometheus text exposition format
+and canonical JSON.
+
+Determinism contract: metrics flagged *volatile* (wall-clock timings —
+stage spans, checkpoint write/read durations) are excluded from
+checkpoints and from the deterministic export view, so two runs with
+the same seed — or a killed run resumed from a checkpoint — produce
+bit-identical deterministic metrics documents.
+"""
+
+from repro.obs.clock import Clock, FakeClock, MonotonicClock
+from repro.obs.export import (
+    deterministic_metrics,
+    metrics_to_json,
+    parse_prometheus_text,
+    registry_to_dict,
+    to_prometheus_text,
+)
+from repro.obs.metrics import (
+    CounterSeries,
+    GaugeSeries,
+    HistogramSeries,
+    MetricFamily,
+    MetricsRegistry,
+)
+from repro.obs.tracing import SpanRecord, Tracer
+
+__all__ = [
+    "Clock",
+    "CounterSeries",
+    "FakeClock",
+    "GaugeSeries",
+    "HistogramSeries",
+    "MetricFamily",
+    "MetricsRegistry",
+    "MonotonicClock",
+    "SpanRecord",
+    "Tracer",
+    "deterministic_metrics",
+    "metrics_to_json",
+    "parse_prometheus_text",
+    "registry_to_dict",
+    "to_prometheus_text",
+]

@@ -1,0 +1,77 @@
+"""Injectable monotonic clocks.
+
+Every timing measurement in the observability layer goes through a
+:class:`Clock` so that tests (and deterministic replay) can substitute
+:class:`FakeClock` for the wall clock.  The contract is minimal — a
+single ``now()`` returning monotonically non-decreasing seconds — which
+keeps real and fake implementations trivially interchangeable.
+"""
+
+from __future__ import annotations
+
+import time
+
+try:  # Python >= 3.8
+    from typing import Protocol as _TypingProtocol
+    from typing import runtime_checkable
+except ImportError:  # pragma: no cover - ancient interpreters
+    _TypingProtocol = object  # type: ignore[assignment]
+
+    def runtime_checkable(cls):  # type: ignore[no-redef]
+        return cls
+
+
+@runtime_checkable
+class Clock(_TypingProtocol):
+    """Anything with a monotonic ``now() -> float`` (seconds)."""
+
+    def now(self) -> float:  # pragma: no cover - protocol stub
+        ...
+
+
+class MonotonicClock:
+    """Wall-clock time via :func:`time.perf_counter`.
+
+    ``perf_counter`` (not ``time.time``) because span durations must
+    survive NTP steps and DST changes during multi-hour campaigns.
+    """
+
+    def now(self) -> float:
+        return time.perf_counter()
+
+
+class FakeClock:
+    """A deterministic clock advanced manually (or per ``now()`` call).
+
+    >>> clock = FakeClock()
+    >>> clock.now()
+    0.0
+    >>> clock.advance(1.5)
+    >>> clock.now()
+    1.5
+
+    ``auto_advance`` makes every ``now()`` call tick forward by a fixed
+    amount *after* returning, which gives distinct, reproducible
+    timestamps without any explicit advancing:
+
+    >>> clock = FakeClock(auto_advance=1.0)
+    >>> clock.now(), clock.now(), clock.now()
+    (0.0, 1.0, 2.0)
+    """
+
+    def __init__(self, start: float = 0.0, auto_advance: float = 0.0) -> None:
+        if auto_advance < 0:
+            raise ValueError(f"auto_advance must be >= 0, got {auto_advance}")
+        self._now = float(start)
+        self._auto_advance = float(auto_advance)
+
+    def now(self) -> float:
+        current = self._now
+        self._now += self._auto_advance
+        return current
+
+    def advance(self, seconds: float) -> None:
+        """Move time forward; moving backwards is a bug, so it raises."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance a monotonic clock by {seconds}")
+        self._now += seconds

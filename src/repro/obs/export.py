@@ -1,0 +1,314 @@
+"""Exporters: Prometheus text exposition format and canonical JSON.
+
+Two output shapes for one registry:
+
+* :func:`to_prometheus_text` renders the classic text exposition format
+  (``# HELP`` / ``# TYPE`` headers, cumulative ``_bucket`` series with
+  ``le`` labels) that any Prometheus scraper ingests;
+* :func:`registry_to_dict` / :func:`metrics_to_json` render a canonical
+  JSON document — keys sorted, label values inline — whose deterministic
+  subset (:func:`deterministic_metrics`) is bit-identical across
+  same-seed runs and across kill-and-resume.
+
+:func:`parse_prometheus_text` is a strict grammar checker for the
+exposition format used by the golden tests (and anyone who wants to
+validate an export before serving it).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.metrics import MetricsRegistry
+
+_METRICS_FORMAT = "repro-metrics-v1"
+
+
+def _format_value(value: float) -> str:
+    """Render a sample value: integers without a trailing ``.0``."""
+    if isinstance(value, bool):  # bool is an int subclass; refuse silently odd output
+        value = int(value)
+    if isinstance(value, int):
+        return str(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if float(value).is_integer() and abs(value) < 2**53:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", r"\\").replace("\n", r"\n")
+
+
+def _escape_label_value(text: str) -> str:
+    return text.replace("\\", r"\\").replace('"', r'\"').replace("\n", r"\n")
+
+
+def _render_labels(labelnames: Tuple[str, ...], labelvalues: Tuple[str, ...],
+                   extra: Tuple[Tuple[str, str], ...] = ()) -> str:
+    pairs = list(zip(labelnames, labelvalues)) + list(extra)
+    if not pairs:
+        return ""
+    inner = ",".join(
+        f'{name}="{_escape_label_value(value)}"' for name, value in pairs
+    )
+    return "{" + inner + "}"
+
+
+def _bucket_label(bound: float) -> str:
+    return "+Inf" if math.isinf(bound) else _format_value(bound)
+
+
+def to_prometheus_text(registry: MetricsRegistry,
+                       include_volatile: bool = True) -> str:
+    """The registry in Prometheus text exposition format (version 0.0.4)."""
+    lines: List[str] = []
+    for family in registry.families(include_volatile=include_volatile):
+        if family.help:
+            lines.append(f"# HELP {family.name} {_escape_help(family.help)}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for labelvalues, series in family.series_items():
+            if family.kind == "histogram":
+                cumulative = series.cumulative_counts()
+                bounds = list(family.buckets) + [math.inf]
+                for bound, count in zip(bounds, cumulative):
+                    labels = _render_labels(
+                        family.labelnames, labelvalues,
+                        extra=(("le", _bucket_label(bound)),),
+                    )
+                    lines.append(f"{family.name}_bucket{labels} {count}")
+                labels = _render_labels(family.labelnames, labelvalues)
+                lines.append(f"{family.name}_sum{labels} {_format_value(series.sum)}")
+                lines.append(f"{family.name}_count{labels} {series.count}")
+            else:
+                labels = _render_labels(family.labelnames, labelvalues)
+                lines.append(f"{family.name}{labels} {_format_value(series.value)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# ---------------------------------------------------------------------------
+# canonical JSON
+
+
+def registry_to_dict(registry: MetricsRegistry,
+                     include_volatile: bool = True) -> Dict[str, Any]:
+    """A canonical JSON-serializable view of the registry."""
+    metrics: Dict[str, Any] = {}
+    for family in registry.families(include_volatile=include_volatile):
+        series_out = []
+        for labelvalues, series in family.series_items():
+            labels = dict(zip(family.labelnames, labelvalues))
+            if family.kind == "histogram":
+                buckets = {
+                    _bucket_label(bound): count
+                    for bound, count in zip(
+                        list(family.buckets) + [math.inf],
+                        series.cumulative_counts(),
+                    )
+                }
+                series_out.append({
+                    "labels": labels,
+                    "buckets": buckets,
+                    "sum": series.sum,
+                    "count": series.count,
+                })
+            else:
+                series_out.append({"labels": labels, "value": series.value})
+        metrics[family.name] = {
+            "type": family.kind,
+            "help": family.help,
+            "volatile": family.volatile,
+            "series": series_out,
+        }
+    return {"format": _METRICS_FORMAT, "metrics": metrics}
+
+
+def metrics_to_json(registry_or_document,
+                    include_volatile: bool = True) -> str:
+    """The canonical document as a stable, sorted JSON string.
+
+    Accepts a :class:`MetricsRegistry` or an already-built document
+    (e.g. the output of :func:`deterministic_metrics`).
+    """
+    document = registry_or_document
+    if isinstance(registry_or_document, MetricsRegistry):
+        document = registry_to_dict(
+            registry_or_document, include_volatile=include_volatile
+        )
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"
+
+
+def deterministic_metrics(document: Dict[str, Any]) -> Dict[str, Any]:
+    """The deterministic subset of a :func:`registry_to_dict` document.
+
+    Two same-seed runs (and a kill-and-resume run) agree on this view
+    exactly; volatile families (wall-clock timings) are dropped.
+    """
+    return {
+        "format": document["format"],
+        "metrics": {
+            name: entry
+            for name, entry in document["metrics"].items()
+            if not entry.get("volatile", False)
+        },
+    }
+
+
+# ---------------------------------------------------------------------------
+# exposition-format grammar checking
+
+_PARSE_NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+_HELP_RE = re.compile(rf"^# HELP ({_PARSE_NAME})(?: (.*))?$")
+_TYPE_RE = re.compile(
+    rf"^# TYPE ({_PARSE_NAME}) (counter|gauge|histogram|summary|untyped)$"
+)
+_SAMPLE_RE = re.compile(
+    rf"^({_PARSE_NAME})(\{{.*\}})? ([^ ]+)( [0-9-]+)?$"
+)
+_LABEL_RE = re.compile(r'^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _parse_label_block(block: str, line_number: int) -> Dict[str, str]:
+    body = block[1:-1]
+    labels: Dict[str, str] = {}
+    while body:
+        match = _LABEL_RE.match(body)
+        if not match:
+            raise ValueError(f"line {line_number}: malformed label in {block!r}")
+        name, raw = match.group(1), match.group(2)
+        if name in labels:
+            raise ValueError(f"line {line_number}: duplicate label {name!r}")
+        labels[name] = (
+            raw.replace(r"\\", "\x00").replace(r"\"", '"')
+            .replace(r"\n", "\n").replace("\x00", "\\")
+        )
+        body = body[match.end():]
+        if body.startswith(","):
+            body = body[1:]
+        elif body:
+            raise ValueError(f"line {line_number}: expected ',' in {block!r}")
+    return labels
+
+
+def _parse_sample_value(text: str, line_number: int) -> float:
+    if text in ("+Inf", "Inf"):
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    try:
+        return float(text)
+    except ValueError:
+        raise ValueError(
+            f"line {line_number}: invalid sample value {text!r}"
+        ) from None
+
+
+def parse_prometheus_text(text: str) -> Dict[str, Dict[str, Any]]:
+    """Parse (strictly) a text-exposition document.
+
+    Returns ``{family name: {"type": ..., "help": ..., "samples":
+    [(sample name, labels, value), ...]}}``.  Raises :class:`ValueError`
+    on any grammar violation: malformed lines or labels, samples that do
+    not belong to a declared family, duplicate ``TYPE`` lines, or
+    histogram series whose cumulative bucket counts decrease.
+    """
+    families: Dict[str, Dict[str, Any]] = {}
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            help_match = _HELP_RE.match(line)
+            if help_match:
+                entry = families.setdefault(
+                    help_match.group(1),
+                    {"type": None, "help": None, "samples": []},
+                )
+                entry["help"] = help_match.group(2) or ""
+                continue
+            type_match = _TYPE_RE.match(line)
+            if type_match:
+                entry = families.setdefault(
+                    type_match.group(1),
+                    {"type": None, "help": None, "samples": []},
+                )
+                if entry["type"] is not None:
+                    raise ValueError(
+                        f"line {line_number}: duplicate TYPE for "
+                        f"{type_match.group(1)!r}"
+                    )
+                if entry["samples"]:
+                    raise ValueError(
+                        f"line {line_number}: TYPE after samples for "
+                        f"{type_match.group(1)!r}"
+                    )
+                entry["type"] = type_match.group(2)
+                continue
+            if line.startswith(("# HELP", "# TYPE")):
+                raise ValueError(f"line {line_number}: malformed comment {line!r}")
+            continue  # free-form comment
+        sample_match = _SAMPLE_RE.match(line)
+        if not sample_match:
+            raise ValueError(f"line {line_number}: malformed sample line {line!r}")
+        sample_name, label_block, value_text = sample_match.group(1, 2, 3)
+        labels = (
+            _parse_label_block(label_block, line_number) if label_block else {}
+        )
+        value = _parse_sample_value(value_text, line_number)
+        family_name = _family_of_sample(sample_name, families)
+        if family_name is None:
+            raise ValueError(
+                f"line {line_number}: sample {sample_name!r} has no TYPE line"
+            )
+        families[family_name]["samples"].append((sample_name, labels, value))
+    _check_histograms(families)
+    return families
+
+
+def _family_of_sample(sample_name: str,
+                      families: Dict[str, Dict[str, Any]]) -> Optional[str]:
+    if sample_name in families and families[sample_name]["type"] is not None:
+        return sample_name
+    for suffix in ("_bucket", "_sum", "_count"):
+        if sample_name.endswith(suffix):
+            base = sample_name[: -len(suffix)]
+            entry = families.get(base)
+            if entry is not None and entry["type"] in ("histogram", "summary"):
+                return base
+    return None
+
+
+def _check_histograms(families: Dict[str, Dict[str, Any]]) -> None:
+    for name, entry in families.items():
+        if entry["type"] != "histogram":
+            continue
+        per_series: Dict[Tuple[Tuple[str, str], ...], List[Tuple[float, float]]] = {}
+        saw_inf = False
+        for sample_name, labels, value in entry["samples"]:
+            if not sample_name.endswith("_bucket"):
+                continue
+            if "le" not in labels:
+                raise ValueError(f"histogram {name!r} bucket missing 'le' label")
+            bound = _parse_sample_value(labels["le"], 0)
+            saw_inf = saw_inf or math.isinf(bound)
+            key = tuple(sorted(
+                (label, val) for label, val in labels.items() if label != "le"
+            ))
+            per_series.setdefault(key, []).append((bound, value))
+        if entry["samples"] and not saw_inf:
+            raise ValueError(f"histogram {name!r} has no '+Inf' bucket")
+        for key, buckets in per_series.items():
+            buckets.sort()
+            counts = [count for _bound, count in buckets]
+            if counts != sorted(counts):
+                raise ValueError(
+                    f"histogram {name!r} series {dict(key)} has "
+                    f"non-cumulative bucket counts"
+                )

@@ -1,0 +1,335 @@
+"""Counters, gauges and histograms with labeled series.
+
+A :class:`MetricsRegistry` is the single mutable home of every metric a
+pipeline run produces.  Families are created idempotently (re-declaring
+the same family returns the existing one; a conflicting re-declaration
+raises), series are addressed by label values, and the whole registry
+round-trips through a plain-JSON state dict so checkpoints can carry it.
+
+Metric families are either *deterministic* (pure functions of the run's
+seed and schedule: probe counts, alias verdicts, fault absorptions) or
+*volatile* (wall-clock timings).  Only deterministic families enter
+checkpoints and the canonical JSON comparison view — that split is what
+lets a kill-and-resume run reproduce its metrics bit-for-bit while still
+recording real durations.
+"""
+
+from __future__ import annotations
+
+import re
+from bisect import bisect_left
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+_METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Default histogram bucket upper bounds (seconds): sub-millisecond to
+#: minutes, roughly exponential, matching common Prometheus practice.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0,
+)
+
+
+class MetricError(ValueError):
+    """Invalid metric declaration or usage."""
+
+
+class CounterSeries:
+    """One monotonically increasing series."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise MetricError(f"counters only go up; got inc({amount})")
+        self.value += amount
+
+
+class GaugeSeries:
+    """One point-in-time series."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        self.value -= amount
+
+
+class HistogramSeries:
+    """One histogram series with fixed bucket bounds.
+
+    ``counts`` holds *non-cumulative* per-bucket counts with one extra
+    trailing slot for observations above the last bound (the ``+Inf``
+    bucket); exporters cumulate on the way out.
+    """
+
+    __slots__ = ("bounds", "counts", "sum", "count")
+
+    def __init__(self, bounds: Sequence[float]) -> None:
+        self.bounds: Tuple[float, ...] = tuple(bounds)
+        self.counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.sum: float = 0.0
+        self.count: int = 0
+
+    def observe(self, value: float) -> None:
+        # `le` semantics: a value equal to a bound lands in that bucket
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def merge(self, other: "HistogramSeries") -> "HistogramSeries":
+        """Pointwise sum with another series over the same bounds.
+
+        Merging is commutative and associative, so shard-local
+        histograms can be combined in any order.
+        """
+        if self.bounds != other.bounds:
+            raise MetricError(
+                f"cannot merge histograms with different bounds: "
+                f"{self.bounds} vs {other.bounds}"
+            )
+        merged = HistogramSeries(self.bounds)
+        merged.counts = [a + b for a, b in zip(self.counts, other.counts)]
+        merged.sum = self.sum + other.sum
+        merged.count = self.count + other.count
+        return merged
+
+    def cumulative_counts(self) -> List[int]:
+        """Prometheus-style cumulative bucket counts (ending at +Inf)."""
+        out: List[int] = []
+        running = 0
+        for count in self.counts:
+            running += count
+            out.append(running)
+        return out
+
+
+_SERIES_TYPES = {
+    "counter": CounterSeries,
+    "gauge": GaugeSeries,
+    "histogram": HistogramSeries,
+}
+
+
+class MetricFamily:
+    """All series of one metric name, keyed by label values."""
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        volatile: bool = False,
+        buckets: Optional[Sequence[float]] = None,
+    ) -> None:
+        if not _METRIC_NAME_RE.match(name):
+            raise MetricError(f"invalid metric name {name!r}")
+        if kind not in _SERIES_TYPES:
+            raise MetricError(f"unknown metric kind {kind!r}")
+        for label in labelnames:
+            if not _LABEL_NAME_RE.match(label):
+                raise MetricError(f"invalid label name {label!r} on {name!r}")
+        if len(set(labelnames)) != len(tuple(labelnames)):
+            raise MetricError(f"duplicate label names on {name!r}")
+        if kind == "histogram":
+            bounds = tuple(buckets if buckets is not None else DEFAULT_BUCKETS)
+            if list(bounds) != sorted(set(bounds)):
+                raise MetricError(
+                    f"histogram buckets must be strictly increasing: {bounds}"
+                )
+            if not bounds:
+                raise MetricError(f"histogram {name!r} needs at least one bucket")
+        else:
+            if buckets is not None:
+                raise MetricError(f"buckets are only valid for histograms ({name!r})")
+            bounds = ()
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.labelnames: Tuple[str, ...] = tuple(labelnames)
+        self.volatile = bool(volatile)
+        self.buckets: Tuple[float, ...] = bounds
+        self._series: Dict[Tuple[str, ...], Any] = {}
+
+    # ------------------------------------------------------------------
+
+    def _signature(self) -> Tuple[Any, ...]:
+        return (self.kind, self.labelnames, self.volatile, self.buckets)
+
+    def _new_series(self):
+        if self.kind == "histogram":
+            return HistogramSeries(self.buckets)
+        return _SERIES_TYPES[self.kind]()
+
+    def labels(self, **labelvalues: str):
+        """The series for one label-value combination (created lazily)."""
+        if set(labelvalues) != set(self.labelnames):
+            raise MetricError(
+                f"{self.name} expects labels {list(self.labelnames)}, "
+                f"got {sorted(labelvalues)}"
+            )
+        key = tuple(str(labelvalues[label]) for label in self.labelnames)
+        series = self._series.get(key)
+        if series is None:
+            series = self._series[key] = self._new_series()
+        return series
+
+    def _default_series(self):
+        if self.labelnames:
+            raise MetricError(
+                f"{self.name} is labeled ({list(self.labelnames)}); use .labels()"
+            )
+        return self.labels()
+
+    # conveniences for label-less families
+    def inc(self, amount: float = 1) -> None:
+        self._default_series().inc(amount)
+
+    def dec(self, amount: float = 1) -> None:
+        self._default_series().dec(amount)
+
+    def set(self, value: float) -> None:
+        self._default_series().set(value)
+
+    def observe(self, value: float) -> None:
+        self._default_series().observe(value)
+
+    # ------------------------------------------------------------------
+
+    def series_items(self) -> List[Tuple[Tuple[str, ...], Any]]:
+        """(label values, series) pairs in sorted label order."""
+        return sorted(self._series.items())
+
+    def total(self) -> float:
+        """Sum of all series values (counters/gauges) or counts (histograms)."""
+        if self.kind == "histogram":
+            return sum(series.count for series in self._series.values())
+        return sum(series.value for series in self._series.values())
+
+
+class MetricsRegistry:
+    """Create-or-get metric families; the unit of export and checkpoint."""
+
+    def __init__(self) -> None:
+        self._families: Dict[str, MetricFamily] = {}
+
+    def _declare(self, name: str, kind: str, help: str, labelnames,
+                 volatile: bool, buckets=None) -> MetricFamily:
+        family = self._families.get(name)
+        candidate = MetricFamily(
+            name, kind, help=help, labelnames=labelnames,
+            volatile=volatile, buckets=buckets,
+        )
+        if family is None:
+            self._families[name] = candidate
+            return candidate
+        if family._signature() != candidate._signature():
+            raise MetricError(
+                f"metric {name!r} re-declared with a different signature"
+            )
+        return family
+
+    def counter(self, name: str, help: str = "", labelnames: Sequence[str] = (),
+                volatile: bool = False) -> MetricFamily:
+        return self._declare(name, "counter", help, labelnames, volatile)
+
+    def gauge(self, name: str, help: str = "", labelnames: Sequence[str] = (),
+              volatile: bool = False) -> MetricFamily:
+        return self._declare(name, "gauge", help, labelnames, volatile)
+
+    def histogram(self, name: str, help: str = "", labelnames: Sequence[str] = (),
+                  buckets: Optional[Sequence[float]] = None,
+                  volatile: bool = False) -> MetricFamily:
+        return self._declare(name, "histogram", help, labelnames, volatile, buckets)
+
+    # ------------------------------------------------------------------
+
+    def families(self, include_volatile: bool = True) -> List[MetricFamily]:
+        """All families in name order."""
+        return [
+            family for _name, family in sorted(self._families.items())
+            if include_volatile or not family.volatile
+        ]
+
+    def get(self, name: str) -> Optional[MetricFamily]:
+        return self._families.get(name)
+
+    def counter_total(self, name: str) -> float:
+        """Sum over all series of a family; 0 for an unknown name."""
+        family = self._families.get(name)
+        return 0 if family is None else family.total()
+
+    # ------------------------------------------------------------------
+    # checkpoint round-trip
+
+    def state_dict(self, include_volatile: bool = False) -> Dict[str, Any]:
+        """A plain-JSON snapshot of the registry (deterministic families
+        only, unless ``include_volatile``)."""
+        state: Dict[str, Any] = {}
+        for family in self.families(include_volatile=include_volatile):
+            series_out = []
+            for labelvalues, series in family.series_items():
+                if family.kind == "histogram":
+                    value: Any = {
+                        "counts": list(series.counts),
+                        "sum": series.sum,
+                        "count": series.count,
+                    }
+                else:
+                    value = series.value
+                series_out.append([list(labelvalues), value])
+            entry: Dict[str, Any] = {
+                "kind": family.kind,
+                "help": family.help,
+                "labelnames": list(family.labelnames),
+                "volatile": family.volatile,
+                "series": series_out,
+            }
+            if family.kind == "histogram":
+                entry["buckets"] = list(family.buckets)
+            state[family.name] = entry
+        return state
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        """Load a :meth:`state_dict` snapshot, replacing stored series.
+
+        Families are declared on demand, so restoring into a fresh
+        registry reproduces the saved one exactly; restoring into a
+        registry that already declared a family verifies the signature.
+        """
+        for name, entry in state.items():
+            family = self._declare(
+                name, str(entry["kind"]), str(entry.get("help", "")),
+                tuple(entry.get("labelnames", ())),
+                bool(entry.get("volatile", False)),
+                buckets=entry.get("buckets"),
+            )
+            family._series = {}
+            for labelvalues, value in entry.get("series", ()):
+                series = family._new_series()
+                if family.kind == "histogram":
+                    counts = [int(count) for count in value["counts"]]
+                    if len(counts) != len(family.buckets) + 1:
+                        raise MetricError(
+                            f"histogram {name!r} state has {len(counts)} bucket "
+                            f"counts for {len(family.buckets)} bounds"
+                        )
+                    series.counts = counts
+                    series.sum = float(value["sum"])
+                    series.count = int(value["count"])
+                else:
+                    series.value = value
+                family._series[tuple(str(v) for v in labelvalues)] = series

@@ -1,0 +1,111 @@
+"""Span-based stage tracing for pipeline runs.
+
+A :class:`Tracer` records where time goes inside a scan: each pipeline
+stage opens a span, spans nest (the per-scan span contains the
+source-pull, APD, GFW, hygiene, probe and trace stages), and every
+completed span's duration feeds an optional registry histogram
+(``labelnames=("stage",)``) so exporters see stage timings without any
+extra bookkeeping.
+
+All timestamps come from the injected :class:`~repro.obs.clock.Clock`;
+with a :class:`~repro.obs.clock.FakeClock` the recorded trace is fully
+deterministic, which is how the span-nesting tests pin exact durations.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.obs.clock import Clock, MonotonicClock
+from repro.obs.metrics import MetricFamily, MetricsRegistry
+
+
+@dataclass
+class SpanRecord:
+    """One completed (or still-open) span."""
+
+    name: str
+    start: float
+    depth: int
+    parent: Optional[int]  # index into the tracer's span list
+    attrs: Dict[str, Any] = field(default_factory=dict)
+    end: Optional[float] = None
+
+    @property
+    def duration(self) -> Optional[float]:
+        """Seconds between start and end; None while the span is open."""
+        return None if self.end is None else self.end - self.start
+
+
+class Tracer:
+    """Collects nested spans against an injectable clock."""
+
+    def __init__(
+        self,
+        clock: Optional[Clock] = None,
+        registry: Optional[MetricsRegistry] = None,
+        histogram_name: str = "repro_stage_seconds",
+    ) -> None:
+        self._clock: Clock = clock if clock is not None else MonotonicClock()
+        self._spans: List[SpanRecord] = []
+        self._stack: List[int] = []
+        self._histogram: Optional[MetricFamily] = None
+        if registry is not None:
+            self._histogram = registry.histogram(
+                histogram_name,
+                "Wall-clock duration of pipeline stages.",
+                labelnames=("stage",),
+                volatile=True,
+            )
+
+    @property
+    def spans(self) -> List[SpanRecord]:
+        """All spans in start order (open spans have ``end=None``)."""
+        return list(self._spans)
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[SpanRecord]:
+        """Open a span; closes (and records its duration) on exit."""
+        record = SpanRecord(
+            name=name,
+            start=self._clock.now(),
+            depth=len(self._stack),
+            parent=self._stack[-1] if self._stack else None,
+            attrs=dict(attrs),
+        )
+        index = len(self._spans)
+        self._spans.append(record)
+        self._stack.append(index)
+        try:
+            yield record
+        finally:
+            self._stack.pop()
+            record.end = self._clock.now()
+            if self._histogram is not None:
+                self._histogram.labels(stage=name).observe(record.duration)
+
+    def clear(self) -> None:
+        """Drop completed spans (open spans must not be discarded)."""
+        if self._stack:
+            raise RuntimeError("cannot clear a tracer with open spans")
+        self._spans = []
+
+    def to_json(self) -> Dict[str, Any]:
+        """A JSON-serializable trace document (closed spans only)."""
+        return {
+            "format": "repro-trace-v1",
+            "spans": [
+                {
+                    "name": span.name,
+                    "start": span.start,
+                    "duration": span.duration,
+                    "depth": span.depth,
+                    "parent": span.parent,
+                    "attrs": dict(span.attrs),
+                }
+                for span in self._spans
+                if span.end is not None
+            ],
+        }

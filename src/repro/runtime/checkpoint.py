@@ -206,6 +206,7 @@ def _snapshot_to_dict(snapshot) -> Dict[str, Any]:
         "excluded_now": snapshot.excluded_now,
         "udp53_hit_rate": snapshot.udp53_hit_rate,
         "degraded": list(snapshot.degraded),
+        "metrics": dict(snapshot.metrics),
     }
 
 
@@ -234,6 +235,10 @@ def _snapshot_from_dict(data: Dict[str, Any]):
         excluded_now=int(data["excluded_now"]),
         udp53_hit_rate=float(data.get("udp53_hit_rate", 0.0)),
         degraded=tuple(data.get("degraded", ())),
+        metrics={
+            str(key): int(value)
+            for key, value in data.get("metrics", {}).items()
+        },
     )
 
 
@@ -293,6 +298,10 @@ def service_state(service: "HitlistService") -> Dict[str, Any]:
             "ever_other_protocol": _encode_addresses(gfw.ever_other_protocol),
             "forged_answer_owners": _encode_day_map(gfw.forged_answer_owners),
         },
+        # deterministic metric families only: wall-clock timings are
+        # volatile by definition and cannot be part of the bit-identical
+        # resume contract
+        "obs": {"metrics": service.metrics.state_dict(include_volatile=False)},
         "apd": {
             "history": [
                 _encode_prefix(prefix) + [list(bitmaps)]
@@ -370,6 +379,10 @@ def restore_service_state(service: "HitlistService", payload: Dict[str, Any]) ->
         for owner, count in gfw_state["forged_answer_owners"]
     }
 
+    obs_state = payload.get("obs")
+    if obs_state is not None:
+        service.metrics.restore_state(obs_state.get("metrics", {}))
+
     apd_state = payload["apd"]
     apd = service.apd
     apd._history = {
@@ -443,8 +456,11 @@ def resume_service(
     schedule on its next argument-less :meth:`HitlistService.run` call.
     """
     from repro.hitlist.service import HitlistService, ServiceSettings
+    from repro.obs.clock import MonotonicClock
     from repro.simnet import build_internet
 
+    clock = MonotonicClock()
+    read_start = clock.now()
     payload = read_checkpoint(path)
     for section in ("config", "settings", "schedule", "service", "history"):
         if section not in payload:
@@ -464,4 +480,5 @@ def resume_service(
     )
     restore_service_state(service, payload)
     service._pending_schedule = dict(payload["schedule"])
+    service._m_ckpt_read.observe(clock.now() - read_start)
     return service

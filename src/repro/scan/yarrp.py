@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Optional, Set
 
 from repro._util import mix64
+from repro.obs.metrics import MetricsRegistry
 from repro.runtime.faults import FaultPlan
 from repro.scan.blocklist import Blocklist
 from repro.simnet.internet import SimInternet
@@ -36,6 +37,7 @@ class YarrpTracer:
         sample_rate: float = 1.0,
         seed: int = 0,
         fault_plan: Optional[FaultPlan] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if not 0.0 < sample_rate <= 1.0:
             raise ValueError(f"sample rate out of range: {sample_rate}")
@@ -45,6 +47,13 @@ class YarrpTracer:
         self._sample_threshold = int(sample_rate * float(1 << 64))
         self._seed = seed
         self._fault_plan = fault_plan
+        self._metrics = metrics
+        if metrics is not None:
+            self._m_targets = metrics.counter(
+                "repro_trace_targets_total", "Targets traced by Yarrp runs.")
+            self._m_hops = metrics.counter(
+                "repro_trace_hops_total",
+                "Distinct hop addresses discovered per traceroute run.")
 
     def _sampled(self, target: int, day: int) -> bool:
         if self._sample_rate >= 1.0:
@@ -73,4 +82,7 @@ class YarrpTracer:
             for hop in internet.trace(target, day):
                 if not blocklist.is_blocked(hop):
                     result.hops.add(hop)
+        if self._metrics is not None:
+            self._m_targets.inc(result.targets_traced)
+            self._m_hops.inc(len(result.hops))
         return result

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro._util import mix64
+from repro.obs.metrics import MetricsRegistry
 from repro.protocols import DnsResponse, Protocol
 from repro.runtime.faults import RETRY_SALT, FaultPlan, RetryPolicy
 from repro.scan.blocklist import Blocklist
@@ -74,6 +75,7 @@ class ZMapScanner:
         seed: int = 0,
         fault_plan: Optional[FaultPlan] = None,
         retry: Optional[RetryPolicy] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if not 0.0 <= loss_rate < 1.0:
             raise ValueError(f"loss rate out of range: {loss_rate}")
@@ -85,6 +87,42 @@ class ZMapScanner:
         self._fault_plan = fault_plan
         self._retry_attempts = 1 if retry is None else retry.attempts
         self.probes_sent = 0
+        self._retry_draws = 0
+        self._metrics = metrics
+        if metrics is not None:
+            self._m_probes = metrics.counter(
+                "repro_probes_sent_total", "Probes sent, by protocol.",
+                ("protocol",))
+            self._m_hits = metrics.counter(
+                "repro_probe_hits_total", "Probes answered, by protocol.",
+                ("protocol",))
+            self._m_retries = metrics.counter(
+                "repro_probe_retries_total",
+                "Extra per-probe loss re-draws taken by the retry policy.")
+            self._m_burst = metrics.counter(
+                "repro_burst_suppressed_total",
+                "Probes swallowed by correlated loss bursts.")
+            self._m_rate_limited = metrics.counter(
+                "repro_rate_limited_total",
+                "Responders dropped by per-AS rate limiting, by protocol.",
+                ("protocol",))
+
+    def _flush_scan_metrics(
+        self, protocol: Protocol, probed: int, hits: int,
+        burst_suppressed: int, rate_limited: int,
+    ) -> None:
+        """Record one finished single-protocol scan into the registry."""
+        retry_draws, self._retry_draws = self._retry_draws, 0
+        if self._metrics is None:
+            return
+        self._m_probes.labels(protocol=protocol.label).inc(probed)
+        self._m_hits.labels(protocol=protocol.label).inc(hits)
+        if retry_draws:
+            self._m_retries.inc(retry_draws)
+        if burst_suppressed:
+            self._m_burst.inc(burst_suppressed)
+        if rate_limited:
+            self._m_rate_limited.labels(protocol=protocol.label).inc(rate_limited)
 
     @property
     def blocklist(self) -> Blocklist:
@@ -92,10 +130,9 @@ class ZMapScanner:
         return self._blocklist
 
     def _lost(self, address: int, protocol: Protocol, day: int) -> bool:
-        plan = self._fault_plan
-        if plan is not None and plan.burst_lost(address, day):
-            # correlated loss: retransmissions inside the burst die too
-            return True
+        """I.i.d. loss only; callers check correlated bursts themselves
+        (a retransmission inside a burst dies the same way, so bursts
+        are not retryable and are counted separately)."""
         if self._loss_threshold == 0:
             return False
         base = (address & _M64) ^ (address >> 64)
@@ -110,7 +147,9 @@ class ZMapScanner:
                 )
             )
             if draw >= self._loss_threshold:
+                self._retry_draws += attempt
                 return False
+        self._retry_draws += self._retry_attempts - 1
         return True
 
     def _suppressed(
@@ -138,6 +177,8 @@ class ZMapScanner:
         probed: List[int] = []
         responders = set()
         count = 0
+        burst_suppressed = 0
+        rate_limited = 0
         internet = self._internet
         blocklist = self._blocklist
         for target in targets:
@@ -146,13 +187,21 @@ class ZMapScanner:
             count += 1
             if limited:
                 probed.append(target)
+            if plan is not None and plan.burst_lost(target, day):
+                burst_suppressed += 1
+                continue
             if self._lost(target, protocol, day):
                 continue
             if internet.responds(target, protocol, day):
                 responders.add(target)
         if limited:
-            responders -= self._suppressed(probed, protocol, day)
+            suppressed = self._suppressed(probed, protocol, day)
+            rate_limited = len(responders & suppressed)
+            responders -= suppressed
         self.probes_sent += count
+        self._flush_scan_metrics(
+            protocol, count, len(responders), burst_suppressed, rate_limited
+        )
         return ScanResult(
             protocol=protocol, day=day, targets=count, responders=frozenset(responders)
         )
@@ -171,6 +220,8 @@ class ZMapScanner:
             return result
         limited = plan is not None and plan.limits_protocol(Protocol.UDP53)
         probed: List[int] = []
+        burst_suppressed = 0
+        rate_limited = 0
         internet = self._internet
         blocklist = self._blocklist
         for target in targets:
@@ -179,6 +230,9 @@ class ZMapScanner:
             result.targets += 1
             if limited:
                 probed.append(target)
+            if plan is not None and plan.burst_lost(target, day):
+                burst_suppressed += 1
+                continue
             if self._lost(target, Protocol.UDP53, day):
                 continue
             responses = internet.dns_probe(target, qname, day)
@@ -187,9 +241,15 @@ class ZMapScanner:
                 result.responses[target] = tuple(responses)
         if limited:
             for address in self._suppressed(probed, Protocol.UDP53, day):
+                if address in result.responders:
+                    rate_limited += 1
                 result.responders.discard(address)
                 result.responses.pop(address, None)
         self.probes_sent += result.targets
+        self._flush_scan_metrics(
+            Protocol.UDP53, result.targets, len(result.responders),
+            burst_suppressed, rate_limited,
+        )
         return result
 
     def scan_all_protocols(
@@ -218,6 +278,7 @@ class ZMapScanner:
         threshold16 = int(self._loss_rate * 65536.0)
         attempts = self._retry_attempts
         count = 0
+        burst_targets = 0
         scannable = []
         for target in targets:
             if blocklist.is_blocked(target):
@@ -225,6 +286,7 @@ class ZMapScanner:
             scannable.append(target)
             count += 1
             if plan is not None and plan.burst_lost(target, day):
+                burst_targets += 1
                 continue
             mask = internet.response_mask(target, day)
             if not mask:
@@ -248,6 +310,7 @@ class ZMapScanner:
                             surviving |= 1 << index
                     if surviving == 0b1111:
                         break
+                self._retry_draws += attempt
             else:
                 surviving = 0b1111
             for index, protocol in enumerate(fast_protocols):
@@ -256,11 +319,32 @@ class ZMapScanner:
                 if not (surviving >> index) & 1:
                     continue
                 responders[protocol].add(target)
+        rate_limited: Dict[Protocol, int] = {}
         if plan is not None:
             for protocol in fast_protocols:
                 if plan.limits_protocol(protocol):
-                    responders[protocol] -= self._suppressed(scannable, protocol, day)
+                    suppressed = self._suppressed(scannable, protocol, day)
+                    rate_limited[protocol] = len(responders[protocol] & suppressed)
+                    responders[protocol] -= suppressed
         self.probes_sent += 4 * count
+        if self._metrics is not None:
+            retry_draws, self._retry_draws = self._retry_draws, 0
+            if retry_draws:
+                self._m_retries.inc(retry_draws)
+            # a burst swallows all four fast probes of a target at once
+            if burst_targets:
+                self._m_burst.inc(4 * burst_targets)
+            for protocol in fast_protocols:
+                self._m_probes.labels(protocol=protocol.label).inc(count)
+                self._m_hits.labels(protocol=protocol.label).inc(
+                    len(responders[protocol])
+                )
+                if rate_limited.get(protocol):
+                    self._m_rate_limited.labels(protocol=protocol.label).inc(
+                        rate_limited[protocol]
+                    )
+        else:
+            self._retry_draws = 0
         results = {
             protocol: ScanResult(
                 protocol=protocol,

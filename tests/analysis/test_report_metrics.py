@@ -1,0 +1,63 @@
+"""Snapshot test: the report's Observability section for a frozen
+registry must render byte-for-byte stably (it feeds diffable artefacts
+and the CI fault-smoke comparison)."""
+
+from repro.analysis.report import metrics_section
+from repro.hitlist.service import HitlistHistory
+from repro.obs import MetricsRegistry
+
+
+def _frozen_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    probes = registry.counter(
+        "repro_probes_sent_total", "Probes sent.", ("protocol",))
+    probes.labels(protocol="ICMP").inc(1_700_000)
+    probes.labels(protocol="UDP/53").inc(10_100)
+    registry.counter("repro_probe_retries_total", "Retries.").inc(593)
+    registry.gauge("repro_scan_pool_size", "Pool.").set(42)
+    faults = registry.counter(
+        "repro_faults_absorbed_total", "Faults.", ("component",))
+    faults.labels(component="vantage_outage").inc(1)
+    faults.labels(component="source:atlas").inc(4)
+    # volatile timings and histograms must not appear in the section
+    registry.histogram(
+        "repro_stage_seconds", "Stages.", ("stage",), volatile=True
+    ).labels(stage="probe").observe(1.0)
+    registry.histogram("repro_fixed_seconds", "Deterministic hist.").observe(2.0)
+    return registry
+
+
+EXPECTED = """\
+Observability — run counters
+============================
+metric                       labels                    value
+---------------------------  ------------------------  ------
+repro_faults_absorbed_total  component=source:atlas    4
+repro_faults_absorbed_total  component=vantage_outage  1
+repro_probe_retries_total    -                         593
+repro_probes_sent_total      protocol=ICMP             1.7 M
+repro_probes_sent_total      protocol=UDP/53           10.1 k
+repro_scan_pool_size         -                         42
+"""
+
+
+class TestMetricsSection:
+    def test_frozen_registry_renders_exactly(self):
+        history = HitlistHistory(metrics=_frozen_registry())
+        section = metrics_section(history)
+        assert section == EXPECTED
+
+    def test_rendering_is_stable_across_calls(self):
+        history = HitlistHistory(metrics=_frozen_registry())
+        assert metrics_section(history) == metrics_section(history)
+
+    def test_no_registry_no_section(self):
+        assert metrics_section(HitlistHistory()) is None
+
+    def test_empty_registry_no_section(self):
+        assert metrics_section(HitlistHistory(metrics=MetricsRegistry())) is None
+
+    def test_histograms_and_volatile_families_excluded(self):
+        section = metrics_section(HitlistHistory(metrics=_frozen_registry()))
+        assert "repro_stage_seconds" not in section
+        assert "repro_fixed_seconds" not in section

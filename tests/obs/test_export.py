@@ -1,0 +1,165 @@
+"""Golden tests for both exporters plus the exposition-format grammar."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    FakeClock,
+    MetricsRegistry,
+    Tracer,
+    deterministic_metrics,
+    metrics_to_json,
+    parse_prometheus_text,
+    registry_to_dict,
+    to_prometheus_text,
+)
+
+
+def _sample_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    probes = registry.counter(
+        "repro_probes_sent_total", "Probes sent, by protocol.", ("protocol",)
+    )
+    probes.labels(protocol="ICMP").inc(100)
+    probes.labels(protocol="TCP/80").inc(50)
+    registry.gauge("repro_scan_pool_size", "Current scan targets.").set(1234)
+    hist = registry.histogram(
+        "repro_checkpoint_write_seconds", "Checkpoint write durations.",
+        buckets=(0.1, 1.0), volatile=True,
+    )
+    hist.observe(0.05)
+    hist.observe(0.5)
+    hist.observe(30.0)
+    return registry
+
+
+GOLDEN_PROM = """\
+# HELP repro_checkpoint_write_seconds Checkpoint write durations.
+# TYPE repro_checkpoint_write_seconds histogram
+repro_checkpoint_write_seconds_bucket{le="0.1"} 1
+repro_checkpoint_write_seconds_bucket{le="1"} 2
+repro_checkpoint_write_seconds_bucket{le="+Inf"} 3
+repro_checkpoint_write_seconds_sum 30.55
+repro_checkpoint_write_seconds_count 3
+# HELP repro_probes_sent_total Probes sent, by protocol.
+# TYPE repro_probes_sent_total counter
+repro_probes_sent_total{protocol="ICMP"} 100
+repro_probes_sent_total{protocol="TCP/80"} 50
+# HELP repro_scan_pool_size Current scan targets.
+# TYPE repro_scan_pool_size gauge
+repro_scan_pool_size 1234
+"""
+
+
+class TestPrometheusExport:
+    def test_golden_text(self):
+        assert to_prometheus_text(_sample_registry()) == GOLDEN_PROM
+
+    def test_volatile_families_can_be_excluded(self):
+        text = to_prometheus_text(_sample_registry(), include_volatile=False)
+        assert "repro_checkpoint_write_seconds" not in text
+        assert "repro_probes_sent_total" in text
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        family = registry.counter("repro_odd_total", "odd", ("why",))
+        family.labels(why='quote " slash \\ newline \n done').inc()
+        text = to_prometheus_text(registry)
+        assert r'why="quote \" slash \\ newline \n done"' in text
+        parsed = parse_prometheus_text(text)
+        _name, labels, value = parsed["repro_odd_total"]["samples"][0]
+        assert labels["why"] == 'quote " slash \\ newline \n done'
+        assert value == 1
+
+    def test_empty_registry_renders_empty(self):
+        assert to_prometheus_text(MetricsRegistry()) == ""
+
+    def test_export_parses_under_the_grammar(self):
+        parsed = parse_prometheus_text(to_prometheus_text(_sample_registry()))
+        assert set(parsed) == {
+            "repro_checkpoint_write_seconds",
+            "repro_probes_sent_total",
+            "repro_scan_pool_size",
+        }
+        assert parsed["repro_probes_sent_total"]["type"] == "counter"
+
+
+class TestPrometheusGrammar:
+    def test_rejects_sample_without_type(self):
+        with pytest.raises(ValueError, match="no TYPE line"):
+            parse_prometheus_text("lonely_metric 1\n")
+
+    def test_rejects_duplicate_type(self):
+        text = "# TYPE a counter\na 1\n# TYPE a counter\n"
+        with pytest.raises(ValueError, match="duplicate"):
+            parse_prometheus_text(text)
+
+    def test_rejects_malformed_sample_line(self):
+        with pytest.raises(ValueError):
+            parse_prometheus_text("# TYPE a counter\na{b=unquoted} 1\n")
+
+    def test_rejects_histogram_without_inf_bucket(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1"} 1\n'
+            "h_sum 0.5\n"
+            "h_count 1\n"
+        )
+        with pytest.raises(ValueError, match=r"\+Inf"):
+            parse_prometheus_text(text)
+
+    def test_rejects_non_monotone_histogram(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1"} 5\n'
+            'h_bucket{le="+Inf"} 3\n'
+            "h_sum 0.5\n"
+            "h_count 3\n"
+        )
+        with pytest.raises(ValueError, match="cumulative"):
+            parse_prometheus_text(text)
+
+
+class TestJsonExport:
+    def test_document_shape(self):
+        document = registry_to_dict(_sample_registry())
+        assert document["format"] == "repro-metrics-v1"
+        probes = document["metrics"]["repro_probes_sent_total"]
+        assert probes["type"] == "counter"
+        assert probes["series"] == [
+            {"labels": {"protocol": "ICMP"}, "value": 100},
+            {"labels": {"protocol": "TCP/80"}, "value": 50},
+        ]
+        hist = document["metrics"]["repro_checkpoint_write_seconds"]
+        assert hist["volatile"] is True
+        assert hist["series"][0]["buckets"] == {"0.1": 1, "1": 2, "+Inf": 3}
+        assert hist["series"][0]["count"] == 3
+
+    def test_json_string_is_stable_and_parseable(self):
+        text = metrics_to_json(_sample_registry())
+        assert text == metrics_to_json(_sample_registry())
+        assert json.loads(text)["format"] == "repro-metrics-v1"
+
+    def test_metrics_to_json_accepts_documents(self):
+        registry = _sample_registry()
+        document = deterministic_metrics(registry_to_dict(registry))
+        assert metrics_to_json(document) == metrics_to_json(
+            registry, include_volatile=False
+        )
+
+    def test_deterministic_view_drops_volatile(self):
+        document = deterministic_metrics(registry_to_dict(_sample_registry()))
+        assert "repro_checkpoint_write_seconds" not in document["metrics"]
+        assert "repro_probes_sent_total" in document["metrics"]
+
+
+class TestTracerExportIntegration:
+    def test_stage_histogram_round_trips_through_prometheus(self):
+        clock = FakeClock()
+        registry = MetricsRegistry()
+        tracer = Tracer(clock, registry=registry)
+        with tracer.span("probe"):
+            clock.advance(0.3)
+        parsed = parse_prometheus_text(to_prometheus_text(registry))
+        assert parsed["repro_stage_seconds"]["type"] == "histogram"

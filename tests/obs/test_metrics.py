@@ -1,0 +1,233 @@
+"""Metric primitives: series semantics, family declaration, registry
+round-trip — including the property tests for histogram bucketing and
+merge associativity."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.obs import MetricsRegistry
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    CounterSeries,
+    GaugeSeries,
+    HistogramSeries,
+    MetricError,
+)
+
+finite_floats = st.floats(
+    allow_nan=False, allow_infinity=False, min_value=-1e6, max_value=1e6
+)
+
+bucket_bounds = st.lists(
+    st.floats(allow_nan=False, allow_infinity=False,
+              min_value=-1e6, max_value=1e6),
+    min_size=1, max_size=12, unique=True,
+).map(sorted).map(tuple)
+
+
+class TestSeries:
+    def test_counter_rejects_negative(self):
+        series = CounterSeries()
+        with pytest.raises(MetricError):
+            series.inc(-1)
+        assert series.value == 0
+
+    def test_counter_accumulates(self):
+        series = CounterSeries()
+        series.inc()
+        series.inc(41)
+        assert series.value == 42
+
+    def test_gauge_moves_both_ways(self):
+        series = GaugeSeries()
+        series.set(10)
+        series.dec(3)
+        series.inc(1)
+        assert series.value == 8
+
+
+class TestHistogramBucketing:
+    @given(bounds=bucket_bounds, values=st.lists(finite_floats, max_size=50))
+    def test_every_observation_lands_in_exactly_one_bucket(self, bounds, values):
+        series = HistogramSeries(bounds)
+        for value in values:
+            series.observe(value)
+        assert sum(series.counts) == len(values) == series.count
+        assert series.cumulative_counts()[-1] == len(values)
+        assert series.sum == pytest.approx(math.fsum(values), abs=1e-6)
+
+    @given(bounds=bucket_bounds, value=finite_floats)
+    def test_le_semantics(self, bounds, value):
+        """A value lands in the first bucket whose bound is >= value."""
+        series = HistogramSeries(bounds)
+        series.observe(value)
+        index = series.counts.index(1)
+        if index < len(bounds):
+            assert value <= bounds[index]
+        else:
+            assert value > bounds[-1]  # the +Inf overflow slot
+        if index > 0:
+            assert value > bounds[index - 1]
+
+    def test_bound_equality_is_inclusive(self):
+        series = HistogramSeries((1.0, 2.0))
+        series.observe(1.0)
+        series.observe(2.0)
+        assert series.counts == [1, 1, 0]
+
+    @given(bounds=bucket_bounds, values=st.lists(finite_floats, max_size=50))
+    def test_cumulative_counts_are_monotone(self, bounds, values):
+        series = HistogramSeries(bounds)
+        for value in values:
+            series.observe(value)
+        cumulative = series.cumulative_counts()
+        assert cumulative == sorted(cumulative)
+        assert len(cumulative) == len(bounds) + 1
+
+
+def _histogram_from(bounds, values):
+    series = HistogramSeries(bounds)
+    for value in values:
+        series.observe(value)
+    return series
+
+
+def _as_tuple(series):
+    return (tuple(series.counts), series.sum, series.count)
+
+
+class TestHistogramMerge:
+    @given(
+        bounds=bucket_bounds,
+        a=st.lists(finite_floats, max_size=30),
+        b=st.lists(finite_floats, max_size=30),
+    )
+    def test_merge_equals_combined_observation(self, bounds, a, b):
+        merged = _histogram_from(bounds, a).merge(_histogram_from(bounds, b))
+        combined = _histogram_from(bounds, a + b)
+        assert merged.counts == combined.counts
+        assert merged.count == combined.count
+        assert merged.sum == pytest.approx(combined.sum, abs=1e-6)
+
+    @given(
+        bounds=bucket_bounds,
+        a=st.lists(finite_floats, max_size=20),
+        b=st.lists(finite_floats, max_size=20),
+        c=st.lists(finite_floats, max_size=20),
+    )
+    def test_merge_is_associative_and_commutative(self, bounds, a, b, c):
+        ha, hb, hc = (_histogram_from(bounds, v) for v in (a, b, c))
+        left = ha.merge(hb).merge(hc)
+        right = ha.merge(hb.merge(hc))
+        assert _as_tuple(left)[0] == _as_tuple(right)[0]
+        assert left.count == right.count
+        assert left.sum == pytest.approx(right.sum, abs=1e-6)
+        assert hb.merge(ha).counts == ha.merge(hb).counts
+
+    def test_merge_rejects_different_bounds(self):
+        with pytest.raises(MetricError, match="different bounds"):
+            HistogramSeries((1.0,)).merge(HistogramSeries((2.0,)))
+
+    def test_merge_leaves_operands_untouched(self):
+        a = _histogram_from((1.0,), [0.5])
+        b = _histogram_from((1.0,), [2.0])
+        a.merge(b)
+        assert a.counts == [1, 0] and b.counts == [0, 1]
+
+
+class TestFamilyDeclaration:
+    def test_invalid_metric_name_rejected(self):
+        with pytest.raises(MetricError, match="invalid metric name"):
+            MetricsRegistry().counter("2bad")
+
+    def test_invalid_label_name_rejected(self):
+        with pytest.raises(MetricError, match="invalid label name"):
+            MetricsRegistry().counter("ok", labelnames=("le gal",))
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(MetricError, match="duplicate label"):
+            MetricsRegistry().counter("ok", labelnames=("a", "a"))
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(MetricError, match="strictly increasing"):
+            MetricsRegistry().histogram("h", buckets=(2.0, 1.0))
+
+    def test_buckets_on_counter_rejected(self):
+        with pytest.raises(MetricError, match="only valid for histograms"):
+            MetricsRegistry()._declare("c", "counter", "", (), False, (1.0,))
+
+    def test_redeclaration_is_idempotent(self):
+        registry = MetricsRegistry()
+        first = registry.counter("repro_things_total", "things", ("kind",))
+        again = registry.counter("repro_things_total", "things", ("kind",))
+        assert first is again
+
+    def test_conflicting_redeclaration_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_things_total")
+        with pytest.raises(MetricError, match="different signature"):
+            registry.gauge("repro_things_total")
+
+    def test_labels_must_match_declaration(self):
+        family = MetricsRegistry().counter("c", labelnames=("kind",))
+        with pytest.raises(MetricError, match="expects labels"):
+            family.labels(wrong="x")
+        with pytest.raises(MetricError, match="use .labels"):
+            family.inc()
+
+    def test_default_buckets_are_strictly_increasing(self):
+        assert list(DEFAULT_BUCKETS) == sorted(set(DEFAULT_BUCKETS))
+
+
+class TestRegistryState:
+    def _populated(self):
+        registry = MetricsRegistry()
+        family = registry.counter("repro_a_total", "a", ("kind",))
+        family.labels(kind="x").inc(3)
+        family.labels(kind="y").inc(4)
+        registry.gauge("repro_g", "g").set(-2.5)
+        hist = registry.histogram("repro_h_seconds", "h", buckets=(0.1, 1.0))
+        hist.observe(0.05)
+        hist.observe(5.0)
+        registry.histogram(
+            "repro_wall_seconds", "wall", volatile=True
+        ).observe(1.0)
+        return registry
+
+    def test_roundtrip_restores_exactly(self):
+        registry = self._populated()
+        restored = MetricsRegistry()
+        restored.restore_state(registry.state_dict(include_volatile=True))
+        assert restored.state_dict(include_volatile=True) == registry.state_dict(
+            include_volatile=True
+        )
+
+    def test_volatile_families_excluded_by_default(self):
+        state = self._populated().state_dict()
+        assert "repro_wall_seconds" not in state
+        assert "repro_a_total" in state
+
+    def test_state_is_json_clean(self):
+        import json
+
+        state = self._populated().state_dict(include_volatile=True)
+        assert json.loads(json.dumps(state)) == state
+
+    def test_restore_rejects_wrong_bucket_count(self):
+        registry = MetricsRegistry()
+        with pytest.raises(MetricError, match="bucket"):
+            registry.restore_state({
+                "h": {
+                    "kind": "histogram",
+                    "buckets": [1.0],
+                    "series": [[[], {"counts": [1, 2, 3], "sum": 0.0, "count": 6}]],
+                }
+            })
+
+    def test_counter_total_sums_series(self):
+        registry = self._populated()
+        assert registry.counter_total("repro_a_total") == 7
+        assert registry.counter_total("missing") == 0

@@ -1,0 +1,176 @@
+"""Pipeline-level observability: determinism, resume, fault accounting.
+
+The acceptance contract for the metrics subsystem: the deterministic
+registry view (and every per-scan metrics block) is a pure function of
+(seed, schedule, fault plan) — identical across same-seed runs and
+across kill-and-resume — and the absorbed-fault counters agree exactly
+with the ``ScanSnapshot.degraded`` tags.
+"""
+
+import pytest
+
+from repro.hitlist import HitlistService
+from repro.hitlist.history_io import history_summary, rebuild_snapshots
+from repro.hitlist.service import SCAN_METRIC_COUNTERS, ServiceSettings
+from repro.obs import deterministic_metrics, metrics_to_json, registry_to_dict
+from repro.runtime.faults import (
+    FaultPlan,
+    LossBurst,
+    RateLimit,
+    SourceOutage,
+    VantageOutage,
+)
+from repro.simnet import build_internet, small_config
+
+SCAN_DAYS = list(range(0, 80, 8))
+
+
+def _fault_plan(config):
+    return FaultPlan(
+        seed=config.seed,
+        outages=(VantageOutage(40, 47),),
+        rate_limits=(RateLimit(asn=1, budget=5),),
+        bursts=(LossBurst(64, 72, 0.5),),
+        source_outages=(SourceOutage("atlas", 16, 40),),
+    )
+
+
+def _service(config):
+    return HitlistService(
+        build_internet(config), config,
+        settings=ServiceSettings(
+            gfw_filter_deploy_day=config.gfw_filter_deploy_day,
+            retry_attempts=2,
+        ),
+        fault_plan=_fault_plan(config),
+    )
+
+
+def _deterministic_json(service):
+    return metrics_to_json(deterministic_metrics(registry_to_dict(service.metrics)))
+
+
+@pytest.fixture(scope="module")
+def config():
+    return small_config()
+
+
+@pytest.fixture(scope="module")
+def campaign(config):
+    """One fault-injected campaign: (service, history)."""
+    service = _service(config)
+    return service, service.run(SCAN_DAYS)
+
+
+class TestDeterminism:
+    def test_same_seed_runs_agree_bit_for_bit(self, config, campaign):
+        service, history = campaign
+        rerun = _service(config)
+        rerun_history = rerun.run(SCAN_DAYS)
+        assert _deterministic_json(service) == _deterministic_json(rerun)
+        assert history_summary(history) == history_summary(rerun_history)
+
+    def test_every_snapshot_carries_a_metrics_block(self, campaign):
+        _service_, history = campaign
+        for snapshot in history.snapshots:
+            assert set(snapshot.metrics) == set(SCAN_METRIC_COUNTERS)
+        total_probes = sum(s.metrics["probes_sent"] for s in history.snapshots)
+        assert total_probes > 0
+
+    def test_snapshot_deltas_sum_to_the_registry_totals(self, campaign):
+        """Per-scan deltas partition each counter (bootstrap aside)."""
+        service, history = campaign
+        for key, name in SCAN_METRIC_COUNTERS.items():
+            from_snapshots = sum(s.metrics[key] for s in history.snapshots)
+            # probes/APD tests before the first snapshot (bootstrap) are
+            # not attributed to any scan, so the registry total may only
+            # exceed the snapshot sum by that prefix
+            assert from_snapshots <= service.metrics.counter_total(name)
+            if key in ("trace_hops", "gfw_dropped", "faults_absorbed"):
+                assert from_snapshots == service.metrics.counter_total(name)
+
+    def test_summary_round_trips_the_metrics_blocks(self, campaign):
+        _service_, history = campaign
+        summary = history_summary(history)
+        rebuilt = rebuild_snapshots(summary)
+        assert [s.metrics for s in rebuilt] == [
+            s.metrics for s in history.snapshots
+        ]
+        assert summary["metrics"]["format"] == "repro-metrics-v1"
+        assert not any(
+            entry["volatile"] for entry in summary["metrics"]["metrics"].values()
+        )
+
+
+class TestFaultAccounting:
+    def test_absorbed_fault_counters_match_degraded_exactly(self, campaign):
+        """repro_faults_absorbed_total{component} == degraded tag counts."""
+        service, history = campaign
+        expected = {}
+        for snapshot in history.snapshots:
+            for component in snapshot.degraded:
+                expected[component] = expected.get(component, 0) + 1
+        assert expected, "campaign absorbed no faults; fault plan is wrong"
+        family = service.metrics.get("repro_faults_absorbed_total")
+        observed = {
+            labelvalues[0]: series.value
+            for labelvalues, series in family.series_items()
+        }
+        assert observed == expected
+
+    def test_per_snapshot_fault_deltas_match_degraded(self, campaign):
+        _service_, history = campaign
+        for snapshot in history.snapshots:
+            assert snapshot.metrics["faults_absorbed"] == len(snapshot.degraded)
+
+    def test_scan_outcome_counter_partitions_the_scans(self, campaign):
+        service, history = campaign
+        family = service.metrics.get("repro_scans_total")
+        outcomes = {
+            labelvalues[0]: series.value
+            for labelvalues, series in family.series_items()
+        }
+        degraded = sum(1 for s in history.snapshots if s.degraded)
+        assert outcomes.get("degraded", 0) == degraded
+        assert sum(outcomes.values()) == len(history.snapshots)
+
+
+class TestKillAndResume:
+    def test_resumed_metrics_are_bit_identical(self, config, campaign, tmp_path):
+        baseline_service, baseline_history = campaign
+        service = _service(config)
+
+        class Killed(Exception):
+            pass
+
+        original = service.run_scan
+        executed = {"count": 0}
+
+        def dying_run_scan(day, prev_day):
+            if executed["count"] == 6:  # dies mid-outage window
+                raise Killed()
+            executed["count"] += 1
+            return original(day, prev_day)
+
+        service.run_scan = dying_run_scan
+        with pytest.raises(Killed):
+            service.run(SCAN_DAYS, checkpoint_every=1, checkpoint_path=str(tmp_path))
+
+        resumed = HitlistService.resume(str(tmp_path))
+        resumed_history = resumed.run()
+        assert _deterministic_json(resumed) == _deterministic_json(baseline_service)
+        assert history_summary(resumed_history) == history_summary(baseline_history)
+
+    def test_volatile_timings_stay_out_of_checkpoints(self, config, tmp_path):
+        from repro.runtime.checkpoint import read_checkpoint
+
+        service = _service(config)
+        service.run(SCAN_DAYS[:3], checkpoint_every=1, checkpoint_path=str(tmp_path))
+        payload = read_checkpoint(str(tmp_path))
+        metrics_state = payload["obs"]["metrics"]
+        assert "repro_probes_sent_total" in metrics_state
+        assert not any(
+            entry.get("volatile") for entry in metrics_state.values()
+        )
+        assert "repro_stage_seconds" not in metrics_state
+        assert "repro_checkpoint_write_seconds" not in metrics_state

@@ -1,0 +1,136 @@
+"""Span tracing against the fake clock: exact, deterministic timings."""
+
+import pytest
+
+from repro.obs import FakeClock, MetricsRegistry, MonotonicClock, Tracer
+from repro.obs.clock import Clock
+
+
+class TestClocks:
+    def test_fake_clock_advances_manually(self):
+        clock = FakeClock(start=5.0)
+        assert clock.now() == 5.0
+        clock.advance(2.5)
+        assert clock.now() == 7.5
+
+    def test_fake_clock_auto_advance(self):
+        clock = FakeClock(auto_advance=0.5)
+        assert [clock.now() for _ in range(3)] == [0.0, 0.5, 1.0]
+
+    def test_fake_clock_rejects_negative(self):
+        with pytest.raises(ValueError):
+            FakeClock(auto_advance=-1)
+        with pytest.raises(ValueError):
+            FakeClock().advance(-1)
+
+    def test_monotonic_clock_is_monotone(self):
+        clock = MonotonicClock()
+        assert clock.now() <= clock.now()
+
+    def test_both_satisfy_the_protocol(self):
+        assert isinstance(MonotonicClock(), Clock)
+        assert isinstance(FakeClock(), Clock)
+
+
+class TestSpanNesting:
+    def test_nested_spans_record_depth_and_parent(self):
+        clock = FakeClock(auto_advance=1.0)
+        tracer = Tracer(clock)
+        with tracer.span("scan", day=8):
+            with tracer.span("probe"):
+                pass
+            with tracer.span("trace"):
+                pass
+        scan, probe, trace = tracer.spans
+        assert (scan.name, scan.depth, scan.parent) == ("scan", 0, None)
+        assert (probe.depth, probe.parent) == (1, 0)
+        assert (trace.depth, trace.parent) == (1, 0)
+        assert scan.attrs == {"day": 8}
+
+    def test_durations_are_exact_with_fake_clock(self):
+        clock = FakeClock()
+        tracer = Tracer(clock)
+        with tracer.span("outer"):
+            clock.advance(10.0)
+            with tracer.span("inner"):
+                clock.advance(3.0)
+        outer, inner = tracer.spans
+        assert outer.duration == 13.0
+        assert inner.duration == 3.0
+        assert outer.start == 0.0 and inner.start == 10.0
+
+    def test_open_span_has_no_duration(self):
+        tracer = Tracer(FakeClock())
+        with tracer.span("outer"):
+            assert tracer.spans[0].end is None
+            assert tracer.spans[0].duration is None
+        assert tracer.spans[0].duration == 0.0
+
+    def test_span_closes_on_exception(self):
+        clock = FakeClock()
+        tracer = Tracer(clock)
+        with pytest.raises(RuntimeError):
+            with tracer.span("doomed"):
+                clock.advance(2.0)
+                raise RuntimeError("boom")
+        assert tracer.spans[0].duration == 2.0
+        # the stack unwound: a new span is a root again
+        with tracer.span("next"):
+            pass
+        assert tracer.spans[1].parent is None
+
+    def test_sibling_after_nested_child_gets_correct_parent(self):
+        tracer = Tracer(FakeClock())
+        with tracer.span("a"):
+            with tracer.span("b"):
+                with tracer.span("c"):
+                    pass
+            with tracer.span("d"):
+                pass
+        spans = {span.name: span for span in tracer.spans}
+        assert spans["c"].parent == 1 and spans["c"].depth == 2
+        assert spans["d"].parent == 0 and spans["d"].depth == 1
+
+    def test_clear_refuses_open_spans(self):
+        tracer = Tracer(FakeClock())
+        with pytest.raises(RuntimeError, match="open spans"):
+            with tracer.span("open"):
+                tracer.clear()
+        tracer.clear()
+        assert tracer.spans == []
+
+
+class TestTracerRegistry:
+    def test_durations_feed_the_stage_histogram(self):
+        clock = FakeClock()
+        registry = MetricsRegistry()
+        tracer = Tracer(clock, registry=registry)
+        with tracer.span("probe"):
+            clock.advance(0.2)
+        with tracer.span("probe"):
+            clock.advance(0.3)
+        family = registry.get("repro_stage_seconds")
+        assert family.volatile
+        series = family.labels(stage="probe")
+        assert series.count == 2
+        assert series.sum == pytest.approx(0.5)
+
+    def test_to_json_excludes_open_spans(self):
+        clock = FakeClock()
+        tracer = Tracer(clock)
+        with tracer.span("closed"):
+            clock.advance(1.0)
+        with tracer.span("open"):
+            document = tracer.to_json()
+        assert document["format"] == "repro-trace-v1"
+        assert [span["name"] for span in document["spans"]] == ["closed"]
+        assert document["spans"][0]["duration"] == 1.0
+
+    def test_to_json_is_serializable(self):
+        import json
+
+        tracer = Tracer(FakeClock(auto_advance=1.0))
+        with tracer.span("scan", day=3):
+            with tracer.span("probe"):
+                pass
+        assert json.loads(json.dumps(tracer.to_json())) == tracer.to_json()
