@@ -1,0 +1,73 @@
+"""Scan-engine micro-benchmark: fused pass vs legacy, worker sweep.
+
+Times one full five-protocol scan day over the default-scale target pool
+four ways — the pre-engine reference path (``scan_all_protocols_legacy``,
+which walks the ground truth twice), and the fused engine at 1, 2 and 4
+workers — and asserts all four produce bit-identical responder sets.
+
+The deltas here isolate the probe stage from the rest of the service
+loop; ``bench_service_runtime.py`` measures the end-to-end effect.
+"""
+
+import time
+
+from conftest import _record_bench_time
+
+from repro.hitlist import HitlistService
+from repro.hitlist.service import ServiceSettings
+from repro.protocols import Protocol
+from repro.scan import ScanEngine
+
+SCAN_DAY = 0
+QNAME = "www.google.com"
+FAST = (Protocol.ICMP, Protocol.TCP80, Protocol.TCP443, Protocol.UDP443)
+
+
+def _snapshot(results, udp53):
+    fast = {p.label: frozenset(results[p].responders) for p in FAST}
+    fast["udp53"] = frozenset(udp53.responders)
+    return fast
+
+
+def test_perf_scan_fused_vs_legacy(world, config, emit):
+    settings = ServiceSettings(gfw_filter_deploy_day=config.gfw_filter_deploy_day)
+    service = HitlistService(world, config, settings=settings)
+    service.bootstrap(SCAN_DAY)
+    targets = list(service._scan_pool)
+    scanner = service.scanner
+
+    timings = {}
+
+    start = time.perf_counter()
+    legacy = scanner.scan_all_protocols_legacy(targets, SCAN_DAY, QNAME)
+    timings["legacy"] = time.perf_counter() - start
+    reference = _snapshot(*legacy)
+
+    for workers in (1, 2, 4):
+        engine = ScanEngine(scanner, workers=workers, chunk_size=1024)
+        try:
+            start = time.perf_counter()
+            fused = engine.scan_all_protocols(targets, SCAN_DAY, QNAME)
+            timings[f"fused-w{workers}"] = time.perf_counter() - start
+        finally:
+            engine.close()
+        assert _snapshot(*fused) == reference, (
+            f"fused scan at {workers} workers diverged from legacy"
+        )
+
+    for variant, seconds in timings.items():
+        _record_bench_time(f"perf_scan_{variant}", seconds)
+
+    speedup = timings["legacy"] / timings["fused-w1"]
+    lines = [f"one scan day, {len(targets)} targets, 5 protocols"]
+    lines += [
+        f"  {variant:<10} {seconds * 1000:8.1f} ms"
+        for variant, seconds in timings.items()
+    ]
+    lines.append(f"fused single-worker speedup over legacy: {speedup:.2f}x")
+    lines.append("all variants bit-identical responder sets: yes")
+    emit("perf_scan", "\n".join(lines))
+
+    # the fused pass eliminates the second ground-truth walk; anything
+    # below parity would mean the engine regressed
+    assert speedup > 1.0, f"fused pass slower than legacy ({speedup:.2f}x)"

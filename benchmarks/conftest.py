@@ -12,7 +12,6 @@ so the artifacts survive pytest's output capturing.
 
 from __future__ import annotations
 
-import json
 import pathlib
 
 import pytest
@@ -24,12 +23,9 @@ from repro.simnet import build_internet, default_config
 from repro.tga import evaluate_new_sources
 from repro.tga.evaluation import default_generators
 
-RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+from _perf import ADDRESS_SCALE, PREFIX_SCALE, record_bench_time
 
-#: The magnitude scale of the default scenario relative to the paper
-#: (address counts ≈ paper / 1000, prefix counts ≈ paper / 100).
-ADDRESS_SCALE = 1_000
-PREFIX_SCALE = 100
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
 @pytest.fixture(scope="session")
@@ -85,18 +81,11 @@ def _record_bench_time(name: str, seconds: float) -> None:
     """Append one wall-time sample to ``results/BENCH_<name>.json``.
 
     Each pytest session appends, so repeated runs build a trajectory
-    that regression tooling can plot or threshold.
+    that regression tooling can plot or threshold.  Samples carry the
+    scenario scale and git revision (see ``_perf.record_bench_time``)
+    and history is capped at 50 entries.
     """
-    RESULTS_DIR.mkdir(exist_ok=True)
-    path = RESULTS_DIR / f"BENCH_{name}.json"
-    runs = []
-    if path.exists():
-        try:
-            runs = json.loads(path.read_text()).get("runs", [])
-        except ValueError:
-            runs = []
-    runs.append({"seconds": seconds})
-    path.write_text(json.dumps({"name": name, "runs": runs}, indent=2) + "\n")
+    record_bench_time(name, seconds, scenario="default")
 
 
 def once(benchmark, func, *args, **kwargs):

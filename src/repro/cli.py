@@ -111,6 +111,7 @@ def _run_pipeline(args: argparse.Namespace):
     settings = ServiceSettings(
         gfw_filter_deploy_day=config.gfw_filter_deploy_day,
         retry_attempts=getattr(args, "retry_attempts", None) or 1,
+        scan_workers=getattr(args, "scan_workers", None) or 1,
     )
     service = HitlistService(
         internet, config, settings=settings, fault_plan=_load_faults(args)
@@ -296,6 +297,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "bursts, source failures) to inject")
         p.add_argument("--retry-attempts", type=int, dest="retry_attempts",
                        help="probe tries per target per scan (default: 1)")
+        p.add_argument("--scan-workers", type=int, dest="scan_workers",
+                       default=1, metavar="N",
+                       help="scan-engine worker processes for the probe "
+                            "stage (results are identical for any N)")
         p.add_argument("--checkpoint-dir", dest="checkpoint_dir",
                        help="write per-scan state checkpoints to this "
                             "directory (created if missing)")

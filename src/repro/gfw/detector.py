@@ -62,16 +62,23 @@ DEFAULT_WHOIS = Ipv4Whois(
 )
 
 
+_DEFAULT_OWNERS = frozenset((15169,))  # www.google.com -> Google
+
+
 def classify_response(
     response: DnsResponse,
     expected_rtype: RecordType = RecordType.AAAA,
     whois: Ipv4Whois = DEFAULT_WHOIS,
-    domain_owner_asns: Iterable[int] = (15169,),  # www.google.com -> Google
+    domain_owner_asns: Iterable[int] = _DEFAULT_OWNERS,
 ) -> Optional[InjectionEvidence]:
     """Evidence of forgery carried by a single response, if any."""
     if response.status is not DnsStatus.NOERROR:
         return None
-    owners = set(domain_owner_asns)
+    owners = (
+        domain_owner_asns
+        if domain_owner_asns is _DEFAULT_OWNERS
+        else set(domain_owner_asns)
+    )
     for answer in response.answers:
         if answer.rtype is RecordType.A and expected_rtype is RecordType.AAAA:
             return InjectionEvidence.A_FOR_AAAA

@@ -23,12 +23,14 @@ from repro.gfw.detector import (
     InjectionEvidence,
     Ipv4Whois,
     classify_target,
-    is_injected_target,
 )
-from repro.net.teredo import decode_teredo, is_teredo
+
+from repro.net.teredo import is_teredo
 from repro.obs.metrics import MetricsRegistry
 from repro.protocols import RecordType
 from repro.scan.zmap import Udp53Result
+
+_MISSING = object()
 
 
 @dataclass
@@ -54,6 +56,8 @@ class GfwFilter:
         #: the paper's Facebook/Microsoft/Dropbox observation
         self.forged_answer_owners: Dict[int, int] = {}
         self._whois = whois
+        #: memoized ``whois.owner_of`` results (forged IPv4s recur)
+        self._owner_cache: Dict[int, Optional[int]] = {}
         self._metrics = metrics
         if metrics is not None:
             self._m_evidence = metrics.counter(
@@ -62,28 +66,42 @@ class GfwFilter:
                 ("kind",))
 
     def _attribute_answers(self, responses) -> None:
+        # forged answers recycle a small IPv4 pool, so owner lookups are
+        # memoized (the whois scan dominated the per-scan cleaning cost)
+        owner_cache = self._owner_cache
+        owners = self.forged_answer_owners
         for response in responses:
             for answer in response.answers:
                 if answer.rtype is RecordType.A:
                     ipv4 = answer.address
                 elif answer.rtype is RecordType.AAAA and is_teredo(answer.address):
-                    ipv4 = decode_teredo(answer.address).client_ipv4
+                    # decode_teredo(...).client_ipv4 without building the
+                    # TeredoAddress (RFC 4380 ones-complement client bits)
+                    ipv4 = (answer.address & 0xFFFFFFFF) ^ 0xFFFFFFFF
                 else:
                     continue
-                owner = self._whois.owner_of(ipv4)
+                owner = owner_cache.get(ipv4, _MISSING)
+                if owner is _MISSING:
+                    owner = owner_cache[ipv4] = self._whois.owner_of(ipv4)
                 if owner is not None:
-                    self.forged_answer_owners[owner] = (
-                        self.forged_answer_owners.get(owner, 0) + 1
-                    )
+                    owners[owner] = owners.get(owner, 0) + 1
 
     def clean_scan(self, result: Udp53Result) -> ScanCleaningResult:
-        """Split one scan's responders into clean and injected."""
+        """Split one scan's responders into clean and injected.
+
+        Equivalent to ``is_injected_target`` + ``classify_target`` per
+        responder, but classifies each response once: a target is
+        injected exactly when it carries record-level evidence
+        (``MULTIPLE_RESPONSES`` alone is corroborating, not sufficient).
+        """
         cleaning = ScanCleaningResult(day=result.day)
+        multiple = InjectionEvidence.MULTIPLE_RESPONSES
         for responder in result.responders:
             responses = result.responses.get(responder, ())
-            if is_injected_target(responses):
+            counts = classify_target(responses)
+            if any(kind is not multiple for kind in counts):
                 cleaning.injected_responders.add(responder)
-                for kind, count in classify_target(responses).items():
+                for kind, count in counts.items():
                     cleaning.evidence_counts[kind] = (
                         cleaning.evidence_counts.get(kind, 0) + count
                     )

@@ -26,6 +26,7 @@ from repro.net.random_addr import spread_addresses
 from repro.net.trie import PrefixTrie
 from repro.obs.metrics import MetricsRegistry
 from repro.protocols import Protocol
+from repro.scan.engine import apd_probe_pass
 from repro.scan.zmap import ZMapScanner
 
 _PROBE_COUNT = 16
@@ -118,18 +119,29 @@ class AliasedPrefixDetection:
     ) -> Set[IPv6Prefix]:
         """Longer-than-/64 candidates inside the /64s that changed."""
         candidates: Set[IPv6Prefix] = set()
+        min_count = self._min_longer
         for slash64 in touched_slash64:
             members = slash64_members.get(slash64, ())
-            if len(members) < self._min_longer:
+            if len(members) < min_count:
                 continue
+            # nibble-wise descent: a /L+4 group can only reach the
+            # threshold if its covering /L group does, so sparse subtrees
+            # are pruned instead of re-bucketing every member per level
+            dense: List[List[int]] = [list(members)]
             for length in range(64 + _LONGER_STEP, _LONGER_MAX + 1, _LONGER_STEP):
-                groups: Dict[int, int] = defaultdict(int)
                 shift = 128 - length
-                for address in members:
-                    groups[address >> shift] += 1
-                for network_bits, count in groups.items():
-                    if count >= self._min_longer:
-                        candidates.add(IPv6Prefix(network_bits << shift, length))
+                next_dense: List[List[int]] = []
+                for group_members in dense:
+                    groups: Dict[int, List[int]] = defaultdict(list)
+                    for address in group_members:
+                        groups[address >> shift].append(address)
+                    for network_bits, sub_members in groups.items():
+                        if len(sub_members) >= min_count:
+                            candidates.add(IPv6Prefix(network_bits << shift, length))
+                            next_dense.append(sub_members)
+                dense = next_dense
+                if not dense:
+                    break
         return candidates
 
     def bgp_candidates(self, rib: RibSnapshot) -> Set[IPv6Prefix]:
@@ -163,13 +175,52 @@ class AliasedPrefixDetection:
             bitmap |= ((1 << _PROBE_COUNT) - 1) ^ full
         return bitmap
 
-    def test_prefix(self, prefix: IPv6Prefix, day: int) -> bool:
-        """Run one detection round for one prefix and update state."""
+    def _batch_bitmaps(self, prefixes: List[IPv6Prefix], day: int) -> List[int]:
+        """Per-spot bitmaps for many prefixes in one fused probe pass.
+
+        Produces exactly what :meth:`_probe_bitmap` would per prefix
+        (same probe addresses, loss draws, metric totals and padding),
+        but the scanner resolves the ground truth once per probe instead
+        of once per (probe, protocol).
+        """
+        prefix_probes = [
+            (
+                prefix,
+                spread_addresses(
+                    prefix, _PROBE_COUNT,
+                    nonce=(day << 4) | (len(self._history.get(prefix, ())) & 0xF),
+                ),
+            )
+            for prefix in prefixes
+        ]
+        responder_sets = apd_probe_pass(self._scanner, prefix_probes, day)
+        bitmaps = []
+        for (_prefix, probes), (icmp, tcp) in zip(prefix_probes, responder_sets):
+            bitmap = 0
+            for index, address in enumerate(probes):
+                if address in icmp or address in tcp:
+                    bitmap |= 1 << index
+            if len(probes) < _PROBE_COUNT:
+                full = (1 << len(probes)) - 1
+                bitmap |= ((1 << _PROBE_COUNT) - 1) ^ full
+            bitmaps.append(bitmap)
+        return bitmaps
+
+    def test_prefix(
+        self, prefix: IPv6Prefix, day: int, bitmap: Optional[int] = None
+    ) -> bool:
+        """Run one detection round for one prefix and update state.
+
+        ``bitmap`` lets batched callers inject a probe bitmap computed
+        by :meth:`_batch_bitmaps`; without it the prefix is probed
+        individually.
+        """
         level = self._candidate_level.get(prefix, "slash64")
         if self._metrics is not None:
             self._m_tested.labels(level=level).inc()
         history = self._history.setdefault(prefix, [])
-        bitmap = self._probe_bitmap(prefix, day, attempt=len(history))
+        if bitmap is None:
+            bitmap = self._probe_bitmap(prefix, day, attempt=len(history))
         history.append(bitmap)
         if len(history) > self._window + 1:
             del history[0]
@@ -243,19 +294,38 @@ class AliasedPrefixDetection:
             if self._last_tested.get(prefix, -1) < day
         )
 
-        changed: Set[IPv6Prefix] = set()
         # shortest first: once a covering prefix is aliased, nested
         # candidates are redundant (their space is filtered anyway) and
-        # testing them would multiply-count one fully responsive region
-        for prefix in sorted(to_test, key=lambda p: (p.length, p.value)):
-            covering = self._aliased_trie.covering_prefix(prefix)
-            if covering is not None and covering[0] != prefix:
-                continue
+        # testing them would multiply-count one fully responsive region.
+        # Equal-length prefixes cannot cover each other, so each length
+        # wave can check coverage once and then probe as a single batch.
+        ordered = sorted(to_test, key=lambda p: (p.length, p.value))
+        changed: Set[IPv6Prefix] = set()
+        start = 0
+        while start < len(ordered):
+            end = start
+            length = ordered[start].length
+            while end < len(ordered) and ordered[end].length == length:
+                end += 1
+            wave = [
+                prefix for prefix in ordered[start:end]
+                if (covering := self._aliased_trie.covering_prefix(prefix)) is None
+                or covering[0] == prefix
+            ]
+            self._test_wave(wave, day, changed)
+            start = end
+        return changed
+
+    def _test_wave(
+        self, wave: List[IPv6Prefix], day: int, changed: Set[IPv6Prefix]
+    ) -> None:
+        """Probe one batch of same-length prefixes and update state."""
+        bitmaps = self._batch_bitmaps(wave, day)
+        for prefix, bitmap in zip(wave, bitmaps):
             was = prefix in self._aliased
-            now = self.test_prefix(prefix, day)
+            now = self.test_prefix(prefix, day, bitmap=bitmap)
             if was != now:
                 changed.add(prefix)
-        return changed
 
     def retest_followups(self, day: int) -> Set[IPv6Prefix]:
         """Immediately re-test queued near-miss candidates.
@@ -265,11 +335,8 @@ class AliasedPrefixDetection:
         same-day re-tests draw fresh probes.
         """
         changed: Set[IPv6Prefix] = set()
-        for prefix in sorted(self._followup, key=lambda p: (p.length, p.value)):
-            was = prefix in self._aliased
-            now = self.test_prefix(prefix, day)
-            if was != now:
-                changed.add(prefix)
+        ordered = sorted(self._followup, key=lambda p: (p.length, p.value))
+        self._test_wave(ordered, day, changed)
         return changed
 
     # ------------------------------------------------------------------

@@ -19,12 +19,14 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tup
 from repro.gfw.filter import GfwFilter
 from repro.hitlist.apd import AliasedPrefixDetection, DetectedAlias
 from repro.hitlist.sources import FlakySource, InputSource, default_sources
+from repro.net.prefix import IPv6Prefix
 from repro.obs.clock import Clock, MonotonicClock
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracing import Tracer
 from repro.protocols import ALL_PROTOCOLS, Protocol
 from repro.runtime.faults import FaultPlan, RetryPolicy
 from repro.scan.blocklist import Blocklist
+from repro.scan.engine import ScanEngine
 from repro.scan.yarrp import YarrpTracer
 from repro.scan.zmap import ZMapScanner
 from repro.simnet.config import DAY_2021_12_01, SNAPSHOT_DAYS, ScenarioConfig
@@ -92,6 +94,12 @@ class ServiceSettings:
     #: total tries per probe (1 = single-shot); extra attempts re-draw
     #: loss deterministically so transient loss does not look like churn.
     retry_attempts: int = 1
+    #: scan-engine worker processes for the probe stage (1 = inline);
+    #: results are bit-identical for any value (see repro.scan.engine)
+    scan_workers: int = 1
+    #: targets per scan-engine chunk; affects scheduling only, never
+    #: results
+    scan_chunk_size: int = 4096
 
 
 @dataclass
@@ -214,6 +222,13 @@ class HitlistService:
             internet, blocklist=self.blocklist,
             loss_rate=self.settings.loss_rate, seed=config.seed,
             fault_plan=fault_plan, retry=retry, metrics=self.metrics,
+        )
+        self.engine = ScanEngine(
+            self.scanner,
+            workers=self.settings.scan_workers,
+            chunk_size=self.settings.scan_chunk_size,
+            metrics=self.metrics,
+            tracer=self.spans,
         )
         self.tracer = YarrpTracer(
             internet, blocklist=self.blocklist,
@@ -370,13 +385,47 @@ class HitlistService:
             self._m_excluded.labels(reason="gfw_purge").inc(len(purge))
             self._m_gfw_dropped.labels(era="post-filter").inc(len(purge))
 
-    def _drop_newly_aliased(self) -> None:
-        """Remove scan-pool members now covered by detected aliases."""
+    def _drop_newly_aliased(self, changed: Optional[Set[IPv6Prefix]] = None) -> None:
+        """Remove scan-pool members now covered by detected aliases.
+
+        With ``changed`` (the prefixes whose alias state flipped this
+        round), only addresses under *newly* aliased prefixes need
+        dropping: ingestion already rejects alias-covered addresses and
+        every earlier round dropped its own, so the pool never contains
+        an address under a previously detected alias.  Without it, the
+        whole pool is re-checked against the alias trie.
+        """
         apd = self.apd
-        self._scan_pool = {
-            address for address in self._scan_pool
-            if not apd.is_aliased_address(address)
-        }
+        if changed is None:
+            self._scan_pool = {
+                address for address in self._scan_pool
+                if not apd.is_aliased_address(address)
+            }
+            return
+        aliased_now = {alias.prefix for alias in apd.aliased_prefixes}
+        # group newly aliased networks by prefix length: one set lookup
+        # per (address, length) instead of a walk over every new alias
+        drops: Dict[int, Set[int]] = {}
+        for prefix in changed:
+            if prefix in aliased_now:
+                shift = 128 - prefix.length
+                drops.setdefault(shift, set()).add(prefix.value >> shift)
+        if not drops:
+            return
+        if len(drops) == 1:
+            shift, networks = next(iter(drops.items()))
+            self._scan_pool = {
+                address for address in self._scan_pool
+                if (address >> shift) not in networks
+            }
+        else:
+            items = sorted(drops.items())
+            self._scan_pool = {
+                address for address in self._scan_pool
+                if not any(
+                    (address >> shift) in networks for shift, networks in items
+                )
+            }
 
     # ------------------------------------------------------------------
 
@@ -460,7 +509,7 @@ class HitlistService:
             self._pending_apd_input = set()
             changed = self.apd.run(day, pending, self._slash64_members, rib)
             if changed:
-                self._drop_newly_aliased()
+                self._drop_newly_aliased(changed)
 
         # 3. GFW historical purge once the filter deploys
         with self.spans.span("gfw-filter"):
@@ -476,7 +525,7 @@ class HitlistService:
         # 5. scans
         with self.spans.span("probe"):
             targets = list(self._scan_pool)
-            results, udp53 = self.scanner.scan_all_protocols(
+            results, udp53 = self.engine.scan_all_protocols(
                 targets, day, settings.qname
             )
             cleaning = self.gfw_filter.clean_scan(udp53)
@@ -602,9 +651,9 @@ class HitlistService:
             pending = self._pending_apd_input
             self._pending_apd_input = set()
             rib = self.internet.routing.snapshot_at(day)
-            self.apd.run(day, pending, self._slash64_members, rib)
-            self.apd.retest_followups(day)
-            self._drop_newly_aliased()
+            changed = self.apd.run(day, pending, self._slash64_members, rib)
+            changed |= self.apd.retest_followups(day)
+            self._drop_newly_aliased(changed)
 
     def run(
         self,
@@ -651,25 +700,29 @@ class HitlistService:
             retain_pending = sorted(self.settings.retain_days)
             if scan_days:
                 self.bootstrap(scan_days[0])
-        for index in range(start_index, len(scan_days)):
-            day = scan_days[index]
-            snapshot = self.run_scan(day, prev_day)
-            if "vantage_outage" not in snapshot.degraded:
-                # retention needs real scan data; during an outage the
-                # pending day waits for the next working scan
-                while retain_pending and day >= retain_pending[0]:
-                    self._retain(day)
-                    retain_pending.pop(0)
-            prev_day = day
-            if (
-                checkpoint_every
-                and checkpoint_path is not None
-                and ((index + 1) % checkpoint_every == 0 or index + 1 == len(scan_days))
-            ):
-                self._write_checkpoint(
-                    checkpoint_path, scan_days, index + 1, prev_day,
-                    retain_pending, checkpoint_every,
-                )
+        try:
+            for index in range(start_index, len(scan_days)):
+                day = scan_days[index]
+                snapshot = self.run_scan(day, prev_day)
+                if "vantage_outage" not in snapshot.degraded:
+                    # retention needs real scan data; during an outage the
+                    # pending day waits for the next working scan
+                    while retain_pending and day >= retain_pending[0]:
+                        self._retain(day)
+                        retain_pending.pop(0)
+                prev_day = day
+                if (
+                    checkpoint_every
+                    and checkpoint_path is not None
+                    and ((index + 1) % checkpoint_every == 0 or index + 1 == len(scan_days))
+                ):
+                    self._write_checkpoint(
+                        checkpoint_path, scan_days, index + 1, prev_day,
+                        retain_pending, checkpoint_every,
+                    )
+        finally:
+            # the worker pool re-opens lazily if the service runs again
+            self.engine.close()
         stash = getattr(self, "_last_scan_full", None)
         if stash is not None and stash[0] not in self.history.retained:
             self._retain(stash[0])
@@ -751,14 +804,17 @@ class HitlistService:
         self.bootstrap(start_day)
         day = start_day
         prev_day = -1
-        while day <= until_day:
-            snapshot = self.run_scan(day, prev_day)
-            while retain_pending and day >= retain_pending[0]:
-                self._retain(day)
-                retain_pending.pop(0)
-            prev_day = day
-            runtime_days = -(-5 * snapshot.scan_target_count // rate)  # ceil
-            day += max(base_interval, runtime_days)
+        try:
+            while day <= until_day:
+                snapshot = self.run_scan(day, prev_day)
+                while retain_pending and day >= retain_pending[0]:
+                    self._retain(day)
+                    retain_pending.pop(0)
+                prev_day = day
+                runtime_days = -(-5 * snapshot.scan_target_count // rate)  # ceil
+                day += max(base_interval, runtime_days)
+        finally:
+            self.engine.close()
         if prev_day >= 0 and prev_day not in self.history.retained:
             self._retain(prev_day)
         return self.history

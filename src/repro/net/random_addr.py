@@ -55,7 +55,22 @@ def spread_addresses(prefix: IPv6Prefix, count: int = 16, nonce: int = 0) -> Lis
     if (1 << sub_bits) != count:
         raise ValueError(f"count must be a power of two, got {count}")
     new_length = min(prefix.length + sub_bits, 128)
-    return [
-        pseudo_random_address(prefix.nth_subprefix(new_length, index), nonce)
-        for index in range(1 << (new_length - prefix.length))
-    ]
+    # inlined pseudo_random_address over each nth_subprefix: identical
+    # digests, but pure int arithmetic instead of per-subprefix objects
+    # (this runs 16x per APD candidate, every detection round)
+    host_bits = 128 - new_length
+    step = 1 << host_bits
+    host_mask = step - 1
+    value = prefix.value
+    sha256 = hashlib.sha256
+    addresses = []
+    for index in range(1 << (new_length - prefix.length)):
+        sub_value = value + index * step
+        if host_bits == 0:
+            addresses.append(sub_value)
+            continue
+        digest = sha256(
+            f"{sub_value:032x}/{new_length}#{nonce}".encode("ascii")
+        ).digest()
+        addresses.append(sub_value | (int.from_bytes(digest, "big") & host_mask))
+    return addresses

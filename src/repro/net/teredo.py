@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from repro.net.prefix import IPv6Prefix
 
 TEREDO_PREFIX = IPv6Prefix.from_string("2001::/32")
+_TEREDO_BASE = TEREDO_PREFIX.value
 
 _FLAG_CONE = 0x8000
 
@@ -42,7 +43,9 @@ def is_teredo(address: int) -> bool:
     >>> is_teredo(0x20010db8 << 96)
     False
     """
-    return TEREDO_PREFIX.contains(address)
+    # equivalent to TEREDO_PREFIX.contains(address); this predicate sits
+    # on the response-classification hot path, so skip the object hop
+    return (address >> 96) == 0x20010000
 
 
 def encode_teredo(
@@ -60,18 +63,25 @@ def encode_teredo(
     >>> decode_teredo(addr).client_ipv4 == 0xCB007101
     True
     """
-    for name, value, bits in (
-        ("server_ipv4", server_ipv4, 32),
-        ("client_ipv4", client_ipv4, 32),
-        ("client_port", client_port, 16),
-        ("flags", flags, 16),
+    if not (
+        0 <= server_ipv4 <= 0xFFFFFFFF
+        and 0 <= client_ipv4 <= 0xFFFFFFFF
+        and 0 <= client_port <= 0xFFFF
+        and 0 <= flags <= 0xFFFF
     ):
-        if not 0 <= value < (1 << bits):
-            raise ValueError(f"{name} out of range: {value:#x}")
+        # out of range: take the slow path for the precise message
+        for name, value, bits in (
+            ("server_ipv4", server_ipv4, 32),
+            ("client_ipv4", client_ipv4, 32),
+            ("client_port", client_port, 16),
+            ("flags", flags, 16),
+        ):
+            if not 0 <= value < (1 << bits):
+                raise ValueError(f"{name} out of range: {value:#x}")
     obfuscated_port = client_port ^ 0xFFFF
     obfuscated_client = client_ipv4 ^ 0xFFFFFFFF
     return (
-        (TEREDO_PREFIX.value)
+        _TEREDO_BASE
         | (server_ipv4 << 64)
         | (flags << 48)
         | (obfuscated_port << 32)

@@ -8,6 +8,7 @@ the measurement ethics of Sec. 3.3.
 """
 
 from repro.scan.blocklist import Blocklist
+from repro.scan.engine import ScanEngine
 from repro.scan.zmap import ScanResult, Udp53Result, ZMapScanner
 from repro.scan.yarrp import YarrpTracer
 from repro.scan.dnsscan import DnsScanner, ControlExperimentResult
@@ -20,6 +21,7 @@ __all__ = [
     "DnsScanner",
     "FingerprintClass",
     "PrefixFingerprint",
+    "ScanEngine",
     "ScanResult",
     "TbtOutcome",
     "TbtProber",

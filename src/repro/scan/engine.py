@@ -1,0 +1,721 @@
+"""Batched, shard-parallel scan engine (the ZMap speed lesson).
+
+The per-scan hot path used to walk the ground truth two to three times
+per target: ``scan_all_protocols`` resolved the response mask, then
+``scan_udp53`` re-checked the blocklist and re-resolved region/host per
+target, and ``dns_probe`` looked up the origin AS again.  The engine
+fuses all of it into one pass:
+
+* :meth:`SimInternet.probe_batch` answers response mask, origin AS and
+  genuine-DNS behavior for a whole chunk in a single ground-truth walk;
+* per-target loss draws share chunk-level precomputed ``mix64`` inner
+  hashes — the ``mix64((day << 8) ^ …)`` term is constant per (day,
+  protocol, attempt) and is hoisted out of the per-target loop;
+* target chunks can be sharded across a ``concurrent.futures`` worker
+  pool (opt-in via ``ServiceSettings.scan_workers`` / ``--scan-workers``).
+
+Determinism contract (what checkpoint/resume and the deterministic
+metric families depend on): the chunk partition is fixed by
+``chunk_size`` alone, every chunk is a pure function of (scanner
+configuration, targets, day, qname), and chunk results are merged in
+chunk order — so responder sets, metric counter totals, the
+control-domain NS log and checkpoint bytes are byte-identical for any
+worker count, including ``workers=1``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
+
+from repro._util import mix64
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
+from repro.protocols import DnsAnswer, DnsResponse, DnsStatus, Protocol, RecordType
+from repro.runtime.faults import RETRY_SALT
+from repro.simnet.hosts import DnsBehavior
+from repro.simnet.internet import ControlNsQuery
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.scan.zmap import ScanResult, Udp53Result, ZMapScanner
+
+_M64 = 0xFFFFFFFFFFFFFFFF
+# SplitMix64 finalizer constants (kept in sync with repro._util.mix64,
+# inlined in the per-target loop below)
+_MIX_C1 = 0xBF58476D1CE4E5B9
+_MIX_C2 = 0x94D049BB133111EB
+_FAST_SALT = 0x5CA11
+
+#: the four cheap protocols probed from one fused 64-bit loss draw, in
+#: 16-bit-slice order (must match ``ZMapScanner.scan_all_protocols``)
+FAST_PROTOCOLS = (Protocol.ICMP, Protocol.TCP80, Protocol.TCP443, Protocol.UDP443)
+
+#: default shard size; small enough to keep worker queues busy on the
+#: default scenario, large enough that per-chunk overhead is noise
+DEFAULT_CHUNK_SIZE = 4096
+
+_REFUSED_BEHAVIORS = (DnsBehavior.NOT_DNS, DnsBehavior.AUTH_OR_CLOSED)
+
+#: scanner a forked/threaded pool worker probes with; set by the parent
+#: before the pool's workers are created (fork inherits it)
+_WORKER_SCANNER: Optional["ZMapScanner"] = None
+
+
+class _ScanContext:
+    """Per-(scanner, day, qname) constants hoisted out of the hot loop."""
+
+    __slots__ = (
+        "attempts", "loss_threshold", "threshold16", "fast_inner",
+        "udp_inner", "inject_possible", "gfw_era", "resolved", "answers",
+        "is_control", "mday", "referral_answers", "broken_answers",
+    )
+
+    def __init__(self, scanner: "ZMapScanner", day: int, qname: str) -> None:
+        internet = scanner._internet
+        seed = scanner._seed
+        self.attempts = scanner._retry_attempts
+        self.loss_threshold = scanner._loss_threshold
+        self.threshold16 = int(scanner._loss_rate * 65536.0)
+        # inner mix64 of the loss formulas: constant per (day, attempt)
+        self.fast_inner = tuple(
+            mix64((day << 8) ^ seed ^ _FAST_SALT ^ ((attempt * RETRY_SALT) & _M64))
+            for attempt in range(self.attempts)
+        )
+        self.udp_inner = tuple(
+            mix64(
+                (day << 8) ^ int(Protocol.UDP53) ^ seed
+                ^ ((attempt * RETRY_SALT) & _M64)
+            )
+            for attempt in range(self.attempts)
+        )
+        gfw = internet.gfw
+        self.gfw_era = gfw.active_era(day)
+        self.inject_possible = (
+            self.gfw_era is not None and gfw.is_blocked(qname)
+        )
+        self.resolved = internet.resolve_name(qname)
+        self.answers = tuple(
+            DnsAnswer(rtype=RecordType.AAAA, address=address)
+            for address in self.resolved
+        )
+        self.is_control = internet._is_control_name(qname)
+        self.mday = mix64(day)
+        self.referral_answers = (
+            DnsAnswer(rtype=RecordType.NS, target="a.root-servers.net"),
+        )
+        self.broken_answers = (DnsAnswer(rtype=RecordType.AAAA, address=1),)
+
+
+class ChunkResult:
+    """Picklable outcome of one fused chunk scan (merged in chunk order)."""
+
+    __slots__ = (
+        "count", "burst_targets", "fast_retry_draws", "udp_retry_draws",
+        "fast_responders", "udp_hits", "control_log", "scannable",
+    )
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.burst_targets = 0
+        self.fast_retry_draws = 0
+        self.udp_retry_draws = 0
+        #: per fast protocol (slice order), responders in target order
+        self.fast_responders: Tuple[List[int], ...] = ([], [], [], [])
+        #: (target, responses) for every UDP/53 responder, in target order
+        self.udp_hits: List[Tuple[int, Tuple[DnsResponse, ...]]] = []
+        #: (qname, egress) control-NS queries this chunk would have sent;
+        #: replayed into the live log by the parent so worker processes
+        #: never mutate shared state
+        self.control_log: List[Tuple[str, int]] = []
+        #: non-blocked targets, kept only when rate limiting needs the
+        #: probed list for its per-AS responder ranking
+        self.scannable: Optional[List[int]] = None
+
+    def __getstate__(self):
+        return tuple(getattr(self, name) for name in self.__slots__)
+
+    def __setstate__(self, state):
+        for name, value in zip(self.__slots__, state):
+            setattr(self, name, value)
+
+
+def _scan_chunk(
+    scanner: "ZMapScanner",
+    targets: Sequence[int],
+    day: int,
+    qname: str,
+    ctx: Optional[_ScanContext] = None,
+    keep_scannable: bool = False,
+) -> ChunkResult:
+    """Fused five-protocol scan of one chunk — a pure function.
+
+    Replicates ``scan_all_protocols`` + ``scan_udp53`` bit for bit:
+    identical loss draws (same formulas, same retry-draw accounting),
+    identical burst handling, identical response synthesis.  No shared
+    state is mutated, so chunks can run in any process or thread.
+    """
+    if ctx is None:
+        ctx = _ScanContext(scanner, day, qname)
+    internet = scanner._internet
+    plan = scanner._fault_plan
+    if len(scanner._blocklist):
+        is_blocked = scanner._blocklist.is_blocked
+        scannable = [target for target in targets if not is_blocked(target)]
+    else:
+        scannable = list(targets)
+
+    result = ChunkResult()
+    result.count = len(scannable)
+    if keep_scannable:
+        result.scannable = scannable
+
+    attempts = ctx.attempts
+    threshold16 = ctx.threshold16
+    loss_threshold = ctx.loss_threshold
+    fast_inner = ctx.fast_inner
+    udp_inner = ctx.udp_inner
+    burst_lost = None if plan is None else plan.burst_lost
+    inject = internet.gfw.inject_prepared
+    inject_possible = ctx.inject_possible
+    gfw_era = ctx.gfw_era
+    crosses = internet.gfw._boundary.crosses
+    crosses_cache: Dict[Optional[int], bool] = {}
+    mday = ctx.mday
+    resolved = ctx.resolved
+    is_control = ctx.is_control
+    fast0, fast1, fast2, fast3 = result.fast_responders
+    udp_hits = result.udp_hits
+    control_log = result.control_log
+    burst_targets = 0
+    fast_draws = 0
+    udp_draws = 0
+
+    for target, mask, asn, behavior in internet.probe_batch(scannable, day, qname):
+        if burst_lost is not None and burst_lost(target, day):
+            burst_targets += 1
+            continue
+        base = (target & _M64) ^ (target >> 64)
+
+        # fast protocols: four probes drawn from disjoint 16-bit slices
+        # of one 64-bit hash (exactly ZMapScanner.scan_all_protocols)
+        if mask:
+            if threshold16:
+                surviving = 0
+                for attempt in range(attempts):
+                    value = (base ^ fast_inner[attempt]) & _M64
+                    value = ((value ^ (value >> 30)) * _MIX_C1) & _M64
+                    value = ((value ^ (value >> 27)) * _MIX_C2) & _M64
+                    draw = value ^ (value >> 31)
+                    if (draw & 0xFFFF) >= threshold16:
+                        surviving |= 1
+                    if ((draw >> 16) & 0xFFFF) >= threshold16:
+                        surviving |= 2
+                    if ((draw >> 32) & 0xFFFF) >= threshold16:
+                        surviving |= 4
+                    if ((draw >> 48) & 0xFFFF) >= threshold16:
+                        surviving |= 8
+                    if surviving == 0b1111:
+                        break
+                fast_draws += attempt
+            else:
+                surviving = 0b1111
+            if surviving & 1 and mask & 1:  # ICMP
+                fast0.append(target)
+            if surviving & 2 and mask & 2:  # TCP80
+                fast1.append(target)
+            if surviving & 4 and mask & 4:  # TCP443
+                fast2.append(target)
+            if surviving & 8 and mask & 16:  # UDP443
+                fast3.append(target)
+
+        # UDP/53: loss is drawn for every non-burst target (the GFW can
+        # inject even when the target itself is dead) — ZMapScanner._lost
+        if loss_threshold:
+            lost = True
+            for attempt in range(attempts):
+                value = (base ^ udp_inner[attempt]) & _M64
+                value = ((value ^ (value >> 30)) * _MIX_C1) & _M64
+                value = ((value ^ (value >> 27)) * _MIX_C2) & _M64
+                if (value ^ (value >> 31)) >= loss_threshold:
+                    udp_draws += attempt
+                    lost = False
+                    break
+            else:
+                udp_draws += attempts - 1
+            if lost:
+                continue
+
+        responses: Optional[List[DnsResponse]] = None
+        if inject_possible:
+            crossing = crosses_cache.get(asn)
+            if crossing is None:
+                crossing = crosses(asn)
+                crosses_cache[asn] = crossing
+            if crossing:
+                responses = inject(target, qname, day, gfw_era)
+
+        if behavior is not None:
+            # genuine answer — SimInternet._answer_as, with the control
+            # NS log collected locally instead of appended live
+            if behavior in _REFUSED_BEHAVIORS:
+                genuine = DnsResponse(
+                    responder=target, qname=qname, status=DnsStatus.REFUSED
+                )
+            elif behavior is DnsBehavior.REFERRAL:
+                genuine = DnsResponse(
+                    responder=target, qname=qname, status=DnsStatus.NOERROR,
+                    answers=ctx.referral_answers,
+                )
+            elif behavior is DnsBehavior.BROKEN:
+                value = (target ^ mday) & _M64
+                value = ((value ^ (value >> 30)) * _MIX_C1) & _M64
+                value = ((value ^ (value >> 27)) * _MIX_C2) & _M64
+                if (value ^ (value >> 31)) % 2:
+                    genuine = DnsResponse(
+                        responder=target, qname=qname, status=DnsStatus.SERVFAIL
+                    )
+                else:
+                    genuine = DnsResponse(
+                        responder=target, qname=qname,
+                        status=DnsStatus.NOERROR, answers=ctx.broken_answers,
+                    )
+            elif not resolved:
+                genuine = DnsResponse(
+                    responder=target, qname=qname, status=DnsStatus.NXDOMAIN
+                )
+            else:
+                if is_control:
+                    egress = target
+                    if behavior is DnsBehavior.PROXY_RESOLVER:
+                        egress = target ^ mix64(target) & 0xFFFF
+                    control_log.append((qname, egress))
+                genuine = DnsResponse(
+                    responder=target, qname=qname, status=DnsStatus.NOERROR,
+                    answers=ctx.answers,
+                )
+            if responses is None:
+                responses = [genuine]
+            else:
+                responses.append(genuine)
+
+        if responses:
+            udp_hits.append((target, tuple(responses)))
+
+    result.burst_targets = burst_targets
+    result.fast_retry_draws = fast_draws
+    result.udp_retry_draws = udp_draws
+    return result
+
+
+def _worker_scan_chunk(
+    targets: Sequence[int], day: int, qname: str, keep_scannable: bool
+) -> ChunkResult:
+    """Pool-worker entry point; probes via the inherited scanner."""
+    return _scan_chunk(_WORKER_SCANNER, targets, day, qname, None, keep_scannable)
+
+
+class ScanEngine:
+    """Runs the fused five-protocol scan, optionally sharded over workers.
+
+    ``workers=1`` (the default) runs chunks inline; larger values shard
+    chunks over a ``concurrent.futures`` pool — forked processes where
+    the platform supports it (workers inherit the simulated world
+    copy-on-write), threads otherwise.  Results are identical either
+    way; see the module docstring for the determinism contract.
+    """
+
+    def __init__(
+        self,
+        scanner: "ZMapScanner",
+        workers: int = 1,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        self._scanner = scanner
+        self._workers = workers
+        self._chunk_size = chunk_size
+        self._tracer = tracer
+        self._executor = None
+        self._m_chunks = None
+        if metrics is not None:
+            # volatile: the chunk count tracks scan_chunk_size, a host
+            # tuning knob that checkpoints deliberately do not carry
+            self._m_chunks = metrics.counter(
+                "repro_engine_chunks_total",
+                "Fused scan chunks processed by the scan engine.",
+                volatile=True)
+            self._m_fused_targets = metrics.counter(
+                "repro_engine_fused_targets_total",
+                "Targets answered by the fused ground-truth pass.")
+            self._m_chunk_seconds = metrics.histogram(
+                "repro_engine_chunk_seconds",
+                "Wall-clock duration per scan-engine chunk.", volatile=True)
+
+    @property
+    def workers(self) -> int:
+        """Configured worker count (1 = inline)."""
+        return self._workers
+
+    # ------------------------------------------------------------------
+    # worker pool
+
+    def _ensure_executor(self):
+        if self._executor is None:
+            global _WORKER_SCANNER
+            # the global must point at our scanner when the pool's
+            # workers are created: with a fork context all workers are
+            # forked on first submit, inheriting the world copy-on-write
+            _WORKER_SCANNER = self._scanner
+            import multiprocessing
+            from concurrent.futures import (
+                ProcessPoolExecutor, ThreadPoolExecutor,
+            )
+
+            if "fork" in multiprocessing.get_all_start_methods():
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self._workers,
+                    mp_context=multiprocessing.get_context("fork"),
+                )
+            else:  # pragma: no cover - non-fork platforms
+                self._executor = ThreadPoolExecutor(max_workers=self._workers)
+        return self._executor
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent; pool re-opens on use)."""
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+
+    # ------------------------------------------------------------------
+    # scanning
+
+    def scan_all_protocols(
+        self, targets: Sequence[int], day: int, qname: str
+    ) -> Tuple[Dict[Protocol, "ScanResult"], "Udp53Result"]:
+        """Fused scan of all five hitlist protocols over one target set.
+
+        Drop-in equivalent of ``ZMapScanner.scan_all_protocols`` —
+        identical responder sets, metric totals, retry/burst accounting
+        and control-NS log, for any ``workers``/``chunk_size``.
+        """
+        from repro.scan.zmap import ScanResult, Udp53Result
+
+        scanner = self._scanner
+        plan = scanner._fault_plan
+        udp53 = Udp53Result(day=day, qname=qname)
+        if plan is not None and plan.vantage_down(day):
+            empty = {
+                protocol: ScanResult(
+                    protocol=protocol, day=day, targets=0, responders=frozenset()
+                )
+                for protocol in FAST_PROTOCOLS
+            }
+            return empty, udp53
+
+        if not isinstance(targets, list):
+            targets = list(targets)
+        limited = plan is not None and any(
+            plan.limits_protocol(protocol)
+            for protocol in (*FAST_PROTOCOLS, Protocol.UDP53)
+        )
+        chunk_size = self._chunk_size
+        chunks = [
+            targets[start:start + chunk_size]
+            for start in range(0, len(targets), chunk_size)
+        ]
+        chunk_results = self._run_chunks(chunks, day, qname, limited)
+
+        # deterministic merge, in chunk order
+        fast_sets: List[set] = [set(), set(), set(), set()]
+        count = 0
+        burst_targets = 0
+        fast_draws = 0
+        udp_draws = 0
+        scannable: Optional[List[int]] = [] if limited else None
+        control_entries: List[Tuple[str, int]] = []
+        for chunk_result in chunk_results:
+            count += chunk_result.count
+            burst_targets += chunk_result.burst_targets
+            fast_draws += chunk_result.fast_retry_draws
+            udp_draws += chunk_result.udp_retry_draws
+            for found, responders in zip(fast_sets, chunk_result.fast_responders):
+                found.update(responders)
+            for target, responses in chunk_result.udp_hits:
+                udp53.responders.add(target)
+                udp53.responses[target] = responses
+            control_entries.extend(chunk_result.control_log)
+            if scannable is not None:
+                scannable.extend(chunk_result.scannable)
+        udp53.targets = count
+        log = scanner._internet.control_ns_log
+        for logged_qname, egress in control_entries:
+            log.append(ControlNsQuery(qname=logged_qname, source=egress))
+
+        # per-AS rate limiting needs the full probed list, so it runs
+        # after the merge (identical to the legacy per-scan ordering)
+        rate_limited: Dict[Protocol, int] = {}
+        udp_rate_limited = 0
+        if limited and scannable is not None:
+            internet = scanner._internet
+
+            def origin(address: int) -> Optional[int]:
+                return internet.origin_as(address, day)
+
+            for index, protocol in enumerate(FAST_PROTOCOLS):
+                if plan.limits_protocol(protocol):
+                    suppressed = plan.suppressed_responders(
+                        scannable, protocol, day, origin
+                    )
+                    rate_limited[protocol] = len(fast_sets[index] & suppressed)
+                    fast_sets[index] -= suppressed
+            if plan.limits_protocol(Protocol.UDP53):
+                for address in plan.suppressed_responders(
+                    scannable, Protocol.UDP53, day, origin
+                ):
+                    if address in udp53.responders:
+                        udp_rate_limited += 1
+                    udp53.responders.discard(address)
+                    udp53.responses.pop(address, None)
+
+        self._flush_metrics(
+            count, burst_targets, fast_draws + udp_draws, fast_sets,
+            udp53, rate_limited, udp_rate_limited, len(chunks),
+        )
+        results = {
+            protocol: ScanResult(
+                protocol=protocol, day=day, targets=count,
+                responders=frozenset(fast_sets[index]),
+            )
+            for index, protocol in enumerate(FAST_PROTOCOLS)
+        }
+        return results, udp53
+
+    def _run_chunks(
+        self, chunks: List[List[int]], day: int, qname: str, limited: bool
+    ) -> List[ChunkResult]:
+        scanner = self._scanner
+        tracer = self._tracer
+        observe = (
+            self._m_chunk_seconds.observe if self._m_chunks is not None else None
+        )
+        results: List[ChunkResult] = []
+        if self._workers == 1 or len(chunks) <= 1:
+            ctx = _ScanContext(scanner, day, qname) if chunks else None
+            for index, chunk in enumerate(chunks):
+                start = time.perf_counter()
+                if tracer is not None:
+                    with tracer.span("probe-chunk", day=day, chunk=index):
+                        results.append(
+                            _scan_chunk(scanner, chunk, day, qname, ctx, limited)
+                        )
+                else:
+                    results.append(
+                        _scan_chunk(scanner, chunk, day, qname, ctx, limited)
+                    )
+                if observe is not None:
+                    observe(time.perf_counter() - start)
+            return results
+        executor = self._ensure_executor()
+        futures = [
+            executor.submit(_worker_scan_chunk, chunk, day, qname, limited)
+            for chunk in chunks
+        ]
+        for index, future in enumerate(futures):
+            # parent-side wait per chunk: overlapping worker time shows
+            # up as near-zero waits on all but the slowest chunk
+            start = time.perf_counter()
+            if tracer is not None:
+                with tracer.span("probe-chunk", day=day, chunk=index):
+                    results.append(future.result())
+            else:
+                results.append(future.result())
+            if observe is not None:
+                observe(time.perf_counter() - start)
+        return results
+
+    def _flush_metrics(
+        self,
+        count: int,
+        burst_targets: int,
+        retry_draws: int,
+        fast_sets: List[set],
+        udp53: "Udp53Result",
+        rate_limited: Dict[Protocol, int],
+        udp_rate_limited: int,
+        chunk_count: int,
+    ) -> None:
+        """Identical counter totals to the legacy two-stage flush."""
+        scanner = self._scanner
+        scanner.probes_sent += 5 * count
+        if self._m_chunks is not None:
+            self._m_chunks.inc(chunk_count)
+            self._m_fused_targets.inc(count)
+        if scanner._metrics is None:
+            return
+        if retry_draws:
+            scanner._m_retries.inc(retry_draws)
+        if burst_targets:
+            # four fast probes plus the UDP/53 probe per burst target
+            scanner._m_burst.inc(5 * burst_targets)
+        for index, protocol in enumerate(FAST_PROTOCOLS):
+            scanner._m_probes.labels(protocol=protocol.label).inc(count)
+            scanner._m_hits.labels(protocol=protocol.label).inc(
+                len(fast_sets[index])
+            )
+            if rate_limited.get(protocol):
+                scanner._m_rate_limited.labels(protocol=protocol.label).inc(
+                    rate_limited[protocol]
+                )
+        udp_label = Protocol.UDP53.label
+        scanner._m_probes.labels(protocol=udp_label).inc(count)
+        scanner._m_hits.labels(protocol=udp_label).inc(len(udp53.responders))
+        if udp_rate_limited:
+            scanner._m_rate_limited.labels(protocol=udp_label).inc(
+                udp_rate_limited
+            )
+
+
+def apd_probe_pass(
+    scanner: "ZMapScanner",
+    prefix_probes: Sequence[Tuple[object, Sequence[int]]],
+    day: int,
+) -> List[Tuple[set, set]]:
+    """Batched ICMP + TCP/80 responder sets for APD probe lists.
+
+    For each ``(prefix, probes)`` pair, replicates exactly what two
+    ``ZMapScanner.scan`` calls over ``probes`` produce — same loss
+    draws, retry accounting, burst counting, per-prefix rate limiting
+    and metric totals — but resolves the ground truth once per probe
+    via the fused pass.
+    """
+    if not prefix_probes:
+        return []
+    plan = scanner._fault_plan
+    if plan is not None and plan.vantage_down(day):
+        # scan() returns empty results without touching metrics
+        return [(set(), set()) for _ in prefix_probes]
+    internet = scanner._internet
+    blocklist = scanner._blocklist
+    has_blocklist = len(blocklist) > 0
+    is_blocked = blocklist.is_blocked
+    seed = scanner._seed
+    attempts = scanner._retry_attempts
+    loss_threshold = scanner._loss_threshold
+    icmp_inner = tuple(
+        mix64(
+            (day << 8) ^ int(Protocol.ICMP) ^ seed
+            ^ ((attempt * RETRY_SALT) & _M64)
+        )
+        for attempt in range(attempts)
+    )
+    tcp_inner = tuple(
+        mix64(
+            (day << 8) ^ int(Protocol.TCP80) ^ seed
+            ^ ((attempt * RETRY_SALT) & _M64)
+        )
+        for attempt in range(attempts)
+    )
+    limited_icmp = plan is not None and plan.limits_protocol(Protocol.ICMP)
+    limited_tcp = plan is not None and plan.limits_protocol(Protocol.TCP80)
+    burst_lost = None if plan is None else plan.burst_lost
+
+    def origin(address: int) -> Optional[int]:
+        return internet.origin_as(address, day)
+
+    metrics = scanner._metrics
+    if metrics is not None:
+        icmp_label = Protocol.ICMP.label
+        tcp_label = Protocol.TCP80.label
+        m_probes = (
+            scanner._m_probes.labels(protocol=icmp_label),
+            scanner._m_probes.labels(protocol=tcp_label),
+        )
+        m_hits = (
+            scanner._m_hits.labels(protocol=icmp_label),
+            scanner._m_hits.labels(protocol=tcp_label),
+        )
+    out: List[Tuple[set, set]] = []
+    for _prefix, probes in prefix_probes:
+        if has_blocklist:
+            scannable = [probe for probe in probes if not is_blocked(probe)]
+        else:
+            scannable = list(probes)
+        icmp_responders: set = set()
+        tcp_responders: set = set()
+        burst_suppressed = 0
+        icmp_draws = 0
+        tcp_draws = 0
+        for probe, mask, _asn, _behavior in internet.probe_batch(
+            scannable, day, need_dns=False
+        ):
+            if burst_lost is not None and burst_lost(probe, day):
+                burst_suppressed += 1
+                continue
+            base = (probe & _M64) ^ (probe >> 64)
+            for inner, bit, responders, is_icmp in (
+                (icmp_inner, 1, icmp_responders, True),
+                (tcp_inner, 2, tcp_responders, False),
+            ):
+                if loss_threshold:
+                    lost = True
+                    for attempt in range(attempts):
+                        value = (base ^ inner[attempt]) & _M64
+                        value = ((value ^ (value >> 30)) * _MIX_C1) & _M64
+                        value = ((value ^ (value >> 27)) * _MIX_C2) & _M64
+                        if (value ^ (value >> 31)) >= loss_threshold:
+                            if is_icmp:
+                                icmp_draws += attempt
+                            else:
+                                tcp_draws += attempt
+                            lost = False
+                            break
+                    else:
+                        if is_icmp:
+                            icmp_draws += attempts - 1
+                        else:
+                            tcp_draws += attempts - 1
+                    if lost:
+                        continue
+                if mask & bit:
+                    responders.add(probe)
+        rate_limited_icmp = 0
+        rate_limited_tcp = 0
+        if limited_icmp:
+            suppressed = plan.suppressed_responders(
+                scannable, Protocol.ICMP, day, origin
+            )
+            rate_limited_icmp = len(icmp_responders & suppressed)
+            icmp_responders -= suppressed
+        if limited_tcp:
+            suppressed = plan.suppressed_responders(
+                scannable, Protocol.TCP80, day, origin
+            )
+            rate_limited_tcp = len(tcp_responders & suppressed)
+            tcp_responders -= suppressed
+        count = len(scannable)
+        scanner.probes_sent += 2 * count
+        if metrics is not None:
+            total_draws = icmp_draws + tcp_draws
+            if total_draws:
+                scanner._m_retries.inc(total_draws)
+            if burst_suppressed:
+                # each burst swallows both the ICMP and the TCP/80 probe
+                scanner._m_burst.inc(2 * burst_suppressed)
+            for index, (hits, limited_count) in enumerate((
+                (icmp_responders, rate_limited_icmp),
+                (tcp_responders, rate_limited_tcp),
+            )):
+                m_probes[index].inc(count)
+                m_hits[index].inc(len(hits))
+                if limited_count:
+                    label = icmp_label if index == 0 else tcp_label
+                    scanner._m_rate_limited.labels(protocol=label).inc(
+                        limited_count
+                    )
+        out.append((icmp_responders, tcp_responders))
+    return out

@@ -12,6 +12,11 @@ from dataclasses import dataclass, field
 from typing import Iterable, Optional, Set
 
 from repro._util import mix64
+
+_M64 = 0xFFFFFFFFFFFFFFFF
+# SplitMix64 finalizer constants (kept in sync with repro._util.mix64)
+_MIX_C1 = 0xBF58476D1CE4E5B9
+_MIX_C2 = 0x94D049BB133111EB
 from repro.obs.metrics import MetricsRegistry
 from repro.runtime.faults import FaultPlan
 from repro.scan.blocklist import Blocklist
@@ -75,13 +80,30 @@ class YarrpTracer:
             return result
         internet = self._internet
         blocklist = self._blocklist
+        # hot loop: skip blocklist checks entirely when it is empty and
+        # hoist the per-day sampling hash out of the per-target draw
+        blocked = blocklist.is_blocked if len(blocklist) else None
+        sample_all = self._sample_rate >= 1.0
+        day_hash = mix64(day ^ self._seed)
+        threshold = self._sample_threshold
+        trace = internet.trace
+        hops_seen = result.hops
         for target in targets:
-            if blocklist.is_blocked(target) or not self._sampled(target, day):
+            if blocked is not None and blocked(target):
                 continue
+            if not sample_all:
+                value = ((target & _M64) ^ (target >> 64) ^ day_hash) & _M64
+                value = ((value ^ (value >> 30)) * _MIX_C1) & _M64
+                value = ((value ^ (value >> 27)) * _MIX_C2) & _M64
+                if (value ^ (value >> 31)) >= threshold:
+                    continue
             result.targets_traced += 1
-            for hop in internet.trace(target, day):
-                if not blocklist.is_blocked(hop):
-                    result.hops.add(hop)
+            if blocked is None:
+                hops_seen.update(trace(target, day))
+            else:
+                for hop in trace(target, day):
+                    if not blocked(hop):
+                        hops_seen.add(hop)
         if self._metrics is not None:
             self._m_targets.inc(result.targets_traced)
             self._m_hops.inc(len(result.hops))

@@ -89,6 +89,8 @@ class ZMapScanner:
         self.probes_sent = 0
         self._retry_draws = 0
         self._metrics = metrics
+        #: lazily created serial engine backing :meth:`scan_all_protocols`
+        self._engine = None
         if metrics is not None:
             self._m_probes = metrics.counter(
                 "repro_probes_sent_total", "Probes sent, by protocol.",
@@ -258,9 +260,27 @@ class ZMapScanner:
         """Run the full hitlist protocol suite against one target set.
 
         Equivalent to four :meth:`scan` calls plus :meth:`scan_udp53`,
-        but resolves the ground truth once per target.  Loss stays
-        independent per (target, protocol, day): the four probes draw
-        from disjoint 16-bit slices of one 64-bit hash.
+        but fused into one ground-truth pass per target (see
+        :mod:`repro.scan.engine`).  Loss stays independent per (target,
+        protocol, day): the four fast probes draw from disjoint 16-bit
+        slices of one 64-bit hash.
+        """
+        engine = self._engine
+        if engine is None:
+            from repro.scan.engine import ScanEngine
+
+            engine = self._engine = ScanEngine(self)
+        return engine.scan_all_protocols(targets, day, qname)
+
+    def scan_all_protocols_legacy(
+        self, targets: Iterable[int], day: int, qname: str
+    ) -> Tuple[Dict[Protocol, ScanResult], Udp53Result]:
+        """Pre-engine reference implementation of the fused scan.
+
+        Kept as the differential baseline: it walks the ground truth a
+        second time for UDP/53 (via :meth:`scan_udp53`), which the
+        engine's fused pass eliminates.  Equivalence tests and the perf
+        benchmarks compare the two paths bit for bit.
         """
         fast_protocols = (Protocol.ICMP, Protocol.TCP80, Protocol.TCP443, Protocol.UDP443)
         plan = self._fault_plan

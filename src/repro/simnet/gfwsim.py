@@ -107,6 +107,9 @@ class GreatFirewall:
         self._pool = ipv4_pool
         self._seed = seed
         self._burst_probability = burst_probability
+        # memoized mix64(day ^ seed) for inject_prepared's per-day hash
+        self._inject_day: Optional[int] = None
+        self._inject_day_hash = 0
 
     @property
     def eras(self) -> Tuple[GfwEra, ...]:
@@ -144,20 +147,36 @@ class GreatFirewall:
         era = self.active_era(day)
         if era is None or not self.is_blocked(qname) or not self._boundary.crosses(target_asn):
             return []
+        return self.inject_prepared(target, qname, day, era)
+
+    def inject_prepared(
+        self, target: int, qname: str, day: int, era: GfwEra
+    ) -> List[DnsResponse]:
+        """Forged responses once all gates are known to pass.
+
+        Hot-path variant of :meth:`inject` for callers (the scan engine)
+        that have already checked era/blocklist/border per scan instead
+        of per probe.  Draw sequence is identical to :meth:`inject`.
+        """
+        if day != self._inject_day:
+            self._inject_day = day
+            self._inject_day_hash = mix64(day ^ self._seed)
         base_draw = mix64(
-            (target & 0xFFFFFFFFFFFFFFFF) ^ (target >> 64) ^ mix64(day ^ self._seed)
+            (target & 0xFFFFFFFFFFFFFFFF) ^ (target >> 64) ^ self._inject_day_hash
         )
         count = 2 + base_draw % 2  # two or three injectors answer
         if (base_draw >> 32) % 1_000_000 < self._burst_probability * 1_000_000:
             count = 64 + base_draw % 400  # rare pathological bursts
+        pick = self._pool.pick
+        a_record = era.mode is InjectionMode.A_RECORD
         responses = []
         for index in range(count):
             draw = mix64(base_draw ^ (index + 1))
-            ipv4, _owner = self._pool.pick(draw)
-            if era.mode is InjectionMode.A_RECORD:
+            ipv4, _owner = pick(draw)
+            if a_record:
                 answer = DnsAnswer(rtype=RecordType.A, address=ipv4)
             else:
-                server = _TEREDO_SERVERS[draw % len(_TEREDO_SERVERS)]
+                server = _TEREDO_SERVERS[draw % 2]
                 port = 1024 + (draw >> 16) % 60000
                 answer = DnsAnswer(
                     rtype=RecordType.AAAA,

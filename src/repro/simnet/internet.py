@@ -34,6 +34,9 @@ from repro.simnet.routers import RouterTopology
 _IPV6_MIN_MTU = 1280
 _DEFAULT_MTU = 1500
 
+#: cache-miss sentinel (``None`` is a valid cached value)
+_MISSING = object()
+
 
 @dataclass(frozen=True)
 class EchoReply:
@@ -129,6 +132,13 @@ class SimInternet:
         # prefixes are never longer than /64, so the key is sound).
         self._origin_cache: Dict[int, Optional[int]] = {}
         self._origin_cache_snapshot: Optional[object] = None
+
+        # traceroute memo: hops are a pure function of (target /48 route
+        # key, origin AS, fleet rotation epochs) — see RouterTopology.trace.
+        # Valid until any CPE fleet enters a new rotation epoch.
+        self._trace_cache: Dict[Tuple[int, Optional[int]], List[int]] = {}
+        self._trace_cache_day: Optional[int] = None
+        self._trace_cache_epochs: Optional[Tuple[int, ...]] = None
 
     # ------------------------------------------------------------------
     # topology / bookkeeping
@@ -228,6 +238,83 @@ class SimInternet:
         if not mask & Protocol.ICMP and address in self._responsive_cpe(day):
             mask |= Protocol.ICMP
         return mask
+
+    def probe_batch(
+        self,
+        targets: Iterable[int],
+        day: int,
+        qname: Optional[str] = None,
+        need_dns: bool = True,
+    ) -> List[Tuple[int, int, Optional[int], Optional[DnsBehavior]]]:
+        """Fused ground-truth pass for a chunk of scan targets.
+
+        For each target, one walk of the ground truth yields the
+        ``(target, response_mask, origin_as, dns_behavior)`` tuple that a
+        five-protocol scan needs, where ``dns_behavior`` is the behavior
+        a genuine UDP/53 answer would follow (``None`` when the target
+        runs no DNS service).  Equivalent to calling
+        :meth:`response_mask`, :meth:`origin_as` and the region/host
+        resolution behind :meth:`dns_probe` separately per target, but
+        each region, host and routing lookup happens exactly once.
+
+        ``qname`` is accepted for call-site parity; the behavior triple
+        is qname-independent (response synthesis — including GFW
+        injection — is the scan engine's business).  With
+        ``need_dns=False`` the origin-AS and DNS-behavior fields are
+        skipped (returned as ``None``) for callers that only want masks,
+        e.g. the APD probe pass.
+        """
+        snapshot = self.routing.snapshot_at(day)
+        if snapshot is not self._origin_cache_snapshot:
+            self._origin_cache.clear()
+            self._origin_cache_snapshot = snapshot
+        origin_cache = self._origin_cache
+        snapshot_origin = snapshot.origin_as
+        region_cache = self._region_cache
+        long_slash64s = self._long_region_slash64s
+        longest_match = self._region_trie.longest_match
+        hosts_get = self.hosts.get
+        cpe = self._responsive_cpe(day)
+        seed = self._seed
+        icmp = int(Protocol.ICMP)
+        udp53 = int(Protocol.UDP53)
+        out: List[Tuple[int, int, Optional[int], Optional[DnsBehavior]]] = []
+        append = out.append
+        for target in targets:
+            slash64 = target >> 64
+            if need_dns:
+                asn = origin_cache.get(slash64, _MISSING)
+                if asn is _MISSING:
+                    asn = snapshot_origin(target)
+                    origin_cache[slash64] = asn
+            else:
+                asn = None
+            if slash64 in long_slash64s:
+                match = longest_match(target)
+                region = None if match is None else match[1]
+            else:
+                region = region_cache.get(slash64, _MISSING)
+                if region is _MISSING:
+                    match = longest_match(target)
+                    region = None if match is None else match[1]
+                    region_cache[slash64] = region
+            if region is not None and not region.active(day):
+                region = None
+            mask = 0
+            behavior: Optional[DnsBehavior] = None
+            if region is not None:
+                mask = int(region.protocols)
+                if need_dns and mask & udp53:
+                    behavior = region.dns_behavior
+            host = hosts_get(target)
+            if host is not None and host.is_up(target, day, seed):
+                mask |= host.protocols
+                if need_dns and behavior is None and host.protocols & udp53:
+                    behavior = host.dns_behavior
+            if not mask & icmp and target in cpe:
+                mask |= icmp
+            append((target, mask, asn, behavior))
+        return out
 
     def batch_responsive(
         self, addresses: Iterable[int], protocol: Protocol, day: int
@@ -375,5 +462,25 @@ class SimInternet:
     # traceroute
 
     def trace(self, target: int, day: int) -> List[int]:
-        """Hop addresses a traceroute towards ``target`` reveals."""
-        return self.topology.trace(target, self.origin_as(target, day), day)
+        """Hop addresses a traceroute towards ``target`` reveals.
+
+        Routing depends on the day only through each CPE fleet's
+        rotation epoch (``day // rotation_period``), so results are
+        memoized until some fleet rotates.  Callers must treat the
+        returned list as read-only.
+        """
+        if day != self._trace_cache_day:
+            epochs = tuple(
+                day // fleet.rotation_period for fleet in self.topology.fleets
+            )
+            if epochs != self._trace_cache_epochs:
+                self._trace_cache.clear()
+                self._trace_cache_epochs = epochs
+            self._trace_cache_day = day
+        asn = self.origin_as(target, day)
+        key = (target >> 80, asn)
+        hops = self._trace_cache.get(key)
+        if hops is None:
+            hops = self.topology.trace(target, asn, day)
+            self._trace_cache[key] = hops
+        return hops

@@ -1,0 +1,180 @@
+"""Scan-engine determinism: worker count must be invisible in the output.
+
+The property under test (the engine's core contract): for any
+``scan_workers`` value, the service produces bit-identical scan
+snapshots, identical deterministic-metrics views, and byte-identical
+checkpoints — sharding chunks across a process pool only changes wall
+time, never results.  Also pins the engine's fused pass against the
+pre-engine reference implementation.
+"""
+
+import os
+
+import pytest
+
+from repro.hitlist import HitlistService
+from repro.hitlist.history_io import history_summary
+from repro.hitlist.service import ServiceSettings
+from repro.obs import deterministic_metrics, registry_to_dict
+from repro.protocols import Protocol
+from repro.scan import ScanEngine
+from repro.simnet import build_internet, small_config
+
+SCAN_DAYS = list(range(0, 96, 8))
+WORKER_COUNTS = (1, 2, 4, 7)
+#: small enough to shard the small scenario's pool into many chunks
+CHUNK_SIZE = 256
+
+
+def _build(config, workers):
+    settings = ServiceSettings(
+        gfw_filter_deploy_day=config.gfw_filter_deploy_day,
+        scan_workers=workers,
+        scan_chunk_size=CHUNK_SIZE,
+    )
+    return HitlistService(build_internet(config), config, settings=settings)
+
+
+def _run(config, workers):
+    service = _build(config, workers)
+    history = service.run(SCAN_DAYS)
+    metrics = deterministic_metrics(registry_to_dict(service.metrics))
+    return history, metrics
+
+
+@pytest.fixture(scope="module")
+def config():
+    return small_config()
+
+
+@pytest.fixture(scope="module")
+def reference(config):
+    """The single-worker run every other worker count must reproduce."""
+    return _run(config, workers=1)
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS[1:])
+def test_worker_count_invisible_in_results(config, reference, workers):
+    ref_history, ref_metrics = reference
+    history, metrics = _run(config, workers)
+
+    assert history.snapshots == ref_history.snapshots
+    assert history_summary(history) == history_summary(ref_history)
+    assert set(history.retained) == set(ref_history.retained)
+    for day in ref_history.retained:
+        assert history.retained[day].responders == ref_history.retained[day].responders
+        assert history.retained[day].injected == ref_history.retained[day].injected
+        assert (
+            history.retained[day].aliased_prefixes
+            == ref_history.retained[day].aliased_prefixes
+        )
+    assert metrics == ref_metrics
+
+
+@pytest.fixture(scope="module")
+def checkpoint_dir(tmp_path_factory):
+    """Shared across the worker parametrization so blobs can be compared."""
+    return tmp_path_factory.mktemp("engine-checkpoints")
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_checkpoint_bytes_worker_invariant(config, checkpoint_dir, workers, reference):
+    """Kill-and-resume checkpoints are byte-identical for any pool size."""
+    kill_after = 3
+
+    class _Killed(Exception):
+        pass
+
+    service = _build(config, workers)
+    original = service.run_scan
+    executed = {"count": 0}
+
+    def dying_run_scan(day, prev_day):
+        if executed["count"] == kill_after:
+            raise _Killed()
+        executed["count"] += 1
+        return original(day, prev_day)
+
+    service.run_scan = dying_run_scan
+    # every worker count writes to the SAME path: the schedule embeds
+    # its checkpoint dir, so distinct paths would differ by design
+    target = checkpoint_dir / "work"
+    if target.exists():
+        for stale in target.iterdir():
+            stale.unlink()
+    else:
+        target.mkdir()
+    with pytest.raises(_Killed):
+        service.run(SCAN_DAYS, checkpoint_every=1, checkpoint_path=str(target))
+    files = sorted(f for f in os.listdir(target) if f.endswith(".ckpt"))
+    assert len(files) == kill_after
+    blobs = [(name, (target / name).read_bytes()) for name in files]
+
+    marker = checkpoint_dir / "reference-checkpoints"
+    if not marker.exists():
+        marker.mkdir()
+        for name, blob in blobs:
+            (marker / name).write_bytes(blob)
+    else:
+        for name, blob in blobs:
+            assert (marker / name).read_bytes() == blob, (
+                f"checkpoint {name} differs at scan_workers={workers}"
+            )
+
+    # resuming the kill finishes the schedule bit-identically
+    resumed = HitlistService.resume(str(target / files[-1]))
+    ref_history, _ = reference
+    assert history_summary(resumed.run()) == history_summary(ref_history)
+
+
+def test_engine_matches_legacy_reference(config):
+    """The fused single-pass engine reproduces the two-walk legacy path."""
+    service = _build(config, workers=1)
+    service.bootstrap(0)
+    targets = list(service._scan_pool)
+    scanner = service.scanner
+
+    for day in (0, 15):
+        before = scanner.probes_sent
+        legacy_results, legacy_udp = scanner.scan_all_protocols_legacy(
+            targets, day, "www.google.com"
+        )
+        legacy_probes = scanner.probes_sent - before
+        engine = ScanEngine(scanner, workers=1, chunk_size=CHUNK_SIZE)
+        before = scanner.probes_sent
+        results, udp = engine.scan_all_protocols(targets, day, "www.google.com")
+        assert scanner.probes_sent - before == legacy_probes
+
+        for protocol in (Protocol.ICMP, Protocol.TCP80, Protocol.TCP443,
+                         Protocol.UDP443):
+            assert results[protocol].responders == legacy_results[protocol].responders
+            assert results[protocol].targets == legacy_results[protocol].targets
+        assert udp.responders == legacy_udp.responders
+        assert udp.responses == legacy_udp.responses
+        assert udp.qname == legacy_udp.qname
+
+
+def test_udp53_ground_truth_not_rewalked(config, monkeypatch):
+    """The fused pass answers UDP/53 from the same probe_batch walk."""
+    service = _build(config, workers=1)
+    service.bootstrap(0)
+    targets = list(service._scan_pool)
+    scanner = service.scanner
+
+    calls = {"probe_batch": 0, "scan_udp53": 0}
+    original = scanner._internet.probe_batch
+
+    def counting_probe_batch(*args, **kwargs):
+        calls["probe_batch"] += 1
+        return original(*args, **kwargs)
+
+    monkeypatch.setattr(scanner._internet, "probe_batch", counting_probe_batch)
+    monkeypatch.setattr(
+        scanner, "scan_udp53",
+        lambda *a, **k: pytest.fail("engine must not re-walk via scan_udp53"),
+    )
+    engine = ScanEngine(scanner, workers=1, chunk_size=CHUNK_SIZE)
+    results, udp = engine.scan_all_protocols(targets, 0, "www.google.com")
+    expected_chunks = -(-len(targets) // CHUNK_SIZE)
+    assert calls["probe_batch"] == expected_chunks
+    assert udp.responders, "fused pass still finds UDP/53 responders"

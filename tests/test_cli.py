@@ -167,6 +167,24 @@ class TestRuntimeFlags:
             == (outdir / "responsive.txt").read_text()
         )
 
+    def test_scan_workers_flag_is_output_invisible(self, tmp_path, capsys):
+        """--scan-workers shards the probe stage without changing one bit."""
+        summaries = {}
+        for workers in ("1", "3"):
+            outdir = tmp_path / f"w{workers}"
+            assert main([
+                "simulate", "--preset", "small", "--seed", "3",
+                "--days", "40", "--interval", "10",
+                "--scan-workers", workers,
+                "-o", str(outdir),
+            ]) == 0
+            capsys.readouterr()
+            summaries[workers] = (
+                json.loads((outdir / "summary.json").read_text()),
+                (outdir / "responsive.txt").read_text(),
+            )
+        assert summaries["1"] == summaries["3"]
+
     def test_resume_rejects_corrupted_checkpoint(self, tmp_path):
         from repro.runtime import CheckpointError
 
