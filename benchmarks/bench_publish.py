@@ -1,0 +1,209 @@
+"""Publication bandwidth benchmark (standalone, CI-friendly).
+
+Builds a snapshot store from a real pipeline run, then replays a
+30-day consumer against the (port-free) serving app twice:
+
+* **naive** — re-downloads the manifest and every artifact in full on
+  every poll; no conditional requests, no deltas.
+* **delta+304** — downloads the full set once, then fetches only the
+  delta document for each new snapshot and answers repeat polls with
+  conditional requests (304 Not Modified).  Every applied delta is
+  digest-verified against the manifest.
+
+Both consumers poll the same number of times per day and both accept
+gzip, so the measured ratio isolates the delta + conditional-request
+machinery.  Body bytes are counted as they would cross the wire
+(post-compression).  Records the result into
+``results/BENCH_publish_bandwidth.json`` via ``_perf.record_bench_time``.
+
+Runs without pytest so the CI perf-smoke job can call it directly::
+
+    PYTHONPATH=src python benchmarks/bench_publish.py \
+        --scans 30 --check-baseline benchmarks/baselines/publish_bandwidth_small.json
+
+With ``--check-baseline`` the script exits non-zero when the measured
+bandwidth ratio falls below ``min_ratio`` from the baseline file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gzip
+import json
+import pathlib
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+from _perf import record_bench_time
+
+from repro.hitlist import HitlistService
+from repro.obs.clock import FakeClock
+from repro.obs.metrics import MetricsRegistry
+from repro.publish.delta import apply_delta, delta_from_json
+from repro.publish.server import PublishApp
+from repro.publish.store import SnapshotStore
+from repro.simnet import build_internet, small_config
+
+
+def build_store(store_dir: str, scans: int) -> SnapshotStore:
+    """Run the small pipeline with daily scans, publishing each one."""
+    config = small_config()
+    service = HitlistService(build_internet(config), config)
+    service.run(list(range(scans)), publish_dir=store_dir)
+    return SnapshotStore(store_dir)
+
+
+class Consumer:
+    """Counts wire (body) bytes of every request it makes."""
+
+    def __init__(self, app: PublishApp, gzip_ok: bool = True) -> None:
+        self.app = app
+        self.wire_bytes = 0
+        self.requests = 0
+        self.not_modified = 0
+        self._accept = {"Accept-Encoding": "gzip"} if gzip_ok else {}
+
+    def get(self, target: str, conditional_etag: str = None):
+        headers = dict(self._accept)
+        if conditional_etag is not None:
+            headers["If-None-Match"] = conditional_etag
+        response = self.app.handle("GET", target, headers)
+        self.wire_bytes += len(response.body)
+        self.requests += 1
+        if response.status == 304:
+            self.not_modified += 1
+        return response
+
+    def body_text(self, response) -> str:
+        body = response.body
+        if response.headers.get("Content-Encoding") == "gzip":
+            body = gzip.decompress(body)
+        return body.decode("utf-8")
+
+
+def naive_sync(app: PublishApp, snapshot_ids, polls_per_day: int) -> Consumer:
+    """Full re-download of manifest + every artifact on every poll."""
+    consumer = Consumer(app)
+    for snapshot_id in snapshot_ids:
+        manifest = app.store.manifest(snapshot_id)
+        for _poll in range(polls_per_day):
+            consumer.get(f"/v1/snapshots/{snapshot_id}")
+            for name in sorted(manifest.artifacts):
+                consumer.get(f"/v1/snapshots/{snapshot_id}/{name}")
+    return consumer
+
+
+def delta_sync(app: PublishApp, snapshot_ids, polls_per_day: int) -> Consumer:
+    """One full bootstrap, then deltas + conditional 304 polls."""
+    consumer = Consumer(app)
+    artifacts = {}
+    previous = None
+    for snapshot_id in snapshot_ids:
+        manifest_response = consumer.get(f"/v1/snapshots/{snapshot_id}")
+        etag = manifest_response.headers["ETag"]
+        manifest = json.loads(consumer.body_text(manifest_response))
+        if previous is None:
+            for name in sorted(manifest["artifacts"]):
+                response = consumer.get(f"/v1/snapshots/{snapshot_id}/{name}")
+                artifacts[name] = consumer.body_text(response)
+        else:
+            response = consumer.get(f"/v1/delta/{previous}/{snapshot_id}")
+            delta = delta_from_json(consumer.body_text(response))
+            artifacts = apply_delta(artifacts, delta)  # digest-verified
+        for name, entry in manifest["artifacts"].items():
+            digest = app.store.manifest(snapshot_id).digest_of(name)
+            assert entry["sha256"] == digest
+        for _poll in range(polls_per_day - 1):
+            repoll = consumer.get(
+                f"/v1/snapshots/{snapshot_id}", conditional_etag=etag
+            )
+            assert repoll.status == 304, repoll.status
+        previous = snapshot_id
+    # the incrementally maintained state must equal the head snapshot
+    head = snapshot_ids[-1]
+    for name in artifacts:
+        assert artifacts[name] == app.store.read_artifact(head, name)
+    return consumer
+
+
+def run_once(scans: int, polls_per_day: int) -> dict:
+    with tempfile.TemporaryDirectory(prefix="bench-publish-") as tmp:
+        start = time.perf_counter()
+        store = build_store(str(pathlib.Path(tmp) / "store"), scans)
+        build_wall = time.perf_counter() - start
+        snapshot_ids = store.snapshot_ids()
+        app = PublishApp(
+            store, metrics=MetricsRegistry(),
+            clock=FakeClock(auto_advance=0.001),
+            rate=1e9, burst=1e9,  # measuring bytes, not admission
+        )
+        start = time.perf_counter()
+        naive = naive_sync(app, snapshot_ids, polls_per_day)
+        smart = delta_sync(app, snapshot_ids, polls_per_day)
+        serve_wall = time.perf_counter() - start
+    ratio = naive.wire_bytes / smart.wire_bytes
+    return {
+        "scans": scans,
+        "polls_per_day": polls_per_day,
+        "naive_bytes": naive.wire_bytes,
+        "delta_bytes": smart.wire_bytes,
+        "ratio": ratio,
+        "not_modified": smart.not_modified,
+        "build_seconds": build_wall,
+        "serve_seconds": serve_wall,
+    }
+
+
+def check_baseline(path: pathlib.Path, ratio: float) -> int:
+    baseline = json.loads(path.read_text())
+    floor = baseline["min_ratio"]
+    if ratio < floor:
+        print(
+            f"BANDWIDTH REGRESSION: delta+304 saves only {ratio:.1f}x "
+            f"vs the naive consumer; baseline requires >= {floor:.1f}x",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"bandwidth budget OK: {ratio:.1f}x >= {floor:.1f}x")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scans", type=int, default=30,
+        help="daily pipeline scans to publish (default: 30)",
+    )
+    parser.add_argument(
+        "--polls-per-day", type=int, default=4,
+        help="consumer polls per day; repeats answer 304 (default: 4)",
+    )
+    parser.add_argument(
+        "--check-baseline", type=pathlib.Path, default=None,
+        help="baseline JSON ({min_ratio}); exit 1 when the ratio dips below",
+    )
+    args = parser.parse_args(argv)
+
+    result = run_once(args.scans, args.polls_per_day)
+    print(
+        f"publish_bandwidth: {result['scans']} snapshots, "
+        f"{result['polls_per_day']} polls/day: naive "
+        f"{result['naive_bytes']:,} B vs delta+304 "
+        f"{result['delta_bytes']:,} B -> {result['ratio']:.1f}x reduction "
+        f"({result['not_modified']} conditional 304s)"
+    )
+    record_bench_time(
+        "publish_bandwidth",
+        result["build_seconds"] + result["serve_seconds"],
+        scenario=f"small-{args.scans}d",
+        extra=result,
+    )
+    if args.check_baseline is not None:
+        return check_baseline(args.check_baseline, result["ratio"])
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,6 +7,8 @@ Subcommands mirror how the paper's artefacts are used:
 * ``evaluate`` — additionally run the Sec. 6 new-source evaluation;
 * ``generate`` — run one target generation algorithm over a seed file;
 * ``aggregate`` — aggregate a prefix list (drop nested, merge siblings);
+* ``serve`` — serve a publication snapshot store (``--publish-dir``)
+  over HTTP: full artifacts, deltas, prefix/ASN queries, ``/metrics``;
 * ``config`` — dump a scenario configuration as JSON for editing.
 
 Run ``python -m repro.cli --help`` for details.
@@ -99,11 +101,13 @@ def _run_pipeline(args: argparse.Namespace):
     )
     if checkpoint_dir:
         pathlib.Path(checkpoint_dir).mkdir(parents=True, exist_ok=True)
+    publish_dir = getattr(args, "publish_dir", None)
     if resume_path:
         # config, settings and fault plan come from the checkpoint
         service = HitlistService.resume(resume_path)
         history = service.run(
-            checkpoint_every=checkpoint_every, checkpoint_path=checkpoint_dir
+            checkpoint_every=checkpoint_every, checkpoint_path=checkpoint_dir,
+            publish_dir=publish_dir,
         )
         return service.config, service.internet, history, service
     config = _resolve_config(args)
@@ -120,6 +124,7 @@ def _run_pipeline(args: argparse.Namespace):
         _scan_days(args, config),
         checkpoint_every=checkpoint_every,
         checkpoint_path=checkpoint_dir,
+        publish_dir=publish_dir,
     )
     return config, internet, history, service
 
@@ -265,6 +270,29 @@ def cmd_describe(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.obs.metrics import MetricsRegistry
+    from repro.publish.server import serve
+
+    metrics = MetricsRegistry()
+    server, _app = serve(
+        args.store, host=args.host, port=args.port,
+        rate=args.rate, burst=args.burst, metrics=metrics,
+    )
+    host, port = server.server_address[:2]
+    if args.port_file:
+        pathlib.Path(args.port_file).write_text(f"{port}\n")
+    print(f"serving snapshot store {args.store} on http://{host}:{port}/ "
+          f"(rate={args.rate}/s, burst={args.burst})", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
 def cmd_config(args: argparse.Namespace) -> int:
     config = _resolve_config(args)
     if args.output == "-":
@@ -310,6 +338,10 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--resume", dest="resume",
                        help="resume an interrupted run from a checkpoint "
                             "file or directory (ignores world/schedule flags)")
+        p.add_argument("--publish-dir", dest="publish_dir", metavar="DIR",
+                       help="commit each scan's publication set to a "
+                            "versioned snapshot store at DIR (serve it "
+                            "with 'repro-cli serve')")
         p.add_argument("--metrics-json", dest="metrics_json", metavar="PATH",
                        help="write the run's metrics (deterministic view, "
                             "canonical JSON) to PATH")
@@ -356,6 +388,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_desc.add_argument("--config", help="JSON scenario file (overrides preset)")
     p_desc.add_argument("--seed", type=int)
     p_desc.set_defaults(func=cmd_describe)
+
+    p_srv = sub.add_parser("serve",
+                           help="serve a publication snapshot store over HTTP")
+    p_srv.add_argument("--store", default="publish-store",
+                       help="snapshot store directory (default: publish-store)")
+    p_srv.add_argument("--host", default="127.0.0.1")
+    p_srv.add_argument("--port", type=int, default=8064,
+                       help="TCP port (0 binds an ephemeral port)")
+    p_srv.add_argument("--rate", type=float, default=50.0,
+                       help="rate-limit tokens per second per client")
+    p_srv.add_argument("--burst", type=float, default=100.0,
+                       help="rate-limit burst size per client")
+    p_srv.add_argument("--port-file", dest="port_file", metavar="PATH",
+                       help="write the bound port number to PATH (useful "
+                            "with --port 0)")
+    p_srv.set_defaults(func=cmd_serve)
 
     p_cfg = sub.add_parser("config", help="dump a scenario config as JSON")
     p_cfg.add_argument("--preset", choices=("small", "default"), default="small")

@@ -8,7 +8,7 @@ outputs are directly exchangeable.
 
 from __future__ import annotations
 
-from typing import IO, Iterable, List, Set
+from typing import IO, Dict, Iterable, List, Mapping, Set
 
 from repro.hitlist.service import HitlistHistory
 from repro.net.address import format_ipv6, parse_ipv6
@@ -45,25 +45,48 @@ def write_aliased_prefixes(stream: IO[str], prefixes: Iterable[IPv6Prefix]) -> i
 
 
 def read_aliased_prefixes(stream: IO[str]) -> List[IPv6Prefix]:
-    """Parse a CIDR-per-line aliased prefix file."""
-    prefixes = []
+    """Parse a CIDR-per-line aliased prefix file.
+
+    Returns the prefixes sorted and deduplicated — the same
+    normalization :func:`write_aliased_prefixes` applies — so a
+    write/read round-trip is a fixed point even for hand-edited files
+    with repeated or shuffled lines.
+    """
+    prefixes: Set[IPv6Prefix] = set()
     for line in stream:
         line = line.strip()
         if line and not line.startswith("#"):
-            prefixes.append(IPv6Prefix.from_string(line))
-    return prefixes
+            prefixes.add(IPv6Prefix.from_string(line))
+    return sorted(prefixes)
 
 
-def publish(history: HitlistHistory, streams: dict) -> dict:
+#: Stream names :func:`publish` recognizes besides the protocol labels.
+_SPECIAL_STREAMS = ("responsive", "aliased")
+
+
+def publish(history: HitlistHistory, streams: Mapping[str, IO[str]]) -> Dict[str, int]:
     """Write the service's publication set from a finished run.
 
-    ``streams`` maps names to writable text streams; recognized names:
-    ``responsive`` (cleaned union), one per protocol label (e.g.
-    ``ICMP``, ``UDP/53``), and ``aliased``.  Returns per-name line
-    counts.
+    ``streams`` maps publication names to writable text streams.  The
+    recognized names are:
+
+    * ``responsive`` — the cleaned union of all responsive addresses;
+    * ``aliased`` — the detected aliased prefixes, CIDR per line;
+    * one per protocol label — ``ICMP``, ``TCP/80``, ``TCP/443``,
+      ``UDP/53``, ``UDP/443`` — the cleaned per-protocol responder list.
+
+    Any other name raises :class:`ValueError` before a single stream is
+    written.  Returns the per-name line counts.
     """
+    recognized = _SPECIAL_STREAMS + tuple(p.label for p in ALL_PROTOCOLS)
+    unknown = sorted(set(streams) - set(recognized))
+    if unknown:
+        raise ValueError(
+            f"unknown publication stream(s) {unknown}; "
+            f"recognized names are {sorted(recognized)}"
+        )
     final = history.final
-    written = {}
+    written: Dict[str, int] = {}
     for name, stream in streams.items():
         if name == "responsive":
             written[name] = write_address_list(stream, final.cleaned_any())
@@ -72,9 +95,7 @@ def publish(history: HitlistHistory, streams: dict) -> dict:
                 stream, (alias.prefix for alias in final.aliased_prefixes)
             )
         else:
-            protocol = next((p for p in ALL_PROTOCOLS if p.label == name), None)
-            if protocol is None:
-                raise ValueError(f"unknown publication stream: {name}")
+            protocol = next(p for p in ALL_PROTOCOLS if p.label == name)
             written[name] = write_address_list(
                 stream, final.cleaned_responders(protocol)
             )

@@ -660,6 +660,7 @@ class HitlistService:
         scan_days: Optional[Sequence[int]] = None,
         checkpoint_every: Optional[int] = None,
         checkpoint_path: Optional[str] = None,
+        publish_dir: Optional[str] = None,
     ) -> HitlistHistory:
         """Run the whole schedule and return the recorded history.
 
@@ -670,6 +671,13 @@ class HitlistService:
         uninterrupted run.  ``checkpoint_path`` may name a file
         (atomically overwritten) or an existing directory (one
         ``checkpoint-dayNNNNN.ckpt`` per checkpointed scan).
+
+        With ``publish_dir`` each completed scan's publication set is
+        committed to a :class:`repro.publish.store.SnapshotStore` at
+        that directory.  Commits are content-addressed and idempotent,
+        so a kill-and-resume run re-commits already-published scans as
+        byte-identical no-ops; the directory rides in checkpoints like
+        the checkpoint path itself.
 
         On a service returned by :meth:`resume`, call ``run()`` with no
         ``scan_days`` to continue the stored schedule; the bootstrap is
@@ -691,6 +699,9 @@ class HitlistService:
             if checkpoint_path is None:
                 stored = schedule.get("checkpoint_path")
                 checkpoint_path = str(stored) if stored is not None else None
+            if publish_dir is None:
+                stored = schedule.get("publish_dir")
+                publish_dir = str(stored) if stored is not None else None
         else:
             if scan_days is None:
                 scan_days = default_scan_days(self.config.final_day)
@@ -700,6 +711,13 @@ class HitlistService:
             retain_pending = sorted(self.settings.retain_days)
             if scan_days:
                 self.bootstrap(scan_days[0])
+        publish_store = None
+        if publish_dir is not None:
+            # imported lazily: repro.publish builds on hitlist.export,
+            # which itself imports from this module
+            from repro.publish.store import SnapshotStore
+
+            publish_store = SnapshotStore(publish_dir, metrics=self.metrics)
         try:
             for index in range(start_index, len(scan_days)):
                 day = scan_days[index]
@@ -710,6 +728,9 @@ class HitlistService:
                     while retain_pending and day >= retain_pending[0]:
                         self._retain(day)
                         retain_pending.pop(0)
+                    if publish_store is not None:
+                        with self.spans.span("publish", day=day):
+                            self._commit_publication(publish_store, day)
                 prev_day = day
                 if (
                     checkpoint_every
@@ -718,7 +739,7 @@ class HitlistService:
                 ):
                     self._write_checkpoint(
                         checkpoint_path, scan_days, index + 1, prev_day,
-                        retain_pending, checkpoint_every,
+                        retain_pending, checkpoint_every, publish_dir,
                     )
         finally:
             # the worker pool re-opens lazily if the service runs again
@@ -736,6 +757,7 @@ class HitlistService:
         prev_day: int,
         retain_pending: Sequence[int],
         checkpoint_every: Optional[int],
+        publish_dir: Optional[str] = None,
     ) -> str:
         from repro.runtime.checkpoint import checkpoint_service
 
@@ -749,10 +771,33 @@ class HitlistService:
                 "retain_pending": list(retain_pending),
                 "checkpoint_every": checkpoint_every,
                 "checkpoint_path": path,
+                "publish_dir": publish_dir,
             },
         )
         self._m_ckpt_write.observe(self.clock.now() - start)
         return target
+
+    def _commit_publication(self, store, day: int):
+        """Commit the just-finished scan's publication set to ``store``.
+
+        The artifacts mirror what :func:`repro.hitlist.export.publish`
+        writes (cleaned union, per-protocol lists, aliased prefixes)
+        plus an origin-AS map from the day's RIB snapshot.  The commit
+        is a byte-identical no-op when the snapshot already exists, so
+        resumed runs republish safely.
+        """
+        from repro.publish.store import publication_artifacts
+
+        stash = getattr(self, "_last_scan_full", None)
+        if stash is None or stash[0] != day:
+            return None
+        _day, responders, injected = stash
+        rib = self.internet.routing.snapshot_at(day)
+        artifacts = publication_artifacts(
+            responders, injected, self.apd.aliased_prefixes,
+            origin_as=rib.origin_as,
+        )
+        return store.commit(day, artifacts)
 
     @classmethod
     def resume(

@@ -1,0 +1,211 @@
+"""Line-level delta encoding between publication snapshots.
+
+Publication artifacts are sorted, deduplicated line sets (addresses,
+CIDR prefixes, ``address asn`` pairs), so the delta between two
+snapshots is simply the added and removed lines per artifact — tiny for
+the day-to-day churn the hitlist actually exhibits.  A delta document
+also carries the base and target digests of every artifact, and the
+applier refuses to produce output whose digest does not match, so a
+consumer reconstructing a snapshot from a base plus a delta chain ends
+with byte-verified artifacts or an error — never silent corruption.
+
+Document shape (canonical JSON)::
+
+    {"format": "repro-delta-v1",
+     "from": <base snapshot id>, "to": <target snapshot id>,
+     "artifacts": {name: {"added": [...], "removed": [...],
+                          "base_sha256": ..., "target_sha256": ...}}}
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Mapping, Optional
+
+from repro.net.address import parse_ipv6
+from repro.net.prefix import IPv6Prefix
+from repro.publish.store import SnapshotStore, artifact_digest
+
+DELTA_FORMAT = "repro-delta-v1"
+
+
+class DeltaError(ValueError):
+    """Delta computation or application failed verification."""
+
+
+def _line_sort_key(name: str):
+    """The writer's ordering for an artifact's lines.
+
+    ``write_address_list`` sorts by integer address value and
+    ``write_aliased_prefixes`` by ``(value, length)`` — neither matches
+    plain lexicographic order of the formatted strings, so the applier
+    re-sorts with the same key the writer used.  Digest verification
+    backstops this: a key mismatch can only ever fail loudly.
+    """
+    if name == "aliased":
+        def key(line: str):
+            prefix = IPv6Prefix.from_string(line)
+            return (prefix.value, prefix.length)
+    elif name == "origins":
+        def key(line: str):
+            return parse_ipv6(line.split()[0])
+    else:
+        def key(line: str):
+            return parse_ipv6(line)
+    return key
+
+
+def _lines(text: str) -> List[str]:
+    return [line for line in text.splitlines() if line]
+
+
+def compute_delta(store: SnapshotStore, from_id: str, to_id: str) -> Dict[str, object]:
+    """The delta document transforming snapshot ``from_id`` into ``to_id``."""
+    base = store.manifest(from_id)
+    target = store.manifest(to_id)
+    artifacts: Dict[str, Dict[str, object]] = {}
+    for name in sorted(set(base.artifacts) | set(target.artifacts)):
+        base_text = (
+            store.read_artifact(from_id, name) if name in base.artifacts else ""
+        )
+        target_text = (
+            store.read_artifact(to_id, name) if name in target.artifacts else ""
+        )
+        base_lines = set(_lines(base_text))
+        target_lines = set(_lines(target_text))
+        key = _line_sort_key(name)
+        artifacts[name] = {
+            "added": sorted(target_lines - base_lines, key=key),
+            "removed": sorted(base_lines - target_lines, key=key),
+            "base_sha256": artifact_digest(base_text),
+            "target_sha256": artifact_digest(target_text),
+        }
+    return {
+        "format": DELTA_FORMAT,
+        "from": from_id,
+        "to": to_id,
+        "artifacts": artifacts,
+    }
+
+
+def apply_delta(
+    base_artifacts: Mapping[str, str], delta: Mapping[str, object]
+) -> Dict[str, str]:
+    """Apply a delta document to full base artifact texts.
+
+    Every artifact's base digest is checked before, and its target
+    digest after, application; any mismatch raises :class:`DeltaError`.
+    """
+    if delta.get("format") != DELTA_FORMAT:
+        raise DeltaError(f"unsupported delta format {delta.get('format')!r}")
+    out: Dict[str, str] = {}
+    for name, entry in dict(delta["artifacts"]).items():  # type: ignore[arg-type]
+        base_text = base_artifacts.get(name, "")
+        if artifact_digest(base_text) != entry["base_sha256"]:
+            raise DeltaError(
+                f"artifact {name!r}: base digest mismatch — the delta does "
+                f"not apply to this snapshot"
+            )
+        lines = set(_lines(base_text))
+        removed = set(entry["removed"])
+        missing = removed - lines
+        if missing:
+            raise DeltaError(
+                f"artifact {name!r}: delta removes {len(missing)} line(s) "
+                f"absent from the base"
+            )
+        lines -= removed
+        lines |= set(entry["added"])
+        text = "".join(
+            line + "\n" for line in sorted(lines, key=_line_sort_key(name))
+        )
+        if artifact_digest(text) != entry["target_sha256"]:
+            raise DeltaError(
+                f"artifact {name!r}: reconstructed content does not match "
+                f"the target digest"
+            )
+        out[name] = text
+    return out
+
+
+def delta_chain(store: SnapshotStore, from_id: str, to_id: str) -> List[str]:
+    """Snapshot ids on the parent chain from ``from_id`` to ``to_id``.
+
+    Returns ``[from_id, ..., to_id]`` walking parent links backwards
+    from the target; raises :class:`DeltaError` when ``from_id`` is not
+    an ancestor of ``to_id``.
+    """
+    chain = [to_id]
+    current: Optional[str] = to_id
+    while current != from_id:
+        parent = store.manifest(current).parent
+        if parent is None:
+            raise DeltaError(
+                f"snapshot {from_id} is not an ancestor of {to_id}"
+            )
+        chain.append(parent)
+        current = parent
+    chain.reverse()
+    return chain
+
+
+def reconstruct_artifacts(
+    store: SnapshotStore, target_id: str, base_id: Optional[str] = None
+) -> Dict[str, str]:
+    """Rebuild a snapshot's artifacts from a base plus its delta chain.
+
+    With ``base_id`` the base's full artifacts are read from the store
+    and each hop's delta is computed and applied in turn (every hop
+    digest-verified).  Without a base the chain starts at the root
+    snapshot.  The result is verified against the target manifest.
+    """
+    target = store.manifest(target_id)
+    if base_id is None:
+        base_id = _root_of(store, target_id)
+    chain = delta_chain(store, base_id, target_id)
+    artifacts = {
+        name: store.read_artifact(base_id, name)
+        for name in store.manifest(base_id).artifacts
+    }
+    for previous, current in zip(chain, chain[1:]):
+        artifacts = apply_delta(artifacts, compute_delta(store, previous, current))
+    for name in target.artifacts:
+        if artifact_digest(artifacts.get(name, "")) != target.digest_of(name):
+            raise DeltaError(
+                f"reconstruction of {target_id} produced a bad digest for "
+                f"artifact {name!r}"
+            )
+    return artifacts
+
+
+def _root_of(store: SnapshotStore, snapshot_id: str) -> str:
+    current = snapshot_id
+    while True:
+        parent = store.manifest(current).parent
+        if parent is None:
+            return current
+        current = parent
+
+
+def delta_to_json(delta: Mapping[str, object]) -> str:
+    """Canonical JSON rendering of a delta document."""
+    return json.dumps(delta, indent=2, sort_keys=True) + "\n"
+
+
+def delta_from_json(text: str) -> Dict[str, object]:
+    """Parse a delta document received off the wire.
+
+    Validates the format tag and the top-level shape so a consumer fails
+    fast on garbage instead of deep inside :func:`apply_delta`.
+    """
+    try:
+        delta = json.loads(text)
+    except ValueError as error:
+        raise DeltaError(f"delta document is not valid JSON: {error}") from None
+    if not isinstance(delta, dict) or delta.get("format") != DELTA_FORMAT:
+        raise DeltaError(
+            f"unsupported delta format {delta.get('format') if isinstance(delta, dict) else None!r}"
+        )
+    if not isinstance(delta.get("artifacts"), dict):
+        raise DeltaError("delta document has no artifacts map")
+    return delta

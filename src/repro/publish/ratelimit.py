@@ -1,0 +1,78 @@
+"""Deterministic token-bucket rate limiting for the serving layer.
+
+One bucket per client key (the server uses the client address), refilled
+continuously at ``rate`` tokens per second up to ``burst``.  Time comes
+from an injectable :class:`repro.obs.clock.Clock`, so tests drive the
+limiter with a :class:`~repro.obs.clock.FakeClock` and every decision —
+including the ``Retry-After`` hint — is exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Tuple
+
+from repro.obs.clock import Clock, MonotonicClock
+
+
+class TokenBucket:
+    """Classic token bucket: ``allow(key)`` spends one token or refuses.
+
+    >>> from repro.obs.clock import FakeClock
+    >>> clock = FakeClock()
+    >>> bucket = TokenBucket(rate=1.0, burst=2, clock=clock)
+    >>> bucket.allow("c"), bucket.allow("c"), bucket.allow("c")
+    ((True, 0.0), (True, 0.0), (False, 1.0))
+    >>> clock.advance(1.0)
+    >>> bucket.allow("c")
+    (True, 0.0)
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        clock: Optional[Clock] = None,
+        max_clients: int = 10_000,
+    ) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be > 0 tokens/s, got {rate}")
+        if burst < 1:
+            raise ValueError(f"burst must allow at least one request, got {burst}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock: Clock = clock if clock is not None else MonotonicClock()
+        #: key -> (tokens, last refill timestamp)
+        self._buckets: Dict[str, Tuple[float, float]] = {}
+        self._max_clients = max_clients
+
+    def allow(self, key: str) -> Tuple[bool, float]:
+        """Spend one token for ``key``.
+
+        Returns ``(allowed, retry_after_seconds)``; ``retry_after`` is
+        0.0 when allowed, else the exact time until one token refills.
+        """
+        now = self._clock.now()
+        tokens, stamp = self._buckets.get(key, (self.burst, now))
+        tokens = min(self.burst, tokens + (now - stamp) * self.rate)
+        if tokens >= 1.0:
+            self._record(key, tokens - 1.0, now)
+            return True, 0.0
+        self._record(key, tokens, now)
+        return False, (1.0 - tokens) / self.rate
+
+    def _record(self, key: str, tokens: float, now: float) -> None:
+        # bound memory under address-diverse traffic: full buckets carry
+        # no state worth keeping, so evict them first when at capacity
+        if key not in self._buckets and len(self._buckets) >= self._max_clients:
+            for stale_key, (stale_tokens, stale_stamp) in list(self._buckets.items()):
+                refilled = min(
+                    self.burst, stale_tokens + (now - stale_stamp) * self.rate
+                )
+                if refilled >= self.burst:
+                    del self._buckets[stale_key]
+        self._buckets[key] = (tokens, now)
+
+    def retry_after_header(self, retry_after: float) -> str:
+        """``Retry-After`` header value: whole seconds, rounded up."""
+        return str(max(1, math.ceil(retry_after)))

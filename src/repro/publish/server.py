@@ -1,0 +1,404 @@
+"""Instrumented HTTP serving layer for a snapshot store.
+
+The heart is :class:`PublishApp`, a socket-free request handler —
+``handle(method, target, headers, client)`` returns a
+:class:`Response` — so every endpoint, cache and rate-limit behavior is
+testable without binding a port, with a
+:class:`~repro.obs.clock.FakeClock` making even ``Retry-After`` values
+exact.  :class:`PublishRequestHandler` bridges the app into the stdlib
+:class:`http.server.ThreadingHTTPServer` for the ``repro serve`` CLI.
+
+Endpoints (all ``GET``):
+
+* ``/v1/snapshots`` — snapshot listing (id, scan day, parent, artifacts)
+* ``/v1/snapshots/<id>`` — one manifest
+* ``/v1/snapshots/<id>/<artifact>`` — a full artifact body
+* ``/v1/latest`` and ``/v1/latest/<artifact>`` — the head snapshot
+* ``/v1/delta/<from>/<to>`` — delta document between two snapshots
+* ``/v1/query?prefix=…&protocol=…&asn=…`` — index query over the head
+* ``/metrics`` — Prometheus text exposition of the serving registry
+
+Full artifacts carry strong ETags (their SHA-256), JSON endpoints a
+digest of their body; ``If-None-Match`` turns either into a 304.
+Bodies ≥ 128 bytes gzip when the client accepts it (fixed ``mtime`` so
+compression is deterministic).  ``/v1`` traffic passes a per-client
+token bucket; a drained bucket answers 429 with ``Retry-After``.
+"""
+
+from __future__ import annotations
+
+import gzip
+import hashlib
+import json
+import threading
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Mapping, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from repro.net.address import AddressError, format_ipv6
+from repro.net.prefix import IPv6Prefix
+from repro.obs.clock import Clock, MonotonicClock
+from repro.obs.export import to_prometheus_text
+from repro.obs.metrics import MetricsRegistry
+from repro.publish.delta import DeltaError, compute_delta, delta_to_json
+from repro.publish.index import QueryIndex
+from repro.publish.ratelimit import TokenBucket
+from repro.publish.store import PublishError, SnapshotStore
+
+#: Smallest body worth compressing; below this gzip overhead dominates.
+GZIP_THRESHOLD = 128
+
+#: Hard cap on addresses returned by one /v1/query response.
+QUERY_LIMIT = 10_000
+
+
+@dataclass
+class Response:
+    """One HTTP response: status, headers and the exact body bytes."""
+
+    status: int
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+
+class PublishApp:
+    """Socket-free request core shared by tests and the real server."""
+
+    def __init__(
+        self,
+        store: SnapshotStore,
+        metrics: Optional[MetricsRegistry] = None,
+        clock: Optional[Clock] = None,
+        rate: float = 50.0,
+        burst: float = 100.0,
+        rib=None,
+    ) -> None:
+        self.store = store
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.clock: Clock = clock if clock is not None else MonotonicClock()
+        self.limiter = TokenBucket(rate=rate, burst=burst, clock=self.clock)
+        self._rib = rib
+        self._index: Optional[QueryIndex] = None
+        self._index_lock = threading.Lock()
+        self._m_requests = self.metrics.counter(
+            "repro_serve_requests_total",
+            "HTTP requests served, by endpoint and status code.",
+            ("endpoint", "status"), volatile=True)
+        self._m_bytes = self.metrics.counter(
+            "repro_serve_bytes_sent_total",
+            "Response body bytes sent, by endpoint.",
+            ("endpoint",), volatile=True)
+        self._m_cache_hits = self.metrics.counter(
+            "repro_serve_cache_hits_total",
+            "Conditional requests answered 304 Not Modified, by endpoint.",
+            ("endpoint",), volatile=True)
+        self._m_ratelimited = self.metrics.counter(
+            "repro_serve_ratelimit_drops_total",
+            "Requests refused with 429 by the token bucket.", volatile=True)
+        self._m_seconds = self.metrics.histogram(
+            "repro_serve_request_seconds",
+            "Wall-clock request handling duration, by endpoint.",
+            ("endpoint",), volatile=True)
+
+    # ------------------------------------------------------------------
+    # entry point
+
+    def handle(
+        self,
+        method: str,
+        target: str,
+        headers: Optional[Mapping[str, str]] = None,
+        client: str = "local",
+    ) -> Response:
+        """Serve one request; never raises — errors become JSON bodies."""
+        headers = _lower_keys(headers or {})
+        start = self.clock.now()
+        split = urlsplit(target)
+        path = split.path.rstrip("/") or "/"
+        endpoint, handler = self._route(path)
+        if method not in ("GET", "HEAD"):
+            response = self._error(405, f"method {method} not allowed")
+            response.headers["Allow"] = "GET, HEAD"
+        elif handler is None:
+            response = self._error(404, f"no such endpoint: {path}")
+        else:
+            if endpoint != "metrics":
+                allowed, retry_after = self.limiter.allow(client)
+                if not allowed:
+                    self._m_ratelimited.inc()
+                    response = self._error(429, "rate limit exceeded")
+                    response.headers["Retry-After"] = (
+                        self.limiter.retry_after_header(retry_after)
+                    )
+                    return self._finish(
+                        endpoint, response, headers, method, start
+                    )
+            try:
+                response = handler(path, parse_qs(split.query))
+            except (PublishError, DeltaError) as error:
+                response = self._error(404, str(error))
+            except ValueError as error:
+                response = self._error(400, str(error))
+        return self._finish(endpoint, response, headers, method, start)
+
+    def _route(self, path: str):
+        if path == "/":
+            return "root", self._handle_root
+        if path == "/metrics":
+            return "metrics", self._handle_metrics
+        if path == "/v1/snapshots":
+            return "snapshots", self._handle_snapshots
+        if path == "/v1/latest":
+            return "latest", self._handle_latest
+        parts = path.strip("/").split("/")
+        if parts[:2] == ["v1", "snapshots"] and len(parts) == 3:
+            return "snapshot", self._handle_snapshot
+        if parts[:2] == ["v1", "snapshots"] and len(parts) == 4:
+            return "artifact", self._handle_artifact
+        if parts[:2] == ["v1", "latest"] and len(parts) == 3:
+            return "artifact", self._handle_latest_artifact
+        if parts[:2] == ["v1", "delta"] and len(parts) == 4:
+            return "delta", self._handle_delta
+        if path == "/v1/query":
+            return "query", self._handle_query
+        return "unknown", None
+
+    def _finish(
+        self,
+        endpoint: str,
+        response: Response,
+        headers: Mapping[str, str],
+        method: str,
+        start: float,
+    ) -> Response:
+        etag = response.headers.get("ETag")
+        if etag is not None and response.status == 200:
+            candidates = headers.get("if-none-match", "")
+            if candidates.strip() == "*" or etag in [
+                token.strip() for token in candidates.split(",")
+            ]:
+                response = Response(
+                    304, {"ETag": etag, "Cache-Control": "no-cache"}, b""
+                )
+                self._m_cache_hits.labels(endpoint=endpoint).inc()
+        if (
+            response.status == 200
+            and len(response.body) >= GZIP_THRESHOLD
+            and "gzip" in headers.get("accept-encoding", "")
+        ):
+            response.body = gzip.compress(response.body, compresslevel=6, mtime=0)
+            response.headers["Content-Encoding"] = "gzip"
+        response.headers.setdefault("Vary", "Accept-Encoding")
+        response.headers["Content-Length"] = str(len(response.body))
+        if method == "HEAD":
+            response = Response(response.status, dict(response.headers), b"")
+        self._m_requests.labels(endpoint=endpoint, status=str(response.status)).inc()
+        self._m_bytes.labels(endpoint=endpoint).inc(len(response.body))
+        self._m_seconds.labels(endpoint=endpoint).observe(
+            max(0.0, self.clock.now() - start)
+        )
+        return response
+
+    # ------------------------------------------------------------------
+    # endpoint handlers
+
+    def _handle_root(self, path: str, query) -> Response:
+        return self._json(200, {
+            "service": "repro-publish",
+            "endpoints": [
+                "/v1/snapshots", "/v1/snapshots/<id>",
+                "/v1/snapshots/<id>/<artifact>", "/v1/latest",
+                "/v1/latest/<artifact>", "/v1/delta/<from>/<to>",
+                "/v1/query?prefix=&protocol=&asn=", "/metrics",
+            ],
+            "head": self.store.head_id(),
+        })
+
+    def _handle_metrics(self, path: str, query) -> Response:
+        body = to_prometheus_text(self.metrics).encode("utf-8")
+        return Response(
+            200, {"Content-Type": "text/plain; version=0.0.4"}, body
+        )
+
+    def _handle_snapshots(self, path: str, query) -> Response:
+        listing = [
+            {
+                "snapshot_id": manifest.snapshot_id,
+                "scan_day": manifest.scan_day,
+                "parent": manifest.parent,
+                "artifacts": sorted(manifest.artifacts),
+            }
+            for manifest in self.store.manifests()
+        ]
+        return self._json(200, {"snapshots": listing, "head": self.store.head_id()})
+
+    def _handle_latest(self, path: str, query) -> Response:
+        head = self.store.head_id()
+        if head is None:
+            return self._error(404, "the store has no snapshots yet")
+        return self._manifest_response(head)
+
+    def _handle_snapshot(self, path: str, query) -> Response:
+        snapshot_id = path.strip("/").split("/")[2]
+        return self._manifest_response(snapshot_id)
+
+    def _manifest_response(self, snapshot_id: str) -> Response:
+        manifest = self.store.manifest(snapshot_id)
+        return self._json(200, manifest.to_dict())
+
+    def _handle_artifact(self, path: str, query) -> Response:
+        _v1, _snapshots, snapshot_id, name = path.strip("/").split("/")
+        return self._artifact_response(snapshot_id, name)
+
+    def _handle_latest_artifact(self, path: str, query) -> Response:
+        head = self.store.head_id()
+        if head is None:
+            return self._error(404, "the store has no snapshots yet")
+        name = path.strip("/").split("/")[2]
+        return self._artifact_response(head, name)
+
+    def _artifact_response(self, snapshot_id: str, name: str) -> Response:
+        manifest = self.store.manifest(snapshot_id)
+        digest = manifest.digest_of(name)
+        body = self.store.read_blob(digest).encode("utf-8")
+        return Response(200, {
+            "Content-Type": "text/plain; charset=utf-8",
+            "ETag": f'"{digest}"',
+            "X-Snapshot-Id": manifest.snapshot_id,
+            "Cache-Control": "no-cache",
+        }, body)
+
+    def _handle_delta(self, path: str, query) -> Response:
+        _v1, _delta, from_id, to_id = path.strip("/").split("/")
+        delta = compute_delta(self.store, from_id, to_id)
+        body = delta_to_json(delta).encode("utf-8")
+        return Response(200, {
+            "Content-Type": "application/json",
+            "ETag": f'"{hashlib.sha256(body).hexdigest()}"',
+            "Cache-Control": "no-cache",
+        }, body)
+
+    def _handle_query(self, path: str, query) -> Response:
+        index = self._current_index()
+        prefix = None
+        if query.get("prefix"):
+            try:
+                prefix = IPv6Prefix.from_string(query["prefix"][0])
+            except AddressError as error:
+                raise ValueError(f"bad prefix: {error}") from None
+        protocol = query["protocol"][0] if query.get("protocol") else None
+        asn = None
+        if query.get("asn"):
+            try:
+                asn = int(query["asn"][0])
+            except ValueError:
+                raise ValueError(f"bad asn: {query['asn'][0]!r}") from None
+        addresses = index.query(prefix=prefix, protocol=protocol, asn=asn)
+        truncated = len(addresses) > QUERY_LIMIT
+        return self._json(200, {
+            "snapshot_id": index.snapshot_id,
+            "scan_day": index.scan_day,
+            "count": len(addresses),
+            "truncated": truncated,
+            "addresses": [
+                format_ipv6(address) for address in addresses[:QUERY_LIMIT]
+            ],
+        })
+
+    def _current_index(self) -> QueryIndex:
+        head = self.store.head_id()
+        if head is None:
+            raise PublishError("the store has no snapshots yet")
+        with self._index_lock:
+            if self._index is None or self._index.snapshot_id != head:
+                self._index = QueryIndex.from_store(
+                    self.store, head, rib=self._rib
+                )
+            return self._index
+
+    # ------------------------------------------------------------------
+
+    def _json(self, status: int, document) -> Response:
+        body = (json.dumps(document, indent=2, sort_keys=True) + "\n").encode("utf-8")
+        headers = {"Content-Type": "application/json"}
+        if status == 200:
+            headers["ETag"] = f'"{hashlib.sha256(body).hexdigest()}"'
+            headers["Cache-Control"] = "no-cache"
+        return Response(status, headers, body)
+
+    def _error(self, status: int, message: str) -> Response:
+        return self._json(status, {"error": message, "status": status})
+
+
+def _lower_keys(headers: Mapping[str, str]) -> Dict[str, str]:
+    return {key.lower(): value for key, value in headers.items()}
+
+
+# ---------------------------------------------------------------------------
+# stdlib HTTP bridge
+
+
+class PublishRequestHandler(BaseHTTPRequestHandler):
+    """Bridges :class:`PublishApp` into ``http.server``."""
+
+    app: PublishApp  # set by make_server
+    protocol_version = "HTTP/1.1"
+
+    def _dispatch(self, method: str) -> None:
+        response = self.app.handle(
+            method, self.path, dict(self.headers.items()),
+            client=self.client_address[0],
+        )
+        self.send_response(response.status)
+        for name, value in sorted(response.headers.items()):
+            self.send_header(name, value)
+        if "Content-Length" not in response.headers:
+            self.send_header("Content-Length", str(len(response.body)))
+        self.end_headers()
+        if response.body:
+            self.wfile.write(response.body)
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        self._dispatch("GET")
+
+    def do_HEAD(self) -> None:  # noqa: N802 - stdlib naming
+        self._dispatch("HEAD")
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        self._dispatch("POST")
+
+    def log_message(self, format: str, *args) -> None:  # pragma: no cover
+        pass  # metrics carry the signal; stderr chatter helps nobody
+
+
+def make_server(
+    app: PublishApp, host: str = "127.0.0.1", port: int = 0
+) -> ThreadingHTTPServer:
+    """A ready-to-serve ``ThreadingHTTPServer`` bound to ``host:port``.
+
+    ``port=0`` binds an ephemeral port; read the actual one from
+    ``server.server_address``.
+    """
+    handler = type("BoundPublishHandler", (PublishRequestHandler,), {"app": app})
+    return ThreadingHTTPServer((host, port), handler)
+
+
+def serve(
+    store_dir: str,
+    host: str = "127.0.0.1",
+    port: int = 8064,
+    rate: float = 50.0,
+    burst: float = 100.0,
+    metrics: Optional[MetricsRegistry] = None,
+) -> Tuple[ThreadingHTTPServer, PublishApp]:
+    """Open a store and return a bound (server, app) pair (not serving yet).
+
+    The caller decides how to run it::
+
+        server, app = serve("publish-store", port=0)
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+    """
+    store = SnapshotStore(store_dir, metrics=metrics)
+    app = PublishApp(store, metrics=metrics, rate=rate, burst=burst)
+    return make_server(app, host=host, port=port), app

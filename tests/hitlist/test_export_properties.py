@@ -1,0 +1,143 @@
+"""Property tests: the publication formats round-trip exactly.
+
+Downstream studies re-parse the files the service publishes, so the
+write/read pairs in :mod:`repro.hitlist.export` must be inverses for
+*any* content — including hand-edited files with comments, blank lines,
+duplicated or shuffled entries.  Hypothesis drives the formats over
+arbitrary address and prefix sets; the publish() tests check that every
+published stream re-parses into the exact set the pipeline holds.
+"""
+
+import io
+import random
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hitlist.export import (
+    publish,
+    read_address_list,
+    read_aliased_prefixes,
+    write_address_list,
+    write_aliased_prefixes,
+)
+from repro.net.address import MAX_ADDRESS
+from repro.net.prefix import IPv6Prefix
+from repro.protocols import ALL_PROTOCOLS
+
+addresses = st.sets(
+    st.integers(min_value=0, max_value=MAX_ADDRESS), max_size=60
+)
+prefixes = st.sets(
+    st.builds(
+        IPv6Prefix,
+        st.integers(min_value=0, max_value=MAX_ADDRESS),
+        st.integers(min_value=0, max_value=128),
+    ),
+    max_size=40,
+)
+junk_lines = st.lists(
+    st.sampled_from(["", "   ", "# comment", "  # indented comment", "#"]),
+    max_size=8,
+)
+
+
+def _shuffled_with_junk(lines, junk, seed):
+    """Interleave payload lines with comments/blanks in random order."""
+    mixed = list(lines) + [line + "\n" for line in junk]
+    random.Random(seed).shuffle(mixed)
+    return "".join(mixed)
+
+
+class TestAddressListProperties:
+    @given(addresses)
+    def test_write_read_identity(self, values):
+        out = io.StringIO()
+        write_address_list(out, values)
+        assert read_address_list(io.StringIO(out.getvalue())) == values
+
+    @given(addresses, junk_lines, st.integers(min_value=0, max_value=2**32))
+    def test_read_survives_comments_blanks_and_shuffling(
+        self, values, junk, seed
+    ):
+        out = io.StringIO()
+        write_address_list(out, values)
+        text = _shuffled_with_junk(
+            out.getvalue().splitlines(keepends=True), junk, seed
+        )
+        assert read_address_list(io.StringIO(text)) == values
+
+    @given(st.lists(st.integers(min_value=0, max_value=MAX_ADDRESS), max_size=60))
+    def test_duplicates_collapse_deterministically(self, values):
+        once = io.StringIO()
+        write_address_list(once, values)
+        twice = io.StringIO()
+        write_address_list(twice, values + values)
+        assert once.getvalue() == twice.getvalue()
+
+
+class TestAliasedPrefixProperties:
+    @given(prefixes)
+    def test_write_read_identity(self, values):
+        out = io.StringIO()
+        write_aliased_prefixes(out, values)
+        assert read_aliased_prefixes(io.StringIO(out.getvalue())) == sorted(values)
+
+    @given(prefixes, junk_lines, st.integers(min_value=0, max_value=2**32))
+    def test_read_normalizes_hand_edited_files(self, values, junk, seed):
+        """Duplicated, shuffled, commented input reads back sorted-unique."""
+        out = io.StringIO()
+        write_aliased_prefixes(out, values)
+        payload = out.getvalue().splitlines(keepends=True)
+        text = _shuffled_with_junk(payload + payload, junk, seed)
+        assert read_aliased_prefixes(io.StringIO(text)) == sorted(values)
+
+    @given(prefixes, st.integers(min_value=0, max_value=2**32))
+    def test_round_trip_is_a_fixed_point(self, values, seed):
+        """read(write(read(x))) == read(x) — regression for the old
+        behavior where read_aliased_prefixes preserved file order and
+        duplicates, so round-tripping a messy file never converged."""
+        out = io.StringIO()
+        write_aliased_prefixes(out, values)
+        payload = out.getvalue().splitlines(keepends=True)
+        messy = _shuffled_with_junk(payload + payload, [], seed)
+        first = read_aliased_prefixes(io.StringIO(messy))
+        rewritten = io.StringIO()
+        write_aliased_prefixes(rewritten, first)
+        second = read_aliased_prefixes(io.StringIO(rewritten.getvalue()))
+        assert second == first
+
+
+class TestPublishReparse:
+    def test_every_stream_reparses_to_the_pipeline_sets(self, short_history):
+        names = ["responsive", "aliased"] + [p.label for p in ALL_PROTOCOLS]
+        streams = {name: io.StringIO() for name in names}
+        written = publish(short_history, streams)
+        final = short_history.final
+
+        reparsed = read_address_list(
+            io.StringIO(streams["responsive"].getvalue())
+        )
+        assert reparsed == set(final.cleaned_any())
+        assert written["responsive"] == len(reparsed)
+
+        aliased = read_aliased_prefixes(
+            io.StringIO(streams["aliased"].getvalue())
+        )
+        assert aliased == sorted(
+            {alias.prefix for alias in final.aliased_prefixes}
+        )
+
+        for protocol in ALL_PROTOCOLS:
+            reparsed = read_address_list(
+                io.StringIO(streams[protocol.label].getvalue())
+            )
+            assert reparsed == set(final.cleaned_responders(protocol)), protocol
+
+    def test_published_files_are_idempotent_under_republish(self, short_history):
+        first = {"responsive": io.StringIO(), "aliased": io.StringIO()}
+        second = {"responsive": io.StringIO(), "aliased": io.StringIO()}
+        publish(short_history, first)
+        publish(short_history, second)
+        for name in first:
+            assert first[name].getvalue() == second[name].getvalue()

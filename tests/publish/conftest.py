@@ -1,0 +1,46 @@
+"""Shared fixtures: a small synthetic snapshot store.
+
+The synthetic store is cheap (no pipeline run) but structurally
+faithful: sorted-unique address artifacts with day-to-day churn, an
+aliased prefix list, and an origins map, committed in scan order as the
+pipeline would.
+"""
+
+import pytest
+
+from repro.net.address import format_ipv6
+from repro.publish.store import SnapshotStore
+
+
+def address_artifact(values):
+    return "".join(format_ipv6(value) + "\n" for value in sorted(set(values)))
+
+
+def day_addresses(day):
+    """A deterministic responsive set with churn between days."""
+    base = {0x2001_0DB8 << 96 | n for n in range(50)}
+    churn_in = {0x2001_0DB8 << 96 | (1000 + day * 7 + n) for n in range(day)}
+    churn_out = {0x2001_0DB8 << 96 | n for n in range(day % 5)}
+    return (base | churn_in) - churn_out
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return SnapshotStore(str(tmp_path / "store"))
+
+
+@pytest.fixture()
+def populated_store(store):
+    """Five snapshots (days 0,2,4,6,8), committed chronologically."""
+    for day in (0, 2, 4, 6, 8):
+        icmp = {a for a in day_addresses(day) if a % 3 != 0}
+        store.commit(day, {
+            "responsive": address_artifact(day_addresses(day)),
+            "icmp": address_artifact(icmp),
+            "aliased": "2001:db8:dead::/48\n" if day >= 4 else "",
+            "origins": "".join(
+                f"{format_ipv6(a)} {64500 + a % 3}\n"
+                for a in sorted(day_addresses(day))
+            ),
+        })
+    return store

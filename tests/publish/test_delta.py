@@ -1,0 +1,96 @@
+"""Delta encoding: round-trips, chain reconstruction, tamper detection."""
+
+import pytest
+
+from repro.publish.store import PublishError
+from repro.publish.delta import (
+    DeltaError,
+    apply_delta,
+    compute_delta,
+    delta_chain,
+    reconstruct_artifacts,
+)
+from tests.publish.conftest import address_artifact, day_addresses
+
+
+def _full_artifacts(store, snapshot_id):
+    return {
+        name: store.read_artifact(snapshot_id, name)
+        for name in store.manifest(snapshot_id).artifacts
+    }
+
+
+class TestComputeApply:
+    def test_round_trip_between_consecutive_snapshots(self, populated_store):
+        ids = populated_store.snapshot_ids()
+        delta = compute_delta(populated_store, ids[0], ids[1])
+        rebuilt = apply_delta(_full_artifacts(populated_store, ids[0]), delta)
+        assert rebuilt == _full_artifacts(populated_store, ids[1])
+
+    def test_delta_is_smaller_than_full_artifact(self, populated_store):
+        ids = populated_store.snapshot_ids()
+        delta = compute_delta(populated_store, ids[-2], ids[-1])
+        entry = delta["artifacts"]["responsive"]
+        changed = len(entry["added"]) + len(entry["removed"])
+        full_lines = populated_store.manifest(ids[-1]).artifacts["responsive"]["lines"]
+        assert changed < full_lines
+
+    def test_apply_to_wrong_base_fails(self, populated_store):
+        ids = populated_store.snapshot_ids()
+        delta = compute_delta(populated_store, ids[0], ids[1])
+        with pytest.raises(DeltaError, match="base digest mismatch"):
+            apply_delta(_full_artifacts(populated_store, ids[2]), delta)
+
+    def test_tampered_delta_fails_target_digest(self, populated_store):
+        ids = populated_store.snapshot_ids()
+        delta = compute_delta(populated_store, ids[0], ids[1])
+        delta["artifacts"]["responsive"]["added"] = list(
+            delta["artifacts"]["responsive"]["added"]
+        ) + ["2001:db8::ffff"]
+        with pytest.raises(DeltaError, match="target digest"):
+            apply_delta(_full_artifacts(populated_store, ids[0]), delta)
+
+    def test_removing_absent_lines_fails(self, populated_store):
+        ids = populated_store.snapshot_ids()
+        delta = compute_delta(populated_store, ids[0], ids[1])
+        delta["artifacts"]["responsive"]["removed"] = ["2001:db8::dead:beef"]
+        with pytest.raises(DeltaError, match="absent from the base"):
+            apply_delta(_full_artifacts(populated_store, ids[0]), delta)
+
+    def test_unsupported_format_rejected(self):
+        with pytest.raises(DeltaError, match="unsupported delta format"):
+            apply_delta({}, {"format": "bogus", "artifacts": {}})
+
+
+class TestChain:
+    def test_chain_walks_parents(self, populated_store):
+        ids = populated_store.snapshot_ids()
+        assert delta_chain(populated_store, ids[0], ids[-1]) == ids
+        assert delta_chain(populated_store, ids[2], ids[2]) == [ids[2]]
+
+    def test_non_ancestor_rejected(self, populated_store):
+        ids = populated_store.snapshot_ids()
+        with pytest.raises(DeltaError, match="not an ancestor"):
+            delta_chain(populated_store, ids[-1], ids[0])
+
+    def test_reconstruct_from_any_base(self, populated_store):
+        ids = populated_store.snapshot_ids()
+        target = _full_artifacts(populated_store, ids[-1])
+        for base in ids[:-1]:
+            assert reconstruct_artifacts(
+                populated_store, ids[-1], base_id=base
+            ) == target
+
+    def test_reconstruct_defaults_to_root(self, populated_store):
+        ids = populated_store.snapshot_ids()
+        assert reconstruct_artifacts(populated_store, ids[-1]) == _full_artifacts(
+            populated_store, ids[-1]
+        )
+
+    def test_reconstruction_detects_corrupted_blob(self, populated_store):
+        ids = populated_store.snapshot_ids()
+        digest = populated_store.manifest(ids[1]).digest_of("responsive")
+        with open(populated_store._blob_path(digest), "w") as handle:
+            handle.write(address_artifact(day_addresses(7)))
+        with pytest.raises(PublishError, match="corrupted"):
+            reconstruct_artifacts(populated_store, ids[-1], base_id=ids[0])

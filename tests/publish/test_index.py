@@ -1,0 +1,100 @@
+"""Query index: prefix containment, protocol slices, ASN slices, aliases."""
+
+import pytest
+
+from repro.net.prefix import IPv6Prefix
+from repro.publish.index import QueryIndex
+from repro.publish.store import PublishError
+from tests.publish.conftest import day_addresses
+
+
+@pytest.fixture()
+def index(populated_store):
+    return QueryIndex.from_store(populated_store)
+
+
+class TestQuery:
+    def test_defaults_to_responsive_union(self, index):
+        assert index.query() == sorted(day_addresses(8))
+
+    def test_prefix_containment(self, index):
+        everything = IPv6Prefix.from_string("2001:db8::/32")
+        assert index.query(prefix=everything) == sorted(day_addresses(8))
+        narrow = IPv6Prefix(sorted(day_addresses(8))[0], 128)
+        assert index.query(prefix=narrow) == [narrow.value]
+        elsewhere = IPv6Prefix.from_string("2620::/32")
+        assert index.query(prefix=elsewhere) == []
+
+    def test_protocol_slice(self, index):
+        icmp = index.query(protocol="icmp")
+        assert icmp == sorted(a for a in day_addresses(8) if a % 3 != 0)
+        assert set(icmp) <= set(index.query())
+
+    def test_unknown_protocol_slice_raises(self, index):
+        with pytest.raises(PublishError, match="unknown protocol slice"):
+            index.query(protocol="gopher")
+
+    def test_asn_slice(self, index):
+        addresses = index.query(asn=64501)
+        assert addresses == sorted(
+            a for a in day_addresses(8) if a % 3 == 1
+        )
+        assert index.query(asn=1) == []
+
+    def test_combined_filters(self, index):
+        prefix = IPv6Prefix.from_string("2001:db8::/32")
+        combined = index.query(prefix=prefix, protocol="icmp", asn=64501)
+        assert combined == sorted(
+            a for a in day_addresses(8) if a % 3 == 1 and a % 3 != 0
+        )
+
+    def test_asn_query_without_origins_raises(self, store):
+        store.commit(0, {"responsive": "::1\n"})
+        index = QueryIndex.from_store(store)
+        assert not index.has_origins
+        with pytest.raises(PublishError, match="ASN queries"):
+            index.query(asn=64500)
+
+
+class TestAliased:
+    def test_covering_prefix_lookup(self, index):
+        inside = IPv6Prefix.from_string("2001:db8:dead::/48").value + 7
+        covering = index.aliased_covering(inside)
+        assert covering == IPv6Prefix.from_string("2001:db8:dead::/48")
+        assert index.aliased_covering(0x2620 << 112) is None
+
+    def test_aliased_within(self, index):
+        parent = IPv6Prefix.from_string("2001:db8::/32")
+        assert index.aliased_within(parent) == [
+            IPv6Prefix.from_string("2001:db8:dead::/48")
+        ]
+        assert index.aliased_within(IPv6Prefix.from_string("2620::/32")) == []
+
+
+class TestConstruction:
+    def test_counts(self, index):
+        counts = index.counts()
+        assert counts["responsive"] == len(day_addresses(8))
+        assert counts["aliased"] == 1
+
+    def test_specific_snapshot(self, populated_store):
+        first = populated_store.snapshot_ids()[0]
+        index = QueryIndex.from_store(populated_store, first)
+        assert index.scan_day == 0
+        assert index.query() == sorted(day_addresses(0))
+
+    def test_empty_store_rejected(self, store):
+        with pytest.raises(PublishError, match="empty store"):
+            QueryIndex.from_store(store)
+
+    def test_rib_fallback_when_no_origins_artifact(self, store):
+        store.commit(0, {"responsive": "::1\n::2\n"})
+
+        class FakeRib:
+            def origin_as(self, address):
+                return 64500 if address == 1 else None
+
+        index = QueryIndex.from_store(store, rib=FakeRib())
+        assert index.query(asn=64500) == [1]
+        assert index.asn_of(1) == 64500
+        assert index.asn_of(2) is None

@@ -1,0 +1,71 @@
+"""Token bucket: deterministic admission and Retry-After under FakeClock."""
+
+import pytest
+
+from repro.obs.clock import FakeClock
+from repro.publish.ratelimit import TokenBucket
+
+
+class TestTokenBucket:
+    def test_burst_then_refusal(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=3, clock=clock)
+        assert [bucket.allow("c")[0] for _ in range(3)] == [True, True, True]
+        allowed, retry_after = bucket.allow("c")
+        assert not allowed
+        assert retry_after == pytest.approx(1.0)
+
+    def test_refill_is_continuous(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=1, clock=clock)
+        assert bucket.allow("c") == (True, 0.0)
+        allowed, retry_after = bucket.allow("c")
+        assert not allowed and retry_after == pytest.approx(0.5)
+        clock.advance(0.25)  # half a token back
+        allowed, retry_after = bucket.allow("c")
+        assert not allowed and retry_after == pytest.approx(0.25)
+        clock.advance(0.25)
+        assert bucket.allow("c") == (True, 0.0)
+
+    def test_tokens_cap_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=100.0, burst=2, clock=clock)
+        clock.advance(3600)
+        results = [bucket.allow("c")[0] for _ in range(3)]
+        assert results == [True, True, False]
+
+    def test_clients_are_independent(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=1, clock=clock)
+        assert bucket.allow("a")[0]
+        assert not bucket.allow("a")[0]
+        assert bucket.allow("b")[0]
+
+    def test_decisions_are_reproducible(self):
+        def trace():
+            clock = FakeClock(auto_advance=0.1)
+            bucket = TokenBucket(rate=3.0, burst=2, clock=clock)
+            return [bucket.allow("c") for _ in range(20)]
+
+        assert trace() == trace()
+
+    def test_retry_after_header_rounds_up(self):
+        bucket = TokenBucket(rate=1.0, burst=1, clock=FakeClock())
+        assert bucket.retry_after_header(0.2) == "1"
+        assert bucket.retry_after_header(1.0) == "1"
+        assert bucket.retry_after_header(1.5) == "2"
+
+    def test_full_buckets_evicted_at_capacity(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=1, clock=clock, max_clients=2)
+        bucket.allow("a")
+        bucket.allow("b")
+        clock.advance(10)  # both refill to full
+        bucket.allow("c")
+        assert len(bucket._buckets) <= 2
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0, burst=1)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1, burst=0)

@@ -1,0 +1,146 @@
+"""Snapshot store: content addressing, idempotency, integrity."""
+
+import hashlib
+import json
+import os
+
+import pytest
+
+from repro.publish.store import (
+    ARTIFACT_NAMES,
+    PublishError,
+    SnapshotStore,
+    artifact_digest,
+    publication_artifacts,
+)
+from repro.protocols import Protocol
+from tests.publish.conftest import address_artifact, day_addresses
+
+
+class TestCommit:
+    def test_commit_returns_manifest_with_digests(self, store):
+        text = address_artifact(day_addresses(0))
+        manifest = store.commit(0, {"responsive": text})
+        entry = manifest.artifacts["responsive"]
+        assert entry["sha256"] == hashlib.sha256(text.encode()).hexdigest()
+        assert entry["bytes"] == len(text.encode())
+        assert entry["lines"] == text.count("\n")
+        assert manifest.parent is None
+
+    def test_commit_is_idempotent(self, store):
+        artifacts = {"responsive": address_artifact(day_addresses(0))}
+        first = store.commit(0, artifacts)
+        objects_before = store.object_count()
+        manifest_path = os.path.join(
+            store.root, "manifests", f"{first.snapshot_id}.json"
+        )
+        manifest_bytes = open(manifest_path, "rb").read()
+
+        second = store.commit(0, artifacts)
+        assert second.snapshot_id == first.snapshot_id
+        assert store.object_count() == objects_before
+        assert open(manifest_path, "rb").read() == manifest_bytes
+        assert len(store.snapshot_ids()) == 1
+
+    def test_identical_content_shares_objects(self, store):
+        text = address_artifact(day_addresses(0))
+        store.commit(0, {"responsive": text, "icmp": text})
+        assert store.object_count() == 1
+
+    def test_chronological_commits_form_a_linear_chain(self, populated_store):
+        manifests = populated_store.manifests()
+        assert [m.scan_day for m in manifests] == [0, 2, 4, 6, 8]
+        assert manifests[0].parent is None
+        for parent, child in zip(manifests, manifests[1:]):
+            assert child.parent == parent.snapshot_id
+
+    def test_backfill_attaches_to_nearest_earlier_day(self, populated_store):
+        """An out-of-order (older-day) commit must not rewrite history."""
+        by_day = {m.scan_day: m for m in populated_store.manifests()}
+        head_before = populated_store.head_id()
+        late = populated_store.commit(
+            5, {"responsive": address_artifact(day_addresses(5))}
+        )
+        assert late.parent == by_day[4].snapshot_id
+        assert populated_store.head_id() == head_before
+        for day, manifest in by_day.items():
+            assert populated_store.manifest(manifest.snapshot_id) == manifest
+
+    def test_head_points_at_newest_scan_day(self, populated_store):
+        manifests = populated_store.manifests()
+        assert populated_store.head_id() == manifests[-1].snapshot_id
+
+    def test_empty_commit_rejected(self, store):
+        with pytest.raises(PublishError, match="empty"):
+            store.commit(0, {})
+
+    def test_bad_artifact_name_rejected(self, store):
+        with pytest.raises(PublishError, match="invalid artifact name"):
+            store.commit(0, {"../escape": "x\n"})
+
+
+class TestRead:
+    def test_read_artifact_round_trip(self, populated_store):
+        head = populated_store.head_id()
+        text = populated_store.read_artifact(head, "responsive")
+        assert text == address_artifact(day_addresses(8))
+
+    def test_unknown_snapshot_raises(self, populated_store):
+        with pytest.raises(PublishError, match="unknown snapshot"):
+            populated_store.manifest("0" * 64)
+
+    def test_unknown_artifact_raises(self, populated_store):
+        head = populated_store.head_id()
+        with pytest.raises(PublishError, match="no artifact"):
+            populated_store.read_artifact(head, "bogus")
+
+    def test_corrupted_blob_detected(self, tmp_path, store):
+        manifest = store.commit(0, {"responsive": "::1\n"})
+        digest = manifest.digest_of("responsive")
+        path = store._blob_path(digest)
+        with open(path, "w") as handle:
+            handle.write("::2\n")
+        fresh = SnapshotStore(store.root)
+        with pytest.raises(PublishError, match="corrupted"):
+            fresh.read_artifact(manifest.snapshot_id, "responsive")
+
+    def test_empty_store_has_no_head(self, store):
+        assert store.head_id() is None
+        assert store.snapshot_ids() == []
+
+
+class TestPublicationArtifacts:
+    def test_cleaned_view_and_names(self):
+        responders = {
+            Protocol.ICMP: {1, 2, 3},
+            Protocol.UDP53: {2, 9},
+        }
+        artifacts = publication_artifacts(responders, injected={9}, aliased_prefixes=[])
+        assert set(artifacts) == set(ARTIFACT_NAMES) - {"origins"}
+        assert "::9" not in artifacts["udp53"]
+        assert "::9" not in artifacts["responsive"]
+        assert artifacts["responsive"].count("\n") == 3
+        assert artifacts["tcp80"] == ""
+
+    def test_origin_map_included_when_resolver_given(self):
+        artifacts = publication_artifacts(
+            {Protocol.ICMP: {5}}, injected=(), aliased_prefixes=[],
+            origin_as=lambda address: 64500,
+        )
+        assert artifacts["origins"] == "::5 64500\n"
+
+    def test_digest_helper_matches_store(self, store):
+        text = "::1\n"
+        manifest = store.commit(0, {"responsive": text})
+        assert manifest.digest_of("responsive") == artifact_digest(text)
+
+
+def test_manifest_json_is_canonical(populated_store):
+    head = populated_store.head_id()
+    path = os.path.join(populated_store.root, "manifests", f"{head}.json")
+    data = json.loads(open(path).read())
+    assert data["format"] == "repro-publish-v1"
+    assert data["snapshot_id"] == head
+    # the id is the digest of the manifest core, so recommitting the
+    # same content can never produce a different file name
+    assert sorted(data["artifacts"]) == list(sorted(data["artifacts"]))

@@ -201,3 +201,67 @@ class TestRuntimeFlags:
         victim.write_bytes(bytes(blob))
         with pytest.raises(CheckpointError, match="checksum"):
             main(["simulate", "--resume", str(victim), "-o", str(tmp_path / "x")])
+
+
+class TestServeCommand:
+    def test_serve_end_to_end(self, tmp_path, monkeypatch):
+        import threading
+        import time
+        import urllib.request
+
+        import repro.publish.server as publish_server
+        from repro.publish.store import SnapshotStore
+
+        store_dir = tmp_path / "store"
+        SnapshotStore(str(store_dir)).commit(0, {"responsive": "::1\n"})
+
+        # capture the bound server so the test can stop serve_forever
+        captured = {}
+        real_serve = publish_server.serve
+
+        def capturing_serve(*args, **kwargs):
+            server, app = real_serve(*args, **kwargs)
+            captured["server"] = server
+            return server, app
+
+        monkeypatch.setattr(publish_server, "serve", capturing_serve)
+
+        port_file = tmp_path / "port"
+        thread = threading.Thread(
+            target=main,
+            args=(["serve", "--store", str(store_dir), "--port", "0",
+                   "--port-file", str(port_file)],),
+            daemon=True,
+        )
+        thread.start()
+        try:
+            for _ in range(200):
+                if port_file.exists() and port_file.read_text().strip():
+                    break
+                time.sleep(0.05)
+            port = int(port_file.read_text())
+            with urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/v1/latest/responsive", timeout=5
+            ) as response:
+                assert response.read() == b"::1\n"
+                assert response.headers["ETag"].startswith('"')
+        finally:
+            captured["server"].shutdown()
+            thread.join(timeout=5)
+        assert not thread.is_alive()
+
+    def test_simulate_publish_dir_writes_a_store(self, tmp_path):
+        from repro.publish.store import SnapshotStore
+
+        store_dir = tmp_path / "store"
+        assert main([
+            "simulate", "--preset", "small", "--seed", "3",
+            "--days", "30", "--interval", "10",
+            "--publish-dir", str(store_dir),
+            "-o", str(tmp_path / "run"),
+        ]) == 0
+        store = SnapshotStore(str(store_dir))
+        manifests = store.manifests()
+        assert [m.scan_day for m in manifests] == [0, 10, 20, 30]
+        published = store.read_artifact(store.head_id(), "responsive")
+        assert published == (tmp_path / "run" / "responsive.txt").read_text()
