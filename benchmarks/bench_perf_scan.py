@@ -1,17 +1,25 @@
 """Scan-engine micro-benchmark: fused pass vs legacy, worker sweep.
 
 Times one full five-protocol scan day over the default-scale target pool
-four ways — the pre-engine reference path (``scan_all_protocols_legacy``,
-which walks the ground truth twice), and the fused engine at 1, 2 and 4
-workers — and asserts all four produce bit-identical responder sets.
+— the pre-engine reference path (``scan_all_protocols_legacy``, which
+walks the ground truth twice) and the fused engine at 1, 2 and 4 warm
+workers — and asserts every variant produces bit-identical responder
+sets.
+
+The legacy timing lands in ``results/BENCH_perf_scan_legacy.json``; the
+engine sweep is merged into ``results/BENCH_perf_scan_workers.json``,
+one sample per worker count with ``scan_workers`` and ``speedup_vs_w1``
+fields so the scaling trajectory stays reviewable in one file.
 
 The deltas here isolate the probe stage from the rest of the service
-loop; ``bench_service_runtime.py`` measures the end-to-end effect.
+loop; ``bench_service_runtime.py`` measures the end-to-end effect and
+``bench_parallel_scan.py`` enforces the CI parallel-efficiency floor.
 """
 
 import time
 
 from conftest import _record_bench_time
+from _perf import record_bench_time
 
 from repro.hitlist import HitlistService
 from repro.hitlist.service import ServiceSettings
@@ -21,6 +29,7 @@ from repro.scan import ScanEngine
 SCAN_DAY = 0
 QNAME = "www.google.com"
 FAST = (Protocol.ICMP, Protocol.TCP80, Protocol.TCP443, Protocol.UDP443)
+WORKER_SWEEP = (1, 2, 4)
 
 
 def _snapshot(results, udp53):
@@ -36,33 +45,43 @@ def test_perf_scan_fused_vs_legacy(world, config, emit):
     targets = list(service._scan_pool)
     scanner = service.scanner
 
-    timings = {}
-
     start = time.perf_counter()
     legacy = scanner.scan_all_protocols_legacy(targets, SCAN_DAY, QNAME)
-    timings["legacy"] = time.perf_counter() - start
+    legacy_seconds = time.perf_counter() - start
     reference = _snapshot(*legacy)
 
-    for workers in (1, 2, 4):
+    sweep = {}
+    for workers in WORKER_SWEEP:
         engine = ScanEngine(scanner, workers=workers, chunk_size=1024)
         try:
+            # the pool is forked before timing starts, as in the service
+            engine.warm(len(targets))
             start = time.perf_counter()
             fused = engine.scan_all_protocols(targets, SCAN_DAY, QNAME)
-            timings[f"fused-w{workers}"] = time.perf_counter() - start
+            sweep[workers] = time.perf_counter() - start
         finally:
             engine.close()
         assert _snapshot(*fused) == reference, (
             f"fused scan at {workers} workers diverged from legacy"
         )
 
-    for variant, seconds in timings.items():
-        _record_bench_time(f"perf_scan_{variant}", seconds)
+    _record_bench_time("perf_scan_legacy", legacy_seconds)
+    for workers, seconds in sweep.items():
+        record_bench_time(
+            "perf_scan_workers", seconds, scenario="default",
+            extra={
+                "scan_workers": workers,
+                "speedup_vs_w1": round(sweep[1] / seconds, 3),
+            },
+        )
 
-    speedup = timings["legacy"] / timings["fused-w1"]
+    speedup = legacy_seconds / sweep[1]
     lines = [f"one scan day, {len(targets)} targets, 5 protocols"]
+    lines.append(f"  {'legacy':<10} {legacy_seconds * 1000:8.1f} ms")
     lines += [
-        f"  {variant:<10} {seconds * 1000:8.1f} ms"
-        for variant, seconds in timings.items()
+        f"  {f'fused-w{workers}':<10} {seconds * 1000:8.1f} ms "
+        f"({sweep[1] / seconds:.2f}x vs w1)"
+        for workers, seconds in sweep.items()
     ]
     lines.append(f"fused single-worker speedup over legacy: {speedup:.2f}x")
     lines.append("all variants bit-identical responder sets: yes")

@@ -116,6 +116,7 @@ def _run_pipeline(args: argparse.Namespace):
         gfw_filter_deploy_day=config.gfw_filter_deploy_day,
         retry_attempts=getattr(args, "retry_attempts", None) or 1,
         scan_workers=getattr(args, "scan_workers", None) or 1,
+        scan_chunk_size=getattr(args, "scan_chunk_size", None) or 4096,
     )
     service = HitlistService(
         internet, config, settings=settings, fault_plan=_load_faults(args)
@@ -329,6 +330,11 @@ def build_parser() -> argparse.ArgumentParser:
                        default=1, metavar="N",
                        help="scan-engine worker processes for the probe "
                             "stage (results are identical for any N)")
+        p.add_argument("--scan-chunk-size", type=int, dest="scan_chunk_size",
+                       default=None, metavar="TARGETS",
+                       help="targets per scan-engine chunk (default: 4096; "
+                            "scheduling knob only, results are identical "
+                            "for any value)")
         p.add_argument("--checkpoint-dir", dest="checkpoint_dir",
                        help="write per-scan state checkpoints to this "
                             "directory (created if missing)")

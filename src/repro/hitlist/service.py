@@ -718,6 +718,9 @@ class HitlistService:
             from repro.publish.store import SnapshotStore
 
             publish_store = SnapshotStore(publish_dir, metrics=self.metrics)
+        # fork the scan-worker pool once, before the campaign: every scan
+        # reuses the warm workers instead of paying fork latency per day
+        self.engine.warm(len(self._scan_pool))
         try:
             for index in range(start_index, len(scan_days)):
                 day = scan_days[index]
@@ -847,6 +850,7 @@ class HitlistService:
             raise ValueError(f"base_interval must be >= 1, got {base_interval}")
         retain_pending = sorted(self.settings.retain_days)
         self.bootstrap(start_day)
+        self.engine.warm(len(self._scan_pool))
         day = start_day
         prev_day = -1
         try:

@@ -6,13 +6,24 @@ per target: ``scan_all_protocols`` resolved the response mask, then
 target, and ``dns_probe`` looked up the origin AS again.  The engine
 fuses all of it into one pass:
 
-* :meth:`SimInternet.probe_batch` answers response mask, origin AS and
-  genuine-DNS behavior for a whole chunk in a single ground-truth walk;
-* per-target loss draws share chunk-level precomputed ``mix64`` inner
-  hashes — the ``mix64((day << 8) ^ …)`` term is constant per (day,
-  protocol, attempt) and is hoisted out of the per-target loop;
-* target chunks can be sharded across a ``concurrent.futures`` worker
-  pool (opt-in via ``ServiceSettings.scan_workers`` / ``--scan-workers``).
+* :meth:`SimInternet.probe_batch_arrays` answers response mask, origin
+  AS and genuine-DNS behavior for a whole chunk in a single column-
+  oriented ground-truth walk;
+* per-target SplitMix64 loss/retry/injection draws run as bulk big-int
+  SIMD over 128-bit lanes (:mod:`repro.scan.vecmix`) instead of one
+  finalizer chain per target;
+* target chunks can be sharded across a warm ``concurrent.futures``
+  worker pool (opt-in via ``ServiceSettings.scan_workers`` /
+  ``--scan-workers``).
+
+The parallel path is built for cheap IPC: the target pool is published
+to the workers once per scan through a shared anonymous mmap written
+before the fork, tasks carry only ``(start, stop)`` index ranges, and each
+chunk returns a :class:`repro.scan.wire.PackedChunkResult` of integer-
+coded indices that the parent decodes during the in-order merge.  The
+pool is forked once (``warm()``) and stays warm across every scan of a
+campaign; each pool binds its scanner through the executor initializer,
+so two live engines in one process cannot clobber each other.
 
 Determinism contract (what checkpoint/resume and the deterministic
 metric families depend on): the chunk partition is fixed by
@@ -26,13 +37,19 @@ worker count, including ``workers=1``.
 from __future__ import annotations
 
 import time
+from array import array
 from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 from repro._util import mix64
+from repro.net.teredo import TEREDO_PREFIX
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracing import Tracer
 from repro.protocols import DnsAnswer, DnsResponse, DnsStatus, Protocol, RecordType
 from repro.runtime.faults import RETRY_SALT
+from repro.scan import wire
+from repro.scan.vecmix import bulk_mix64_xor, lane_kit, pack_lanes, survive16, survive64, unpack_lanes
+from repro.scan.wire import PackedChunkResult
+from repro.simnet.gfwsim import _TEREDO_SERVERS, InjectionMode
 from repro.simnet.hosts import DnsBehavior
 from repro.simnet.internet import ControlNsQuery
 
@@ -41,10 +58,11 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 _M64 = 0xFFFFFFFFFFFFFFFF
 # SplitMix64 finalizer constants (kept in sync with repro._util.mix64,
-# inlined in the per-target loop below)
+# inlined in the remaining scalar loops below)
 _MIX_C1 = 0xBF58476D1CE4E5B9
 _MIX_C2 = 0x94D049BB133111EB
 _FAST_SALT = 0x5CA11
+_TEREDO_BASE = TEREDO_PREFIX.value
 
 #: the four cheap protocols probed from one fused 64-bit loss draw, in
 #: 16-bit-slice order (must match ``ZMapScanner.scan_all_protocols``)
@@ -54,11 +72,19 @@ FAST_PROTOCOLS = (Protocol.ICMP, Protocol.TCP80, Protocol.TCP443, Protocol.UDP44
 #: default scenario, large enough that per-chunk overhead is noise
 DEFAULT_CHUNK_SIZE = 4096
 
+#: initial shared-pool capacity: 4 MiB holds 256k packed targets, so the
+#: default scenario never re-forks after the first sizing
+_MIN_POOL_BYTES = 1 << 22
+
 _REFUSED_BEHAVIORS = (DnsBehavior.NOT_DNS, DnsBehavior.AUTH_OR_CLOSED)
 
-#: scanner a forked/threaded pool worker probes with; set by the parent
-#: before the pool's workers are created (fork inherits it)
-_WORKER_SCANNER: Optional["ZMapScanner"] = None
+#: DnsBehavior -> wire.GENUINE_* code for the behaviors whose response
+#: variant does not depend on per-target draws or qname resolution
+_BEHAVIOR_CODE = {
+    DnsBehavior.NOT_DNS: wire.GENUINE_REFUSED,
+    DnsBehavior.AUTH_OR_CLOSED: wire.GENUINE_REFUSED,
+    DnsBehavior.REFERRAL: wire.GENUINE_REFERRAL,
+}
 
 
 class _ScanContext:
@@ -68,6 +94,7 @@ class _ScanContext:
         "attempts", "loss_threshold", "threshold16", "fast_inner",
         "udp_inner", "inject_possible", "gfw_era", "resolved", "answers",
         "is_control", "mday", "referral_answers", "broken_answers",
+        "inject_day_hash", "burst_cut", "inj_wide", "inj_ranges",
     )
 
     def __init__(self, scanner: "ZMapScanner", day: int, qname: str) -> None:
@@ -93,6 +120,19 @@ class _ScanContext:
         self.inject_possible = (
             self.gfw_era is not None and gfw.is_blocked(qname)
         )
+        # injection-draw constants (GreatFirewall.inject_prepared, hoisted)
+        self.inject_day_hash = mix64(day ^ gfw._seed)
+        # kept as float: inject_prepared compares the modulus against
+        # probability*1e6 unrounded, and the boundary draw must agree
+        self.burst_cut = gfw._burst_probability * 1_000_000
+        self.inj_wide = (
+            self.gfw_era is not None
+            and self.gfw_era.mode is not InjectionMode.A_RECORD
+        )
+        self.inj_ranges = tuple(
+            (base, (1 << (32 - length)) - 1)
+            for base, length, _owner in gfw._pool.ranges
+        )
         self.resolved = internet.resolve_name(qname)
         self.answers = tuple(
             DnsAnswer(rtype=RecordType.AAAA, address=address)
@@ -106,137 +146,161 @@ class _ScanContext:
         self.broken_answers = (DnsAnswer(rtype=RecordType.AAAA, address=1),)
 
 
-class ChunkResult:
-    """Picklable outcome of one fused chunk scan (merged in chunk order)."""
-
-    __slots__ = (
-        "count", "burst_targets", "fast_retry_draws", "udp_retry_draws",
-        "fast_responders", "udp_hits", "control_log", "scannable",
-    )
-
-    def __init__(self) -> None:
-        self.count = 0
-        self.burst_targets = 0
-        self.fast_retry_draws = 0
-        self.udp_retry_draws = 0
-        #: per fast protocol (slice order), responders in target order
-        self.fast_responders: Tuple[List[int], ...] = ([], [], [], [])
-        #: (target, responses) for every UDP/53 responder, in target order
-        self.udp_hits: List[Tuple[int, Tuple[DnsResponse, ...]]] = []
-        #: (qname, egress) control-NS queries this chunk would have sent;
-        #: replayed into the live log by the parent so worker processes
-        #: never mutate shared state
-        self.control_log: List[Tuple[str, int]] = []
-        #: non-blocked targets, kept only when rate limiting needs the
-        #: probed list for its per-AS responder ranking
-        self.scannable: Optional[List[int]] = None
-
-    def __getstate__(self):
-        return tuple(getattr(self, name) for name in self.__slots__)
-
-    def __setstate__(self, state):
-        for name, value in zip(self.__slots__, state):
-            setattr(self, name, value)
-
-
-def _scan_chunk(
+def _scan_chunk_packed(
     scanner: "ZMapScanner",
     targets: Sequence[int],
+    base_index: int,
     day: int,
     qname: str,
-    ctx: Optional[_ScanContext] = None,
-    keep_scannable: bool = False,
-) -> ChunkResult:
+    ctx: _ScanContext,
+    keep_scannable: bool,
+    crosses_cache: Dict[Optional[int], bool],
+) -> PackedChunkResult:
     """Fused five-protocol scan of one chunk — a pure function.
 
     Replicates ``scan_all_protocols`` + ``scan_udp53`` bit for bit:
     identical loss draws (same formulas, same retry-draw accounting),
-    identical burst handling, identical response synthesis.  No shared
-    state is mutated, so chunks can run in any process or thread.
+    identical burst handling, identical injection draw sequence.  The
+    chunk covers pool positions ``base_index .. base_index +
+    len(targets)``; all emitted indices are pool-global.  Only
+    ``crosses_cache`` (a memo of the pure ``GfwBoundary.crosses``) is
+    mutated, so chunks can run in any process or thread.
     """
-    if ctx is None:
-        ctx = _ScanContext(scanner, day, qname)
     internet = scanner._internet
     plan = scanner._fault_plan
+    result = PackedChunkResult()
+
+    # blocklist filter; live targets keep their pool-global index
     if len(scanner._blocklist):
         is_blocked = scanner._blocklist.is_blocked
-        scannable = [target for target in targets if not is_blocked(target)]
+        live: List[int] = []
+        live_idx: List[int] = []
+        flags = bytearray(len(targets))
+        for offset, target in enumerate(targets):
+            if is_blocked(target):
+                continue
+            live.append(target)
+            live_idx.append(base_index + offset)
+            flags[offset] = 1
+        if keep_scannable:
+            result.scannable_bits = wire.pack_bitmask(flags)
     else:
-        scannable = list(targets)
+        live = list(targets)
+        live_idx = list(range(base_index, base_index + len(targets)))
+        if keep_scannable:
+            result.scannable_bits = wire.pack_bitmask(bytes((1,)) * len(targets))
+    result.count = len(live)
 
-    result = ChunkResult()
-    result.count = len(scannable)
-    if keep_scannable:
-        result.scannable = scannable
+    # correlated loss bursts kill every probe of a target at once and
+    # are not retryable — drop those targets before any draw
+    if plan is not None:
+        burst_lost = plan.burst_lost
+        kept: List[int] = []
+        kept_idx: List[int] = []
+        for target, gidx in zip(live, live_idx):
+            if burst_lost(target, day):
+                result.burst_targets += 1
+            else:
+                kept.append(target)
+                kept_idx.append(gidx)
+        live, live_idx = kept, kept_idx
 
+    n = len(live)
+    if n == 0:
+        return result
+
+    masks, asns, behaviors = internet.probe_batch_arrays(live, day, qname)
+
+    # bulk SplitMix64: one 64-bit base per target, padded to a
+    # power-of-two lane count so the LaneKit memo stays tiny
     attempts = ctx.attempts
     threshold16 = ctx.threshold16
     loss_threshold = ctx.loss_threshold
-    fast_inner = ctx.fast_inner
-    udp_inner = ctx.udp_inner
-    burst_lost = None if plan is None else plan.burst_lost
-    inject = internet.gfw.inject_prepared
+    size = 1 << (n - 1).bit_length() if n > 1 else 1
+    kit = lane_kit(size)
+    bases = [(target & _M64) ^ (target >> 64) for target in live]
+    if size != n:
+        bases.extend([0] * (size - n))
+    packed = pack_lanes(bases)
+
+    if threshold16:
+        nibs = [
+            survive16(bulk_mix64_xor(packed, inner, kit), threshold16, kit)
+            for inner in ctx.fast_inner
+        ]
+        nib0 = nibs[0]
+    else:
+        nib0 = b"\x0f" * n
+        nibs = [nib0]
+    if loss_threshold:
+        oks = [
+            survive64(bulk_mix64_xor(packed, inner, kit), loss_threshold, kit)
+            for inner in ctx.udp_inner
+        ]
+        ok0 = oks[0]
+    else:
+        ok0 = b"\x01" * n
+        oks = [ok0]
+
     inject_possible = ctx.inject_possible
-    gfw_era = ctx.gfw_era
-    crosses = internet.gfw._boundary.crosses
-    crosses_cache: Dict[Optional[int], bool] = {}
+    if inject_possible:
+        inj_draws = unpack_lanes(
+            bulk_mix64_xor(packed, ctx.inject_day_hash, kit), kit
+        )
+        crosses = internet.gfw._boundary.crosses
+        burst_cut = ctx.burst_cut
+        result.inj_wide = ctx.inj_wide
+        inj_xor: List[int] = []
+
+    # genuine-DNS variant codes that need no per-target work
+    behavior_code = _BEHAVIOR_CODE
+    open_code = (
+        wire.GENUINE_NOERROR if ctx.resolved else wire.GENUINE_NXDOMAIN
+    )
+    control_flag = wire.FLAG_CONTROL if ctx.is_control else 0
     mday = ctx.mday
-    resolved = ctx.resolved
-    is_control = ctx.is_control
-    fast0, fast1, fast2, fast3 = result.fast_responders
-    udp_hits = result.udp_hits
-    control_log = result.control_log
-    burst_targets = 0
+    single = attempts == 1
+
+    fast0, fast1, fast2, fast3 = result.fast_idx
+    f0_append = fast0.append
+    f1_append = fast1.append
+    f2_append = fast2.append
+    f3_append = fast3.append
+    udp_idx_append = result.udp_idx.append
+    udp_meta_append = result.udp_meta.append
+    inj_counts_append = result.inj_counts.append
     fast_draws = 0
     udp_draws = 0
 
-    for target, mask, asn, behavior in internet.probe_batch(scannable, day, qname):
-        if burst_lost is not None and burst_lost(target, day):
-            burst_targets += 1
-            continue
-        base = (target & _M64) ^ (target >> 64)
-
+    for i, (gidx, target, mask, behavior, s, ok) in enumerate(
+        zip(live_idx, live, masks, behaviors, nib0, ok0)
+    ):
         # fast protocols: four probes drawn from disjoint 16-bit slices
         # of one 64-bit hash (exactly ZMapScanner.scan_all_protocols)
         if mask:
-            if threshold16:
-                surviving = 0
-                for attempt in range(attempts):
-                    value = (base ^ fast_inner[attempt]) & _M64
-                    value = ((value ^ (value >> 30)) * _MIX_C1) & _M64
-                    value = ((value ^ (value >> 27)) * _MIX_C2) & _M64
-                    draw = value ^ (value >> 31)
-                    if (draw & 0xFFFF) >= threshold16:
-                        surviving |= 1
-                    if ((draw >> 16) & 0xFFFF) >= threshold16:
-                        surviving |= 2
-                    if ((draw >> 32) & 0xFFFF) >= threshold16:
-                        surviving |= 4
-                    if ((draw >> 48) & 0xFFFF) >= threshold16:
-                        surviving |= 8
-                    if surviving == 0b1111:
+            if not single and threshold16 and s != 0b1111:
+                for attempt in range(1, attempts):
+                    s |= nibs[attempt][i]
+                    if s == 0b1111:
+                        fast_draws += attempt
                         break
-                fast_draws += attempt
-            else:
-                surviving = 0b1111
-            if surviving & 1 and mask & 1:  # ICMP
-                fast0.append(target)
-            if surviving & 2 and mask & 2:  # TCP80
-                fast1.append(target)
-            if surviving & 4 and mask & 4:  # TCP443
-                fast2.append(target)
-            if surviving & 8 and mask & 16:  # UDP443
-                fast3.append(target)
+                else:
+                    fast_draws += attempts - 1
+            if s & 1 and mask & 1:  # ICMP
+                f0_append(gidx)
+            if s & 2 and mask & 2:  # TCP80
+                f1_append(gidx)
+            if s & 4 and mask & 4:  # TCP443
+                f2_append(gidx)
+            if s & 8 and mask & 16:  # UDP443
+                f3_append(gidx)
 
         # UDP/53: loss is drawn for every non-burst target (the GFW can
         # inject even when the target itself is dead) — ZMapScanner._lost
-        if loss_threshold:
+        if not ok:
             lost = True
-            for attempt in range(attempts):
-                value = (base ^ udp_inner[attempt]) & _M64
-                value = ((value ^ (value >> 30)) * _MIX_C1) & _M64
-                value = ((value ^ (value >> 27)) * _MIX_C2) & _M64
-                if (value ^ (value >> 31)) >= loss_threshold:
+            for attempt in range(1, attempts):
+                if oks[attempt][i]:
                     udp_draws += attempt
                     lost = False
                     break
@@ -245,83 +309,158 @@ def _scan_chunk(
             if lost:
                 continue
 
-        responses: Optional[List[DnsResponse]] = None
+        meta = 0
         if inject_possible:
+            asn = asns[i]
             crossing = crosses_cache.get(asn)
             if crossing is None:
                 crossing = crosses(asn)
                 crosses_cache[asn] = crossing
             if crossing:
-                responses = inject(target, qname, day, gfw_era)
+                meta = wire.FLAG_INJECTED
+                base_draw = inj_draws[i]
+                count = 2 + base_draw % 2  # two or three injectors answer
+                if (base_draw >> 32) % 1_000_000 < burst_cut:
+                    count = 64 + base_draw % 400  # rare pathological bursts
+                inj_counts_append(count)
+                inj_xor.append((base_draw, count))
 
         if behavior is not None:
-            # genuine answer — SimInternet._answer_as, with the control
-            # NS log collected locally instead of appended live
-            if behavior in _REFUSED_BEHAVIORS:
-                genuine = DnsResponse(
-                    responder=target, qname=qname, status=DnsStatus.REFUSED
-                )
-            elif behavior is DnsBehavior.REFERRAL:
-                genuine = DnsResponse(
-                    responder=target, qname=qname, status=DnsStatus.NOERROR,
-                    answers=ctx.referral_answers,
-                )
+            code = behavior_code.get(behavior)
+            if code is not None:
+                meta |= code
             elif behavior is DnsBehavior.BROKEN:
+                # SimInternet._answer_as: parity of mix64(target ^ mix64(day))
                 value = (target ^ mday) & _M64
                 value = ((value ^ (value >> 30)) * _MIX_C1) & _M64
                 value = ((value ^ (value >> 27)) * _MIX_C2) & _M64
                 if (value ^ (value >> 31)) % 2:
-                    genuine = DnsResponse(
-                        responder=target, qname=qname, status=DnsStatus.SERVFAIL
-                    )
+                    meta |= wire.GENUINE_SERVFAIL
                 else:
-                    genuine = DnsResponse(
-                        responder=target, qname=qname,
-                        status=DnsStatus.NOERROR, answers=ctx.broken_answers,
-                    )
-            elif not resolved:
-                genuine = DnsResponse(
-                    responder=target, qname=qname, status=DnsStatus.NXDOMAIN
-                )
-            else:
-                if is_control:
-                    egress = target
+                    meta |= wire.GENUINE_BROKEN_ANSWER
+            else:  # open / proxy resolver
+                meta |= open_code
+                if open_code == wire.GENUINE_NOERROR and control_flag:
+                    meta |= control_flag
                     if behavior is DnsBehavior.PROXY_RESOLVER:
-                        egress = target ^ mix64(target) & 0xFFFF
-                    control_log.append((qname, egress))
-                genuine = DnsResponse(
-                    responder=target, qname=qname, status=DnsStatus.NOERROR,
-                    answers=ctx.answers,
-                )
-            if responses is None:
-                responses = [genuine]
-            else:
-                responses.append(genuine)
+                        meta |= wire.FLAG_PROXY
 
-        if responses:
-            udp_hits.append((target, tuple(responses)))
+        if meta:
+            udp_idx_append(gidx)
+            udp_meta_append(meta)
 
-    result.burst_targets = burst_targets
     result.fast_retry_draws = fast_draws
     result.udp_retry_draws = udp_draws
+
+    # second bulk pass: the per-response injection draws.  The draw for
+    # response k of a target is mix64(base_draw ^ (k+1)) — flatten all
+    # (target, k) pairs, mix them in lanes, then map draws to payload
+    # ints (A-record IPv4s, or full Teredo AAAA addresses as lo/hi).
+    if inject_possible and inj_xor:
+        flat: List[int] = []
+        for base_draw, count in inj_xor:
+            flat.extend(base_draw ^ k for k in range(1, count + 1))
+        total = len(flat)
+        size = 1 << (total - 1).bit_length() if total > 1 else 1
+        kit = lane_kit(size)
+        if size != total:
+            flat.extend([0] * (size - total))
+        draws = unpack_lanes(bulk_mix64_xor(pack_lanes(flat), 0, kit), kit)
+        ranges = ctx.inj_ranges
+        nranges = len(ranges)
+        answers_append = result.inj_answers.append
+        if result.inj_wide:
+            servers = _TEREDO_SERVERS
+            for j in range(total):
+                draw = draws[j]
+                base, host_mask = ranges[draw % nranges]
+                ipv4 = base | (draw >> 8) & host_mask
+                # inlined encode_teredo (flags=0, fields in range by
+                # construction): server/port/client in RFC 4380 layout
+                port = 1024 + (draw >> 16) % 60000
+                address = (
+                    _TEREDO_BASE
+                    | (servers[draw % 2] << 64)
+                    | ((port ^ 0xFFFF) << 32)
+                    | (ipv4 ^ 0xFFFFFFFF)
+                )
+                answers_append(address & _M64)
+                answers_append(address >> 64)
+        else:
+            for j in range(total):
+                draw = draws[j]
+                base, host_mask = ranges[draw % nranges]
+                answers_append(base | (draw >> 8) & host_mask)
     return result
 
 
-def _worker_scan_chunk(
-    targets: Sequence[int], day: int, qname: str, keep_scannable: bool
-) -> ChunkResult:
-    """Pool-worker entry point; probes via the inherited scanner."""
-    return _scan_chunk(_WORKER_SCANNER, targets, day, qname, None, keep_scannable)
+class _WorkerState:
+    """Per-worker bindings: scanner, shared target pool, scan-state memo.
+
+    Created by the parent and handed to every pool worker through the
+    executor initializer — under a fork start method the object is
+    inherited, never pickled, so it can carry the mmap.  Each engine's
+    pool gets its own instance, which is what lets two live engines in
+    one process shard correctly (no module-global scanner).
+    """
+
+    __slots__ = ("scanner", "pool", "ctx", "ctx_key", "crosses_cache")
+
+    def __init__(self, scanner: "ZMapScanner", pool) -> None:
+        self.scanner = scanner
+        #: packed target pool: an anonymous shared mmap (process pools)
+        #: or the packed bytes themselves (thread fallback)
+        self.pool = pool
+        self.ctx: Optional[_ScanContext] = None
+        self.ctx_key: Optional[Tuple[int, str]] = None
+        #: GfwBoundary.crosses memo — day-independent, lives for the
+        #: whole campaign
+        self.crosses_cache: Dict[Optional[int], bool] = {}
+
+
+#: the state bound into this *worker process* by the pool initializer;
+#: never set in the parent
+_WORKER_STATE: Optional[_WorkerState] = None
+
+
+def _init_worker(state: _WorkerState) -> None:
+    global _WORKER_STATE
+    _WORKER_STATE = state
+
+
+def _worker_noop() -> None:
+    """Warm-up task: forces the executor to fork its workers now."""
+    time.sleep(0.01)
+
+
+def _scan_range(state: _WorkerState, task: Tuple[int, int, int, str, bool]) -> PackedChunkResult:
+    """Scan pool positions ``[start, stop)`` against the bound scanner."""
+    start, stop, day, qname, keep_scannable = task
+    targets = wire.unpack_pool(state.pool, start, stop)
+    key = (day, qname)
+    if state.ctx_key != key:
+        state.ctx = _ScanContext(state.scanner, day, qname)
+        state.ctx_key = key
+    return _scan_chunk_packed(
+        state.scanner, targets, start, day, qname, state.ctx,
+        keep_scannable, state.crosses_cache,
+    )
+
+
+def _worker_scan_range(task: Tuple[int, int, int, str, bool]) -> PackedChunkResult:
+    """Process-pool entry point; state was bound by :func:`_init_worker`."""
+    return _scan_range(_WORKER_STATE, task)
 
 
 class ScanEngine:
     """Runs the fused five-protocol scan, optionally sharded over workers.
 
     ``workers=1`` (the default) runs chunks inline; larger values shard
-    chunks over a ``concurrent.futures`` pool — forked processes where
-    the platform supports it (workers inherit the simulated world
-    copy-on-write), threads otherwise.  Results are identical either
-    way; see the module docstring for the determinism contract.
+    ``(start, stop)`` ranges of a shared packed target pool over a warm
+    ``concurrent.futures`` pool — forked processes where the platform
+    supports it (workers inherit the simulated world copy-on-write),
+    threads otherwise.  Results are identical either way; see the module
+    docstring for the determinism contract.
     """
 
     def __init__(
@@ -341,6 +480,14 @@ class ScanEngine:
         self._chunk_size = chunk_size
         self._tracer = tracer
         self._executor = None
+        self._pool_mmap = None
+        self._pool_capacity = 0
+        self._thread_state: Optional[_WorkerState] = None
+        #: inline-path scan-state memo (mirrors _WorkerState's)
+        self._crosses_cache: Dict[Optional[int], bool] = {}
+        #: decode-side memo of injected-answer objects, keyed by
+        #: (wide, payload); forged answers repeat heavily across scans
+        self._answer_cache: Dict[Tuple[bool, int], DnsAnswer] = {}
         self._m_chunks = None
         if metrics is not None:
             # volatile: the chunk count tracks scan_chunk_size, a host
@@ -355,6 +502,16 @@ class ScanEngine:
             self._m_chunk_seconds = metrics.histogram(
                 "repro_engine_chunk_seconds",
                 "Wall-clock duration per scan-engine chunk.", volatile=True)
+            # volatile: both track scan_workers, a host tuning knob
+            self._m_ipc_bytes = metrics.counter(
+                "repro_engine_ipc_bytes_total",
+                "Worker-pool IPC payload bytes: packed pool publications "
+                "plus packed chunk results.", volatile=True)
+            self._m_pool_forks = metrics.counter(
+                "repro_engine_pool_forks_total",
+                "Scan-engine worker processes started (pool creations x "
+                "workers; >workers means the shared pool was regrown).",
+                volatile=True)
 
     @property
     def workers(self) -> int:
@@ -364,25 +521,55 @@ class ScanEngine:
     # ------------------------------------------------------------------
     # worker pool
 
-    def _ensure_executor(self):
-        if self._executor is None:
-            global _WORKER_SCANNER
-            # the global must point at our scanner when the pool's
-            # workers are created: with a fork context all workers are
-            # forked on first submit, inheriting the world copy-on-write
-            _WORKER_SCANNER = self._scanner
-            import multiprocessing
-            from concurrent.futures import (
-                ProcessPoolExecutor, ThreadPoolExecutor,
-            )
+    def warm(self, expected_targets: int = 0) -> None:
+        """Fork the worker pool now instead of lazily at the first scan.
 
-            if "fork" in multiprocessing.get_all_start_methods():
-                self._executor = ProcessPoolExecutor(
-                    max_workers=self._workers,
-                    mp_context=multiprocessing.get_context("fork"),
-                )
-            else:  # pragma: no cover - non-fork platforms
-                self._executor = ThreadPoolExecutor(max_workers=self._workers)
+        Call once after world build with the expected pool size; the
+        shared target buffer is sized so campaign growth never forces a
+        mid-run re-fork.  Idempotent; a no-op for ``workers=1``.
+        """
+        if self._workers > 1:
+            self._ensure_executor(expected_targets * wire.TARGET_BYTES)
+
+    def _ensure_executor(self, min_pool_bytes: int = 0):
+        """The warm executor, (re)forking only when capacity grew."""
+        needed = max(min_pool_bytes, _MIN_POOL_BYTES)
+        if self._executor is not None and needed <= self._pool_capacity:
+            return self._executor
+        self.close()
+        capacity = 1 << (needed - 1).bit_length()
+        import multiprocessing
+        from concurrent.futures import (
+            ProcessPoolExecutor, ThreadPoolExecutor, wait,
+        )
+
+        if "fork" in multiprocessing.get_all_start_methods():
+            import mmap
+
+            # anonymous MAP_SHARED memory created before the fork: the
+            # parent rewrites it between scans and every worker sees the
+            # new bytes without any per-chunk pickling
+            self._pool_mmap = mmap.mmap(-1, capacity)
+            state = _WorkerState(self._scanner, self._pool_mmap)
+            self._executor = ProcessPoolExecutor(
+                max_workers=self._workers,
+                mp_context=multiprocessing.get_context("fork"),
+                initializer=_init_worker,
+                initargs=(state,),
+            )
+            # force the forks now — back-to-back submits spawn the full
+            # complement before any worker turns idle, so the campaign
+            # never pays fork latency mid-scan
+            wait([
+                self._executor.submit(_worker_noop)
+                for _ in range(self._workers)
+            ])
+        else:  # pragma: no cover - non-fork platforms
+            self._thread_state = _WorkerState(self._scanner, b"")
+            self._executor = ThreadPoolExecutor(max_workers=self._workers)
+        self._pool_capacity = capacity
+        if self._m_chunks is not None:
+            self._m_pool_forks.inc(self._workers)
         return self._executor
 
     def close(self) -> None:
@@ -390,6 +577,21 @@ class ScanEngine:
         if self._executor is not None:
             self._executor.shutdown()
             self._executor = None
+        if self._pool_mmap is not None:
+            self._pool_mmap.close()
+            self._pool_mmap = None
+        self._thread_state = None
+        self._pool_capacity = 0
+
+    def _publish_pool(self, packed: bytes) -> None:
+        """Make this scan's packed target pool visible to all workers."""
+        self._ensure_executor(len(packed))
+        if self._pool_mmap is not None:
+            self._pool_mmap[0:len(packed)] = packed
+        else:  # pragma: no cover - non-fork platforms
+            self._thread_state.pool = packed
+        if self._m_chunks is not None:
+            self._m_ipc_bytes.inc(len(packed))
 
     # ------------------------------------------------------------------
     # scanning
@@ -424,11 +626,12 @@ class ScanEngine:
             for protocol in (*FAST_PROTOCOLS, Protocol.UDP53)
         )
         chunk_size = self._chunk_size
-        chunks = [
-            targets[start:start + chunk_size]
+        ranges = [
+            (start, min(start + chunk_size, len(targets)))
             for start in range(0, len(targets), chunk_size)
         ]
-        chunk_results = self._run_chunks(chunks, day, qname, limited)
+        ctx = _ScanContext(scanner, day, qname) if ranges else None
+        chunk_results = self._run_chunks(targets, ranges, day, qname, limited, ctx)
 
         # deterministic merge, in chunk order
         fast_sets: List[set] = [set(), set(), set(), set()]
@@ -438,19 +641,19 @@ class ScanEngine:
         udp_draws = 0
         scannable: Optional[List[int]] = [] if limited else None
         control_entries: List[Tuple[str, int]] = []
-        for chunk_result in chunk_results:
+        getitem = targets.__getitem__
+        for (start, stop), chunk_result in zip(ranges, chunk_results):
             count += chunk_result.count
             burst_targets += chunk_result.burst_targets
             fast_draws += chunk_result.fast_retry_draws
             udp_draws += chunk_result.udp_retry_draws
-            for found, responders in zip(fast_sets, chunk_result.fast_responders):
-                found.update(responders)
-            for target, responses in chunk_result.udp_hits:
-                udp53.responders.add(target)
-                udp53.responses[target] = responses
-            control_entries.extend(chunk_result.control_log)
+            for found, idx in zip(fast_sets, chunk_result.fast_idx):
+                found.update(map(getitem, idx))
+            self._decode_udp(chunk_result, targets, ctx, udp53, control_entries)
             if scannable is not None:
-                scannable.extend(chunk_result.scannable)
+                bits = chunk_result.scannable_bits
+                for offset in wire.iter_bitmask(bits, stop - start):
+                    scannable.append(targets[start + offset])
         udp53.targets = count
         log = scanner._internet.control_ns_log
         for logged_qname, egress in control_entries:
@@ -484,7 +687,7 @@ class ScanEngine:
 
         self._flush_metrics(
             count, burst_targets, fast_draws + udp_draws, fast_sets,
-            udp53, rate_limited, udp_rate_limited, len(chunks),
+            udp53, rate_limited, udp_rate_limited, len(ranges),
         )
         results = {
             protocol: ScanResult(
@@ -495,47 +698,162 @@ class ScanEngine:
         }
         return results, udp53
 
+    def _decode_udp(
+        self,
+        chunk: PackedChunkResult,
+        targets: List[int],
+        ctx: _ScanContext,
+        udp53: "Udp53Result",
+        control_entries: List[Tuple[str, int]],
+    ) -> None:
+        """Synthesize the chunk's UDP/53 hits from the packed wire format.
+
+        Response objects (including injected forgeries) are built here
+        in the parent, in target order, exactly as the scalar pass built
+        them in place — responder sets, response tuples and control-log
+        order are byte-compatible with any worker count.
+        """
+        udp_idx = chunk.udp_idx
+        if not udp_idx:
+            return
+        qname = udp53.qname
+        wide = chunk.inj_wide
+        rtype = RecordType.AAAA if wide else RecordType.A
+        counts = chunk.inj_counts
+        payloads = chunk.inj_answers
+        cache = self._answer_cache
+        responders_add = udp53.responders.add
+        responses_map = udp53.responses
+        answers = ctx.answers
+        referral_answers = ctx.referral_answers
+        broken_answers = ctx.broken_answers
+        ci = 0  # cursor into inj_counts
+        ai = 0  # cursor into inj_answers slots
+        for target_index, meta in zip(udp_idx, chunk.udp_meta):
+            target = targets[target_index]
+            responses: List[DnsResponse] = []
+            if meta & wire.FLAG_INJECTED:
+                count = counts[ci]
+                ci += 1
+                for _ in range(count):
+                    if wide:
+                        payload = payloads[ai] | (payloads[ai + 1] << 64)
+                        ai += 2
+                    else:
+                        payload = payloads[ai]
+                        ai += 1
+                    key = (wide, payload)
+                    answer = cache.get(key)
+                    if answer is None:
+                        answer = DnsAnswer(rtype=rtype, address=payload)
+                        cache[key] = answer
+                    responses.append(DnsResponse(
+                        responder=target, qname=qname,
+                        status=DnsStatus.NOERROR, answers=(answer,),
+                        injected=True,
+                    ))
+            variant = meta & wire.GENUINE_MASK
+            if variant:
+                if variant == wire.GENUINE_NOERROR:
+                    if meta & wire.FLAG_CONTROL:
+                        egress = target
+                        if meta & wire.FLAG_PROXY:
+                            egress = target ^ mix64(target) & 0xFFFF
+                        control_entries.append((qname, egress))
+                    genuine = DnsResponse(
+                        responder=target, qname=qname,
+                        status=DnsStatus.NOERROR, answers=answers,
+                    )
+                elif variant == wire.GENUINE_REFUSED:
+                    genuine = DnsResponse(
+                        responder=target, qname=qname, status=DnsStatus.REFUSED
+                    )
+                elif variant == wire.GENUINE_REFERRAL:
+                    genuine = DnsResponse(
+                        responder=target, qname=qname,
+                        status=DnsStatus.NOERROR, answers=referral_answers,
+                    )
+                elif variant == wire.GENUINE_SERVFAIL:
+                    genuine = DnsResponse(
+                        responder=target, qname=qname, status=DnsStatus.SERVFAIL
+                    )
+                elif variant == wire.GENUINE_BROKEN_ANSWER:
+                    genuine = DnsResponse(
+                        responder=target, qname=qname,
+                        status=DnsStatus.NOERROR, answers=broken_answers,
+                    )
+                else:  # GENUINE_NXDOMAIN
+                    genuine = DnsResponse(
+                        responder=target, qname=qname, status=DnsStatus.NXDOMAIN
+                    )
+                responses.append(genuine)
+            responders_add(target)
+            responses_map[target] = tuple(responses)
+
     def _run_chunks(
-        self, chunks: List[List[int]], day: int, qname: str, limited: bool
-    ) -> List[ChunkResult]:
+        self,
+        targets: List[int],
+        ranges: List[Tuple[int, int]],
+        day: int,
+        qname: str,
+        limited: bool,
+        ctx: Optional[_ScanContext],
+    ) -> List[PackedChunkResult]:
         scanner = self._scanner
         tracer = self._tracer
         observe = (
             self._m_chunk_seconds.observe if self._m_chunks is not None else None
         )
-        results: List[ChunkResult] = []
-        if self._workers == 1 or len(chunks) <= 1:
-            ctx = _ScanContext(scanner, day, qname) if chunks else None
-            for index, chunk in enumerate(chunks):
-                start = time.perf_counter()
+        results: List[PackedChunkResult] = []
+        if self._workers == 1 or len(ranges) <= 1:
+            for index, (start, stop) in enumerate(ranges):
+                began = time.perf_counter()
                 if tracer is not None:
                     with tracer.span("probe-chunk", day=day, chunk=index):
-                        results.append(
-                            _scan_chunk(scanner, chunk, day, qname, ctx, limited)
-                        )
+                        results.append(_scan_chunk_packed(
+                            scanner, targets[start:stop], start, day, qname,
+                            ctx, limited, self._crosses_cache,
+                        ))
                 else:
-                    results.append(
-                        _scan_chunk(scanner, chunk, day, qname, ctx, limited)
-                    )
+                    results.append(_scan_chunk_packed(
+                        scanner, targets[start:stop], start, day, qname,
+                        ctx, limited, self._crosses_cache,
+                    ))
                 if observe is not None:
-                    observe(time.perf_counter() - start)
+                    observe(time.perf_counter() - began)
             return results
-        executor = self._ensure_executor()
-        futures = [
-            executor.submit(_worker_scan_chunk, chunk, day, qname, limited)
-            for chunk in chunks
-        ]
-        for index, future in enumerate(futures):
+
+        self._publish_pool(wire.pack_pool(targets))
+        tasks = [(start, stop, day, qname, limited) for start, stop in ranges]
+        # batch submission: the parent wakes up per task *batch*, not per
+        # chunk, and tiny (start, stop) tuples are all that gets pickled
+        map_chunksize = max(1, -(-len(tasks) // (self._workers * 4)))
+        if self._pool_mmap is not None:
+            outputs = self._executor.map(
+                _worker_scan_range, tasks, chunksize=map_chunksize
+            )
+        else:  # pragma: no cover - non-fork platforms
+            from functools import partial
+
+            outputs = self._executor.map(
+                partial(_scan_range, self._thread_state), tasks,
+                chunksize=map_chunksize,
+            )
+        ipc_bytes = 0
+        for index, result in enumerate(outputs):
             # parent-side wait per chunk: overlapping worker time shows
             # up as near-zero waits on all but the slowest chunk
-            start = time.perf_counter()
+            began = time.perf_counter()
             if tracer is not None:
                 with tracer.span("probe-chunk", day=day, chunk=index):
-                    results.append(future.result())
+                    results.append(result)
             else:
-                results.append(future.result())
+                results.append(result)
+            ipc_bytes += result.nbytes()
             if observe is not None:
-                observe(time.perf_counter() - start)
+                observe(time.perf_counter() - began)
+        if self._m_chunks is not None:
+            self._m_ipc_bytes.inc(ipc_bytes)
         return results
 
     def _flush_metrics(

@@ -162,13 +162,15 @@ def test_udp53_ground_truth_not_rewalked(config, monkeypatch):
     scanner = service.scanner
 
     calls = {"probe_batch": 0, "scan_udp53": 0}
-    original = scanner._internet.probe_batch
+    original = scanner._internet.probe_batch_arrays
 
     def counting_probe_batch(*args, **kwargs):
         calls["probe_batch"] += 1
         return original(*args, **kwargs)
 
-    monkeypatch.setattr(scanner._internet, "probe_batch", counting_probe_batch)
+    monkeypatch.setattr(
+        scanner._internet, "probe_batch_arrays", counting_probe_batch
+    )
     monkeypatch.setattr(
         scanner, "scan_udp53",
         lambda *a, **k: pytest.fail("engine must not re-walk via scan_udp53"),
@@ -178,3 +180,54 @@ def test_udp53_ground_truth_not_rewalked(config, monkeypatch):
     expected_chunks = -(-len(targets) // CHUNK_SIZE)
     assert calls["probe_batch"] == expected_chunks
     assert udp.responders, "fused pass still finds UDP/53 responders"
+
+
+def test_two_live_engines_do_not_clobber(config):
+    """Two warm pools in one process each scan with their own scanner.
+
+    Regression guard for the module-global worker-scanner footgun: the
+    pool forked second used to capture whichever scanner the global held
+    last.  Scanners are bound per pool via the executor initializer now,
+    so interleaved parallel scans from two engines must each reproduce
+    their own single-worker reference.
+    """
+    service_a = _build(config, workers=1)
+    settings_b = ServiceSettings(
+        gfw_filter_deploy_day=config.gfw_filter_deploy_day,
+        scan_workers=1,
+        scan_chunk_size=CHUNK_SIZE,
+        retry_attempts=3,  # makes scanner B's draws observably different
+    )
+    service_b = HitlistService(build_internet(config), config, settings=settings_b)
+    service_a.bootstrap(0)
+    service_b.bootstrap(0)
+    targets_a = list(service_a._scan_pool)
+    targets_b = list(service_b._scan_pool)
+    qname = "www.google.com"
+
+    engines = [
+        ScanEngine(service_a.scanner, workers=2, chunk_size=CHUNK_SIZE),
+        ScanEngine(service_b.scanner, workers=2, chunk_size=CHUNK_SIZE),
+        ScanEngine(service_a.scanner, workers=1, chunk_size=CHUNK_SIZE),
+        ScanEngine(service_b.scanner, workers=1, chunk_size=CHUNK_SIZE),
+    ]
+    par_a, par_b, ref_a, ref_b = engines
+    try:
+        par_a.warm(len(targets_a))
+        par_b.warm(len(targets_b))
+        for day in (0, 8):
+            got_a, udp_a = par_a.scan_all_protocols(targets_a, day, qname)
+            got_b, udp_b = par_b.scan_all_protocols(targets_b, day, qname)
+            want_a, udp_ref_a = ref_a.scan_all_protocols(targets_a, day, qname)
+            want_b, udp_ref_b = ref_b.scan_all_protocols(targets_b, day, qname)
+            assert got_a == want_a
+            assert got_b == want_b
+            assert udp_a.responders == udp_ref_a.responders
+            assert udp_a.responses == udp_ref_a.responses
+            assert udp_b.responders == udp_ref_b.responders
+            assert udp_b.responses == udp_ref_b.responses
+            # the guard only has teeth if the two scanners disagree
+            assert udp_a.responders != udp_b.responders
+    finally:
+        for engine in engines:
+            engine.close()
