@@ -63,6 +63,66 @@ def metrics_section(history: HitlistHistory) -> Optional[str]:
     )
 
 
+def vantage_section(history: HitlistHistory) -> Optional[str]:
+    """Fleet roster/quorum accounting, aggregated over the campaign.
+
+    ``None`` for single-vantage runs (no snapshot carries a fleet
+    block), keeping pre-fleet reports byte-identical.
+    """
+    blocks = [s.vantage for s in history.snapshots if s.vantage is not None]
+    if not blocks:
+        return None
+    per_vantage: dict = {}
+    scans = {"ok": {}, "down": {}, "backoff": {}}
+    disagreements: dict = {}
+    accepted = rejected = resharded = witness = 0
+    for block in blocks:
+        for vid in block.get("live", ()):
+            scans["ok"][vid] = scans["ok"].get(vid, 0) + 1
+        for vid in block.get("down", ()):
+            scans["down"][vid] = scans["down"].get(vid, 0) + 1
+        for vid in block.get("backoff", ()):
+            scans["backoff"][vid] = scans["backoff"].get(vid, 0) + 1
+        for vid, stats in block.get("per_vantage", {}).items():
+            entry = per_vantage.setdefault(vid, {"targets": 0, "dissent": 0})
+            entry["targets"] += stats.get("targets", 0)
+            entry["dissent"] += stats.get("dissent", 0)
+        for label, count in block.get("disagreements", {}).items():
+            disagreements[label] = disagreements.get(label, 0) + count
+        quorum = block.get("quorum", {})
+        accepted += quorum.get("accepted", 0)
+        rejected += quorum.get("rejected", 0)
+        resharded += block.get("resharded", 0)
+        witness += block.get("witness_targets", 0)
+    vids = sorted(set(per_vantage) | set(scans["ok"]) | set(scans["down"])
+                  | set(scans["backoff"]))
+    rows = [
+        [
+            vid,
+            scans["ok"].get(vid, 0),
+            scans["down"].get(vid, 0),
+            scans["backoff"].get(vid, 0),
+            si_format(per_vantage.get(vid, {}).get("targets", 0)),
+            per_vantage.get(vid, {}).get("dissent", 0),
+        ]
+        for vid in vids
+    ]
+    body = ascii_table(
+        ["vantage", "scans", "down", "backoff", "targets", "dissent"], rows
+    )
+    split = ", ".join(
+        f"{label}: {count}" for label, count in sorted(disagreements.items())
+    ) or "none"
+    body += (
+        f"\nwitness targets probed by a panel: {witness}"
+        f"\ntargets re-sharded around failures: {resharded}"
+        f"\ndisagreements by protocol: {split}"
+        f"\nquorum decisions on split votes: {accepted} accepted, "
+        f"{rejected} rejected"
+    )
+    return _section("Vantage fleet — roster & quorum", body)
+
+
 def full_report(history: HitlistHistory, evaluation=None) -> str:
     """Render the complete run summary as text."""
     internet = history.internet
@@ -93,6 +153,10 @@ def full_report(history: HitlistHistory, evaluation=None) -> str:
         ],
     )
     sections.append(_section("Run overview", overview))
+
+    fleet = vantage_section(history)
+    if fleet is not None:
+        sections.append(fleet)
 
     # --- Table 1 ----------------------------------------------------------
     table1 = table1_responsiveness(history, rib)

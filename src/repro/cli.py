@@ -83,14 +83,54 @@ def _scan_days(args: argparse.Namespace, config) -> List[int]:
     return [day for day in default_scan_days(config.final_day) if day <= until]
 
 
+def _parse_vantage_faults(spec: str):
+    """``'vp1:10-20,vp2:14-18'`` -> scoped outage entries."""
+    from repro.runtime.faults import VantageOutage
+
+    entries = []
+    for token in spec.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        try:
+            vid, _, window = token.rpartition(":")
+            start, _, end = window.partition("-")
+            if not vid:
+                raise ValueError(token)
+            entries.append(VantageOutage(
+                start_day=int(start), end_day=int(end), vantage=vid,
+            ))
+        except ValueError:
+            raise SystemExit(
+                f"--vantage-faults: cannot parse {token!r}; "
+                f"expected 'vid:START-END'"
+            )
+    return tuple(entries)
+
+
 def _load_faults(args: argparse.Namespace):
     path = getattr(args, "faults", None)
-    if not path:
-        return None
-    from repro.runtime import load_fault_plan
+    plan = None
+    if path:
+        from repro.runtime import load_fault_plan
 
-    with open(path, "r", encoding="ascii") as handle:
-        return load_fault_plan(handle)
+        with open(path, "r", encoding="ascii") as handle:
+            plan = load_fault_plan(handle)
+    extra = getattr(args, "vantage_faults", None)
+    if extra:
+        import dataclasses
+
+        from repro.runtime.faults import FaultPlan
+
+        entries = _parse_vantage_faults(extra)
+        if plan is None:
+            plan = FaultPlan(outages=entries)
+        else:
+            plan = dataclasses.replace(plan, outages=plan.outages + entries)
+        # round-trip through the validating decoder so overlapping or
+        # out-of-range windows fail here, not three stages into a run
+        plan = FaultPlan.from_dict(plan.to_dict())
+    return plan
 
 
 def _run_pipeline(args: argparse.Namespace):
@@ -117,6 +157,8 @@ def _run_pipeline(args: argparse.Namespace):
         retry_attempts=getattr(args, "retry_attempts", None) or 1,
         scan_workers=getattr(args, "scan_workers", None) or 1,
         scan_chunk_size=getattr(args, "scan_chunk_size", None) or 4096,
+        vantages=getattr(args, "vantages", None) or 1,
+        quorum=getattr(args, "quorum", None) or "majority",
     )
     service = HitlistService(
         internet, config, settings=settings, fault_plan=_load_faults(args)
@@ -324,6 +366,23 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--faults",
                        help="JSON fault plan (outages, rate limits, loss "
                             "bursts, source failures) to inject")
+        p.add_argument("--vantages", type=int, dest="vantages", default=1,
+                       metavar="N",
+                       help="simulated vantage points scanning as a fleet "
+                            "(default: 1, the paper's single TUM vantage; "
+                            ">1 shards targets across AS-diverse members "
+                            "with quorum reconciliation)")
+        p.add_argument("--quorum", choices=("strict", "majority", "any"),
+                       default="majority",
+                       help="policy reconciling witness-target verdicts "
+                            "that disagree across vantages "
+                            "(default: majority)")
+        p.add_argument("--vantage-faults", dest="vantage_faults",
+                       metavar="SPEC",
+                       help="extra per-vantage outage windows as "
+                            "'vid:START-END[,vid:START-END...]' (e.g. "
+                            "'vp1:10-20,vp2:14-18'), merged into the "
+                            "fault plan")
         p.add_argument("--retry-attempts", type=int, dest="retry_attempts",
                        help="probe tries per target per scan (default: 1)")
         p.add_argument("--scan-workers", type=int, dest="scan_workers",

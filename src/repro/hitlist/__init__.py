@@ -21,6 +21,7 @@ from repro.hitlist.sources import (
     default_sources,
 )
 from repro.hitlist.service import (
+    DegradedReason,
     HitlistHistory,
     HitlistService,
     ScanSnapshot,
@@ -32,6 +33,7 @@ __all__ = [
     "AliasedPrefixDetection",
     "AtlasSource",
     "CloudEndpointSource",
+    "DegradedReason",
     "DetectedAlias",
     "DnsZoneSource",
     "FlakySource",

@@ -42,6 +42,12 @@ def history_summary(history: HitlistHistory) -> Dict[str, Any]:
             "udp53_hit_rate": snapshot.udp53_hit_rate,
             "degraded": list(snapshot.degraded),
             "metrics": dict(snapshot.metrics),
+            # fleet reconciliation block (roster, quorum decisions,
+            # per-vantage disagreements); absent for single-vantage runs
+            **(
+                {"vantage": snapshot.vantage}
+                if snapshot.vantage is not None else {}
+            ),
         })
     retained = {}
     for day, scan in history.retained.items():
@@ -142,6 +148,7 @@ def rebuild_snapshots(data: Dict[str, Any]) -> list:
                     str(key): int(value)
                     for key, value in entry.get("metrics", {}).items()
                 },
+                vantage=entry.get("vantage"),
             )
         )
     return snapshots

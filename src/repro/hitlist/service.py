@@ -31,6 +31,7 @@ from repro.scan.yarrp import YarrpTracer
 from repro.scan.zmap import ZMapScanner
 from repro.simnet.config import DAY_2021_12_01, SNAPSHOT_DAYS, ScenarioConfig
 from repro.simnet.internet import SimInternet
+from repro.vantage import VantageFleet, default_vantage_specs, validate_policy
 
 #: The per-scan metrics block of a :class:`ScanSnapshot`: short key ->
 #: registry counter whose per-scan delta it records.
@@ -47,6 +48,65 @@ SCAN_METRIC_COUNTERS: Dict[str, str] = {
     "faults_absorbed": "repro_faults_absorbed_total",
     "excluded": "repro_excluded_total",
 }
+
+
+class DegradedReason(str):
+    """A structured degraded-scan marker that is still a plain string.
+
+    :attr:`ScanSnapshot.degraded` predates the fleet and is asserted on
+    (and serialized) as tuples of strings, so structure is carried *in*
+    the string instead of next to it.  Canonical forms:
+
+    * ``vantage_outage`` — no vantage could probe; the scan stood down
+      (the pre-fleet marker, kept verbatim for compatibility);
+    * ``source:<name>`` — input source ``<name>`` raised and was skipped;
+    * ``vantage:<vid>:outage`` — fleet member ``<vid>`` sat out a
+      scheduled outage while the survivors absorbed its shard;
+    * ``vantage:<vid>:backoff`` — member ``<vid>`` was quarantined by the
+      coordinator's retry/backoff after earlier failures.
+    """
+
+    __slots__ = ()
+
+    @classmethod
+    def fleet_standdown(cls) -> "DegradedReason":
+        return cls("vantage_outage")
+
+    @classmethod
+    def source(cls, name: str) -> "DegradedReason":
+        return cls(f"source:{name}")
+
+    @classmethod
+    def vantage(cls, vid: str, fault: str) -> "DegradedReason":
+        return cls(f"vantage:{vid}:{fault}")
+
+    @classmethod
+    def parse(cls, text: str) -> "DegradedReason":
+        """Re-wrap a serialized marker (checkpoint decode path)."""
+        return cls(text)
+
+    @property
+    def kind(self) -> str:
+        """``vantage_outage`` | ``source`` | ``vantage``."""
+        if self == "vantage_outage":
+            return "vantage_outage"
+        return self.split(":", 1)[0]
+
+    @property
+    def vantage_id(self) -> Optional[str]:
+        """The fleet member this marker names, if any."""
+        parts = self.split(":")
+        return parts[1] if parts[0] == "vantage" and len(parts) == 3 else None
+
+    @property
+    def detail(self) -> Optional[str]:
+        """The source name or per-vantage fault kind, if any."""
+        parts = self.split(":")
+        if parts[0] == "source":
+            return self.split(":", 1)[1]
+        if parts[0] == "vantage" and len(parts) == 3:
+            return parts[2]
+        return None
 
 
 def default_scan_days(final_day: int) -> List[int]:
@@ -100,6 +160,15 @@ class ServiceSettings:
     #: targets per scan-engine chunk; affects scheduling only, never
     #: results
     scan_chunk_size: int = 4096
+    #: simulated vantage points scanning as a fleet (1 = the paper's
+    #: single TUM vantage; >1 shards targets across AS-diverse members
+    #: with quorum reconciliation, see repro.vantage)
+    vantages: int = 1
+    #: quorum policy reconciling witness-target disagreements
+    #: ("strict" | "majority" | "any")
+    quorum: str = "majority"
+    #: fraction of targets cross-checked by a multi-vantage witness panel
+    vantage_overlap: float = 0.0625
 
 
 @dataclass
@@ -120,9 +189,15 @@ class ScanSnapshot:
     churn_gone: int = 0
     excluded_now: int = 0
     udp53_hit_rate: float = 0.0
-    #: faults absorbed during this scan ("vantage_outage",
-    #: "source:<name>"); empty for a clean scan
+    #: faults absorbed during this scan, as :class:`DegradedReason`
+    #: markers ("vantage_outage", "source:<name>",
+    #: "vantage:<vid>:outage", "vantage:<vid>:backoff"); empty for a
+    #: clean scan
     degraded: Tuple[str, ...] = ()
+    #: fleet reconciliation block (roster, re-shard count, quorum
+    #: decisions, per-vantage disagreements); None for single-vantage
+    #: scans
+    vantage: Optional[Dict[str, object]] = None
     #: per-scan observability block: deltas of the deterministic
     #: registry counters in :data:`SCAN_METRIC_COUNTERS`
     metrics: Dict[str, int] = field(default_factory=dict)
@@ -230,6 +305,32 @@ class HitlistService:
             metrics=self.metrics,
             tracer=self.spans,
         )
+        validate_policy(self.settings.quorum)
+        if self.settings.vantages < 1:
+            raise ValueError(
+                f"settings.vantages must be >= 1, got {self.settings.vantages}"
+            )
+        #: the multi-vantage coordinator; None keeps the pre-fleet
+        #: single-vantage probe path bit-identical
+        self.fleet: Optional[VantageFleet] = None
+        if self.settings.vantages > 1:
+            self.fleet = VantageFleet(
+                internet,
+                default_vantage_specs(
+                    internet, config.seed, self.settings.vantages
+                ),
+                seed=config.seed,
+                loss_rate=self.settings.loss_rate,
+                quorum=self.settings.quorum,
+                overlap=self.settings.vantage_overlap,
+                workers=self.settings.scan_workers,
+                chunk_size=self.settings.scan_chunk_size,
+                blocklist=self.blocklist,
+                fault_plan=fault_plan,
+                retry=retry,
+                metrics=self.metrics,
+                tracer=self.spans,
+            )
         self.tracer = YarrpTracer(
             internet, blocklist=self.blocklist,
             sample_rate=self.settings.trace_sample_rate, seed=config.seed,
@@ -348,10 +449,13 @@ class HitlistService:
         Days lost to scheduled vantage outages do not count towards the
         threshold: an address cannot prove responsiveness while no probe
         leaves the vantage, and excluding it for our own downtime would
-        fabricate churn.
+        fabricate churn.  In fleet mode only *fleet-wide* outage days
+        count — while any member is live, orphaned shards re-home to the
+        survivors and targets can still prove responsiveness.
         """
         threshold = self.settings.unresponsive_days
         plan = self.fault_plan
+        fleet = self.fleet
         history = self.history
         to_remove = []
         for address in self._scan_pool:
@@ -360,7 +464,12 @@ class HitlistService:
             )
             elapsed = day - reference
             if plan is not None and elapsed > threshold:
-                elapsed -= plan.outage_days_between(reference, day)
+                if fleet is not None:
+                    elapsed -= plan.fleet_outage_days_between(
+                        reference, day, fleet.vantage_ids
+                    )
+                else:
+                    elapsed -= plan.outage_days_between(reference, day)
             if elapsed > threshold:
                 to_remove.append(address)
         for address in to_remove:
@@ -476,18 +585,33 @@ class HitlistService:
                     collected = source.collect(start, day)
                 except Exception:
                     self._source_cursor[source.name] = start
-                    degraded.append(f"source:{source.name}")
+                    degraded.append(DegradedReason.source(source.name))
                     continue
                 self._ingest(source.name, collected, day)
                 self._source_cursor[source.name] = day
 
-        # 1b. vantage outage: nothing can be probed, so APD, the
-        # unresponsiveness filter, scans and traceroutes all stand down.
-        # Collected input stays queued for the next working scan, and
-        # churn bookkeeping freezes (an outage is not churn).
+        # 1b. vantage outages.  Fleet mode takes the day's roster —
+        # called exactly once per scan day, because failure counts and
+        # quarantine deadlines advance here — and degrades (rather than
+        # stands down) while any member is live: orphaned shards re-home
+        # to the survivors inside the fleet's rendezvous ranking.  Only
+        # when *nothing* can be probed do APD, the unresponsiveness
+        # filter, scans and traceroutes all stand down; collected input
+        # stays queued for the next working scan, and churn bookkeeping
+        # freezes (an outage is not churn).
         plan = self.fault_plan
-        if plan is not None and plan.vantage_down(day):
-            degraded.append("vantage_outage")
+        roster = None
+        if self.fleet is not None:
+            roster = self.fleet.roster(day)
+            for vid in roster.down:
+                degraded.append(DegradedReason.vantage(vid, "outage"))
+            for vid in roster.backoff:
+                degraded.append(DegradedReason.vantage(vid, "backoff"))
+            stand_down = roster.all_down
+        else:
+            stand_down = plan is not None and plan.vantage_down(day)
+        if stand_down:
+            degraded.append(DegradedReason.fleet_standdown())
             snapshot = ScanSnapshot(
                 day=day,
                 input_total=len(history.input_ever),
@@ -496,6 +620,14 @@ class HitlistService:
                 published_counts={protocol: 0 for protocol in ALL_PROTOCOLS},
                 cleaned_counts={protocol: 0 for protocol in ALL_PROTOCOLS},
                 degraded=tuple(degraded),
+                vantage=(
+                    {
+                        "live": [],
+                        "down": list(roster.down),
+                        "backoff": list(roster.backoff),
+                    }
+                    if roster is not None else None
+                ),
             )
             history.snapshots.append(snapshot)
             return snapshot
@@ -522,12 +654,20 @@ class HitlistService:
         with self.spans.span("hygiene"):
             excluded_now = self._apply_30day_filter(day)
 
-        # 5. scans
+        # 5. scans — one engine pass, or the fleet's shard/probe/
+        # reconcile cycle when multiple vantages are configured
         with self.spans.span("probe"):
             targets = list(self._scan_pool)
-            results, udp53 = self.engine.scan_all_protocols(
-                targets, day, settings.qname
-            )
+            vantage_block = None
+            if self.fleet is not None:
+                results, udp53, fleet_report = self.fleet.scan(
+                    targets, day, settings.qname, roster
+                )
+                vantage_block = fleet_report.to_json()
+            else:
+                results, udp53 = self.engine.scan_all_protocols(
+                    targets, day, settings.qname
+                )
             cleaning = self.gfw_filter.clean_scan(udp53)
 
             other_responders: Set[int] = set()
@@ -635,6 +775,7 @@ class HitlistService:
             excluded_now=excluded_now,
             udp53_hit_rate=udp53.hit_rate,
             degraded=tuple(degraded),
+            vantage=vantage_block,
         )
         history.snapshots.append(snapshot)
         return snapshot
@@ -718,9 +859,13 @@ class HitlistService:
             from repro.publish.store import SnapshotStore
 
             publish_store = SnapshotStore(publish_dir, metrics=self.metrics)
-        # fork the scan-worker pool once, before the campaign: every scan
-        # reuses the warm workers instead of paying fork latency per day
-        self.engine.warm(len(self._scan_pool))
+        # fork the scan-worker pool(s) once, before the campaign: every
+        # scan reuses the warm workers instead of paying fork latency
+        # per day
+        if self.fleet is not None:
+            self.fleet.warm(len(self._scan_pool))
+        else:
+            self.engine.warm(len(self._scan_pool))
         try:
             for index in range(start_index, len(scan_days)):
                 day = scan_days[index]
@@ -745,7 +890,9 @@ class HitlistService:
                         retain_pending, checkpoint_every, publish_dir,
                     )
         finally:
-            # the worker pool re-opens lazily if the service runs again
+            # the worker pools re-open lazily if the service runs again
+            if self.fleet is not None:
+                self.fleet.close()
             self.engine.close()
         stash = getattr(self, "_last_scan_full", None)
         if stash is not None and stash[0] not in self.history.retained:
@@ -850,7 +997,10 @@ class HitlistService:
             raise ValueError(f"base_interval must be >= 1, got {base_interval}")
         retain_pending = sorted(self.settings.retain_days)
         self.bootstrap(start_day)
-        self.engine.warm(len(self._scan_pool))
+        if self.fleet is not None:
+            self.fleet.warm(len(self._scan_pool))
+        else:
+            self.engine.warm(len(self._scan_pool))
         day = start_day
         prev_day = -1
         try:
@@ -863,6 +1013,8 @@ class HitlistService:
                 runtime_days = -(-5 * snapshot.scan_target_count // rate)  # ceil
                 day += max(base_interval, runtime_days)
         finally:
+            if self.fleet is not None:
+                self.fleet.close()
             self.engine.close()
         if prev_day >= 0 and prev_day not in self.history.retained:
             self._retain(prev_day)

@@ -14,6 +14,7 @@ from repro.runtime.faults import (
     RateLimit,
     RetryPolicy,
     SourceOutage,
+    VantageDegradation,
     VantageOutage,
     load_fault_plan,
 )
@@ -32,6 +33,7 @@ __all__ = [
     "RateLimit",
     "RetryPolicy",
     "SourceOutage",
+    "VantageDegradation",
     "VantageOutage",
     "checkpoint_service",
     "load_fault_plan",

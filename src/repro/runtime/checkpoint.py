@@ -207,11 +207,12 @@ def _snapshot_to_dict(snapshot) -> Dict[str, Any]:
         "udp53_hit_rate": snapshot.udp53_hit_rate,
         "degraded": list(snapshot.degraded),
         "metrics": dict(snapshot.metrics),
+        "vantage": snapshot.vantage,
     }
 
 
 def _snapshot_from_dict(data: Dict[str, Any]):
-    from repro.hitlist.service import ScanSnapshot
+    from repro.hitlist.service import DegradedReason, ScanSnapshot
 
     return ScanSnapshot(
         day=int(data["day"]),
@@ -234,11 +235,14 @@ def _snapshot_from_dict(data: Dict[str, Any]):
         churn_gone=int(data["churn_gone"]),
         excluded_now=int(data["excluded_now"]),
         udp53_hit_rate=float(data.get("udp53_hit_rate", 0.0)),
-        degraded=tuple(data.get("degraded", ())),
+        degraded=tuple(
+            DegradedReason.parse(entry) for entry in data.get("degraded", ())
+        ),
         metrics={
             str(key): int(value)
             for key, value in data.get("metrics", {}).items()
         },
+        vantage=data.get("vantage"),
     )
 
 
@@ -276,6 +280,12 @@ def service_state(service: "HitlistService") -> Dict[str, Any]:
             "probes_sent": service.scanner.probes_sent,
             "apd_probes_sent": apd._scanner.probes_sent,
             "last_scan_full": last_scan_full,
+            # fleet survival state (retry/backoff bookkeeping and
+            # per-vantage probe totals); None for single-vantage runs
+            "fleet": (
+                service.fleet.state_dict()
+                if service.fleet is not None else None
+            ),
         },
         "history": {
             "snapshots": [_snapshot_to_dict(s) for s in history.snapshots],
@@ -342,6 +352,9 @@ def restore_service_state(service: "HitlistService", payload: Dict[str, Any]) ->
     }
     service.scanner.probes_sent = int(state["probes_sent"])
     service.apd._scanner.probes_sent = int(state["apd_probes_sent"])
+    fleet_state = state.get("fleet")
+    if fleet_state is not None and service.fleet is not None:
+        service.fleet.restore_state(fleet_state)
     stash = state.get("last_scan_full")
     if stash is not None:
         service._last_scan_full = (

@@ -71,17 +71,53 @@ class RetryPolicy:
 
 @dataclass(frozen=True)
 class VantageOutage:
-    """The scan vantage is down for ``[start_day, end_day]`` (inclusive).
+    """A scan vantage is down for ``[start_day, end_day]`` (inclusive).
 
-    Scans issued inside the window send nothing and hear nothing.
+    Scans issued inside the window send nothing and hear nothing.  With
+    ``vantage=None`` (the default, and the only pre-fleet form) the
+    outage is *global*: the singleton vantage — or, in fleet mode, every
+    vantage at once — goes dark.  A non-``None`` ``vantage`` scopes the
+    outage to one fleet member (e.g. ``"vp1"``); the coordinator
+    re-shards that member's targets to the surviving vantages.
     """
 
     start_day: int
     end_day: int
+    vantage: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.end_day < self.start_day:
             raise ValueError(f"outage window inverted: {self}")
+
+    def active(self, day: int) -> bool:
+        return self.start_day <= day <= self.end_day
+
+
+@dataclass(frozen=True)
+class VantageDegradation:
+    """One fleet vantage suffers degraded connectivity for a window.
+
+    Unlike an outage the vantage still scans, but an extra correlated
+    loss band (``extra_loss_rate`` of the address-hash ring, anchored
+    per window like :class:`LossBurst`) swallows its probes.  Quorum
+    reconciliation is what keeps a degraded member from poisoning the
+    published hitlist.
+    """
+
+    vantage: str
+    start_day: int
+    end_day: int
+    extra_loss_rate: float
+
+    def __post_init__(self) -> None:
+        if not self.vantage:
+            raise ValueError(f"degradation needs a vantage id: {self}")
+        if self.end_day < self.start_day:
+            raise ValueError(f"degradation window inverted: {self}")
+        if not 0.0 <= self.extra_loss_rate <= 1.0:
+            raise ValueError(
+                f"degradation loss rate out of range: {self.extra_loss_rate}"
+            )
 
     def active(self, day: int) -> bool:
         return self.start_day <= day <= self.end_day
@@ -164,19 +200,42 @@ class FaultPlan:
     rate_limits: Tuple[RateLimit, ...] = ()
     bursts: Tuple[LossBurst, ...] = ()
     source_outages: Tuple[SourceOutage, ...] = ()
+    degradations: Tuple[VantageDegradation, ...] = ()
 
     # ------------------------------------------------------------------
     # vantage outages
 
     def vantage_down(self, day: int) -> bool:
-        """True when the scan vantage is inside an outage window."""
-        return any(outage.active(day) for outage in self.outages)
+        """True when the (singleton) scan vantage is inside an outage.
+
+        Only *global* outages (``vantage=None``) count: entries scoped
+        to a fleet member affect that member alone and are applied via
+        :meth:`view_for`.
+        """
+        return any(
+            outage.vantage is None and outage.active(day)
+            for outage in self.outages
+        )
+
+    def vantage_down_for(self, vantage: str, day: int) -> bool:
+        """True when the named fleet vantage is down on ``day``.
+
+        A global outage takes every vantage down; a scoped outage only
+        its own.
+        """
+        return any(
+            outage.active(day) and outage.vantage in (None, vantage)
+            for outage in self.outages
+        )
 
     def outage_days_between(self, start_day: int, end_day: int) -> int:
         """Number of days in ``(start_day, end_day]`` lost to outages.
 
         The service's unresponsiveness filter subtracts these so a
-        vantage outage does not masquerade as 30 days of silence.
+        vantage outage does not masquerade as 30 days of silence.  Only
+        global outages count — a single fleet member's downtime does
+        not stop the rest of the fleet from probing (see
+        :meth:`fleet_outage_days_between`).
         """
         total = 0
         for low, high in self._merged_outage_windows():
@@ -185,15 +244,89 @@ class FaultPlan:
                 total += overlap
         return total
 
-    def _merged_outage_windows(self) -> List[Tuple[int, int]]:
-        windows = sorted((o.start_day, o.end_day) for o in self.outages)
-        merged: List[Tuple[int, int]] = []
+    def fleet_outage_days_between(
+        self, start_day: int, end_day: int, vantages: Sequence[str]
+    ) -> int:
+        """Days in ``(start_day, end_day]`` when the *whole* fleet was dark.
+
+        A day is lost to the fleet only when a global outage covers it
+        or every vantage in ``vantages`` has a scoped outage covering
+        it — with any member alive, orphaned targets are re-sharded and
+        still probed.
+        """
+        if not vantages:
+            return self.outage_days_between(start_day, end_day)
+        windows = _merge_windows(
+            (o.start_day, o.end_day) for o in self.outages if o.vantage is None
+        )
+        per_vantage = []
+        for vantage in vantages:
+            per_vantage.append(_merge_windows(
+                (o.start_day, o.end_day)
+                for o in self.outages
+                if o.vantage in (None, vantage)
+            ))
+        windows = _merge_windows(
+            list(windows) + list(_intersect_windows(per_vantage))
+        )
+        total = 0
         for low, high in windows:
-            if merged and low <= merged[-1][1] + 1:
-                merged[-1] = (merged[-1][0], max(merged[-1][1], high))
-            else:
-                merged.append((low, high))
-        return merged
+            overlap = min(high, end_day) - max(low, start_day + 1) + 1
+            if overlap > 0:
+                total += overlap
+        return total
+
+    def _merged_outage_windows(self) -> List[Tuple[int, int]]:
+        return _merge_windows(
+            (o.start_day, o.end_day) for o in self.outages if o.vantage is None
+        )
+
+    # ------------------------------------------------------------------
+    # per-vantage fleet views
+
+    def view_for(self, vantage: str, asn: int) -> "FaultPlan":
+        """The fault plan as experienced by one fleet vantage.
+
+        Lowers fleet-scoped faults into the singleton vocabulary the
+        scanners already speak, so :class:`~repro.scan.zmap.ZMapScanner`
+        and the scan engine need no fleet awareness:
+
+        * outages scoped to this vantage (plus global ones) become plain
+          global outages of the view;
+        * degradations scoped to this vantage become :class:`LossBurst`
+          windows of the view;
+        * the seed is re-salted with the vantage's origin AS, so burst
+          cohorts and rate-limit rankings — path-dependent exposure —
+          differ per vantage while staying pure functions of the plan.
+        """
+        outages = tuple(
+            VantageOutage(start_day=o.start_day, end_day=o.end_day)
+            for o in self.outages
+            if o.vantage in (None, vantage)
+        )
+        bursts = self.bursts + tuple(
+            LossBurst(
+                start_day=d.start_day,
+                end_day=d.end_day,
+                loss_rate=d.extra_loss_rate,
+            )
+            for d in self.degradations
+            if d.vantage == vantage
+        )
+        return FaultPlan(
+            seed=mix64(self.seed ^ (asn & _M64) ^ 0x7A9E_1A6E),
+            outages=outages,
+            rate_limits=self.rate_limits,
+            bursts=bursts,
+            source_outages=self.source_outages,
+        )
+
+    @property
+    def fleet_vantage_ids(self) -> FrozenSet[str]:
+        """Vantage ids named by scoped outages or degradations."""
+        scoped = {o.vantage for o in self.outages if o.vantage is not None}
+        scoped.update(d.vantage for d in self.degradations)
+        return frozenset(scoped)
 
     # ------------------------------------------------------------------
     # correlated loss bursts
@@ -283,7 +416,23 @@ class FaultPlan:
         return {
             "seed": self.seed,
             "vantage_outages": [
-                {"start_day": o.start_day, "end_day": o.end_day} for o in self.outages
+                {"start_day": o.start_day, "end_day": o.end_day}
+                if o.vantage is None
+                else {
+                    "vantage": o.vantage,
+                    "start_day": o.start_day,
+                    "end_day": o.end_day,
+                }
+                for o in self.outages
+            ],
+            "vantage_degradations": [
+                {
+                    "vantage": d.vantage,
+                    "start_day": d.start_day,
+                    "end_day": d.end_day,
+                    "extra_loss_rate": d.extra_loss_rate,
+                }
+                for d in self.degradations
             ],
             "rate_limits": [
                 {
@@ -313,18 +462,45 @@ class FaultPlan:
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "FaultPlan":
-        """Rebuild a plan from :meth:`to_dict` output (or a faults file)."""
+        """Rebuild a plan from :meth:`to_dict` output (or a faults file).
+
+        Beyond the per-dataclass field checks, windows are validated
+        against cross-entry mistakes that used to slip through silently:
+        negative days are out of range, and two ``vantage_outages`` (or
+        two ``vantage_degradations``) for the same vantage scope must
+        not overlap — earlier code merged duplicates quietly, hiding
+        typos in hand-written fault files.
+        """
         known = {"seed", "vantage_outages", "rate_limits", "loss_bursts",
-                 "source_outages"}
+                 "source_outages", "vantage_degradations"}
         unknown = set(data) - known
         if unknown:
             raise ValueError(f"unknown fault plan fields: {sorted(unknown)}")
+        outages = tuple(
+            VantageOutage(
+                start_day=int(o["start_day"]),
+                end_day=int(o["end_day"]),
+                vantage=(
+                    str(o["vantage"]) if o.get("vantage") is not None else None
+                ),
+            )
+            for o in data.get("vantage_outages", ())
+        )
+        degradations = tuple(
+            VantageDegradation(
+                vantage=str(d["vantage"]),
+                start_day=int(d["start_day"]),
+                end_day=int(d["end_day"]),
+                extra_loss_rate=float(d["extra_loss_rate"]),
+            )
+            for d in data.get("vantage_degradations", ())
+        )
+        _validate_windows("vantage_outages", outages)
+        _validate_windows("vantage_degradations", degradations)
         return cls(
             seed=int(data.get("seed", 0)),
-            outages=tuple(
-                VantageOutage(start_day=int(o["start_day"]), end_day=int(o["end_day"]))
-                for o in data.get("vantage_outages", ())
-            ),
+            outages=outages,
+            degradations=degradations,
             rate_limits=tuple(
                 RateLimit(
                     asn=int(limit["asn"]),
@@ -350,6 +526,64 @@ class FaultPlan:
                 for o in data.get("source_outages", ())
             ),
         )
+
+
+def _merge_windows(windows) -> List[Tuple[int, int]]:
+    """Merge overlapping/adjacent inclusive day windows, sorted."""
+    merged: List[Tuple[int, int]] = []
+    for low, high in sorted(windows):
+        if merged and low <= merged[-1][1] + 1:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], high))
+        else:
+            merged.append((low, high))
+    return merged
+
+
+def _intersect_windows(
+    window_lists: Sequence[List[Tuple[int, int]]],
+) -> List[Tuple[int, int]]:
+    """Days covered by *every* list of merged windows."""
+    if not window_lists:
+        return []
+    result = list(window_lists[0])
+    for windows in window_lists[1:]:
+        narrowed: List[Tuple[int, int]] = []
+        for a_low, a_high in result:
+            for b_low, b_high in windows:
+                low, high = max(a_low, b_low), min(a_high, b_high)
+                if low <= high:
+                    narrowed.append((low, high))
+        result = narrowed
+        if not result:
+            break
+    return result
+
+
+def _validate_windows(field: str, entries: Sequence[Any]) -> None:
+    """Reject out-of-range days and same-scope overlapping windows.
+
+    Raises a :class:`ValueError` that names the offending entry so a
+    typo in a hand-written fault file points at its own line instead of
+    silently merging into a neighbour.
+    """
+    for entry in entries:
+        if entry.start_day < 0:
+            raise ValueError(
+                f"{field} entry has out-of-range days: {entry} "
+                f"(days must be >= 0)"
+            )
+    by_scope: Dict[Optional[str], List[Any]] = {}
+    for entry in entries:
+        by_scope.setdefault(entry.vantage, []).append(entry)
+    for scope, members in by_scope.items():
+        members.sort(key=lambda e: (e.start_day, e.end_day))
+        for previous, current in zip(members, members[1:]):
+            if current.start_day <= previous.end_day:
+                raise ValueError(
+                    f"overlapping {field} windows for vantage "
+                    f"{scope if scope is not None else '<global>'}: "
+                    f"{previous} overlaps {current}"
+                )
 
 
 def _protocol_mask(protocols: Any) -> int:

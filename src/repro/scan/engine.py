@@ -470,6 +470,7 @@ class ScanEngine:
         chunk_size: int = DEFAULT_CHUNK_SIZE,
         metrics: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
+        vantage: Optional[str] = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -479,6 +480,10 @@ class ScanEngine:
         self._workers = workers
         self._chunk_size = chunk_size
         self._tracer = tracer
+        #: fleet member this engine scans for; labels its probe spans so
+        #: traces of a multi-vantage campaign attribute chunk time
+        self._vantage = vantage
+        self._span_attrs = {"vantage": vantage} if vantage is not None else {}
         self._executor = None
         self._pool_mmap = None
         self._pool_capacity = 0
@@ -809,7 +814,9 @@ class ScanEngine:
             for index, (start, stop) in enumerate(ranges):
                 began = time.perf_counter()
                 if tracer is not None:
-                    with tracer.span("probe-chunk", day=day, chunk=index):
+                    with tracer.span(
+                        "probe-chunk", day=day, chunk=index, **self._span_attrs
+                    ):
                         results.append(_scan_chunk_packed(
                             scanner, targets[start:stop], start, day, qname,
                             ctx, limited, self._crosses_cache,
@@ -845,7 +852,9 @@ class ScanEngine:
             # up as near-zero waits on all but the slowest chunk
             began = time.perf_counter()
             if tracer is not None:
-                with tracer.span("probe-chunk", day=day, chunk=index):
+                with tracer.span(
+                    "probe-chunk", day=day, chunk=index, **self._span_attrs
+                ):
                     results.append(result)
             else:
                 results.append(result)

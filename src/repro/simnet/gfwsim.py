@@ -111,6 +111,29 @@ class GreatFirewall:
         self._inject_day: Optional[int] = None
         self._inject_day_hash = 0
 
+    def with_boundary(self, boundary: GfwBoundary) -> "GreatFirewall":
+        """A copy of this firewall as seen from a different vantage.
+
+        Injection behaviour is path-dependent: swapping the boundary
+        (e.g. ``vantage_inside=True`` for a Chinese vantage point) flips
+        which destinations cross the firewall while keeping eras,
+        blocked domains, the forged-answer pool and all injection draws
+        identical — the same censorship infrastructure, another path.
+        """
+        return GreatFirewall(
+            boundary=boundary,
+            eras=self._eras,
+            blocked_domains=self._blocked,
+            ipv4_pool=self._pool,
+            seed=self._seed,
+            burst_probability=self._burst_probability,
+        )
+
+    @property
+    def boundary(self) -> GfwBoundary:
+        """The path boundary this firewall instance injects across."""
+        return self._boundary
+
     @property
     def eras(self) -> Tuple[GfwEra, ...]:
         """All configured eras, sorted by start day."""

@@ -124,21 +124,26 @@ class SimInternet:
 
         self.control_ns_log: List[ControlNsQuery] = []
 
-        # per-day cache of currently ping-responsive CPE addresses
-        self._cpe_cache_day: Optional[int] = None
-        self._cpe_cache: Set[int] = set()
+        # per-day cache of currently ping-responsive CPE addresses.
+        # Validity markers live *inside* the dict (mutated in place, never
+        # rebound) so vantage views — shallow copies — share one cache
+        # instead of each view recomputing or clearing it per day.
+        self._cpe_cache_state: Dict[str, object] = {
+            "day": None, "addresses": set(),
+        }
 
         # /64-keyed origin-AS cache, valid per routing snapshot (announced
         # prefixes are never longer than /64, so the key is sound).
         self._origin_cache: Dict[int, Optional[int]] = {}
-        self._origin_cache_snapshot: Optional[object] = None
+        self._origin_cache_state: Dict[str, object] = {"snapshot": None}
 
         # traceroute memo: hops are a pure function of (target /48 route
         # key, origin AS, fleet rotation epochs) — see RouterTopology.trace.
         # Valid until any CPE fleet enters a new rotation epoch.
         self._trace_cache: Dict[Tuple[int, Optional[int]], List[int]] = {}
-        self._trace_cache_day: Optional[int] = None
-        self._trace_cache_epochs: Optional[Tuple[int, ...]] = None
+        self._trace_cache_state: Dict[str, object] = {
+            "day": None, "epochs": None,
+        }
 
     # ------------------------------------------------------------------
     # topology / bookkeeping
@@ -155,12 +160,39 @@ class SimInternet:
         """All ground-truth fully responsive regions."""
         return tuple(self._regions)
 
+    def vantage_view(self, inside_gfw: bool) -> "SimInternet":
+        """The same ground truth as seen from another vantage point.
+
+        The view is a shallow copy sharing hosts, regions, routing,
+        topology and every pure cache — only the path-dependent pieces
+        differ: the Great Firewall boundary is re-anchored to the new
+        vantage (an inside-GFW vantage sees injection towards *foreign*
+        destinations and none towards Chinese ones), and the control-NS
+        query log is private so per-vantage DNS verification traffic
+        stays attributable.  Probe answers remain pure functions of
+        (address, protocol, day); fleet scan order is deterministic, so
+        shared caches never make results order-dependent.
+        """
+        import copy
+
+        from repro.asn.topology import GfwBoundary
+
+        view = copy.copy(self)
+        view.gfw = self.gfw.with_boundary(
+            GfwBoundary(
+                inside_asns=self.gfw.boundary.inside_asns,
+                vantage_inside=inside_gfw,
+            )
+        )
+        view.control_ns_log = []
+        return view
+
     def origin_as(self, address: int, day: int) -> Optional[int]:
         """Origin AS for an address per the routing table of ``day``."""
         snapshot = self.routing.snapshot_at(day)
-        if snapshot is not self._origin_cache_snapshot:
+        if snapshot is not self._origin_cache_state["snapshot"]:
             self._origin_cache.clear()
-            self._origin_cache_snapshot = snapshot
+            self._origin_cache_state["snapshot"] = snapshot
         slash64 = address >> 64
         try:
             return self._origin_cache[slash64]
@@ -195,14 +227,15 @@ class SimInternet:
 
     def _responsive_cpe(self, day: int) -> Set[int]:
         """Current addresses of ping-answering CPE devices (cached per day)."""
-        if self._cpe_cache_day != day:
+        state = self._cpe_cache_state
+        if state["day"] != day:
             current: Set[int] = set()
             for fleet in self.topology.fleets:
                 if fleet.responsive_share > 0.0:
                     current.update(fleet.responsive_addresses(day))
-            self._cpe_cache = current
-            self._cpe_cache_day = day
-        return self._cpe_cache
+            state["addresses"] = current
+            state["day"] = day
+        return state["addresses"]
 
     def responds(self, address: int, protocol: Protocol, day: int) -> bool:
         """Would a probe of ``protocol`` towards ``address`` be answered?
@@ -265,9 +298,9 @@ class SimInternet:
         e.g. the APD probe pass.
         """
         snapshot = self.routing.snapshot_at(day)
-        if snapshot is not self._origin_cache_snapshot:
+        if snapshot is not self._origin_cache_state["snapshot"]:
             self._origin_cache.clear()
-            self._origin_cache_snapshot = snapshot
+            self._origin_cache_state["snapshot"] = snapshot
         origin_cache = self._origin_cache
         snapshot_origin = snapshot.origin_as
         region_cache = self._region_cache
@@ -332,9 +365,9 @@ class SimInternet:
         tuple boxing.
         """
         snapshot = self.routing.snapshot_at(day)
-        if snapshot is not self._origin_cache_snapshot:
+        if snapshot is not self._origin_cache_state["snapshot"]:
             self._origin_cache.clear()
-            self._origin_cache_snapshot = snapshot
+            self._origin_cache_state["snapshot"] = snapshot
         origin_cache = self._origin_cache
         snapshot_origin = snapshot.origin_as
         region_cache = self._region_cache
@@ -538,14 +571,15 @@ class SimInternet:
         memoized until some fleet rotates.  Callers must treat the
         returned list as read-only.
         """
-        if day != self._trace_cache_day:
+        state = self._trace_cache_state
+        if day != state["day"]:
             epochs = tuple(
                 day // fleet.rotation_period for fleet in self.topology.fleets
             )
-            if epochs != self._trace_cache_epochs:
+            if epochs != state["epochs"]:
                 self._trace_cache.clear()
-                self._trace_cache_epochs = epochs
-            self._trace_cache_day = day
+                state["epochs"] = epochs
+            state["day"] = day
         asn = self.origin_as(target, day)
         key = (target >> 80, asn)
         hops = self._trace_cache.get(key)

@@ -1,0 +1,31 @@
+"""Multi-vantage scan fleet: sharding, quorum reconciliation, failover."""
+
+from repro.vantage.fleet import (
+    DEFAULT_OVERLAP,
+    FleetRoster,
+    FleetScanReport,
+    VantageFleet,
+    VantageSpec,
+    default_vantage_specs,
+)
+from repro.vantage.quorum import (
+    QUORUM_POLICIES,
+    is_disagreement,
+    quorum_size,
+    reconcile,
+    validate_policy,
+)
+
+__all__ = [
+    "DEFAULT_OVERLAP",
+    "FleetRoster",
+    "FleetScanReport",
+    "QUORUM_POLICIES",
+    "VantageFleet",
+    "VantageSpec",
+    "default_vantage_specs",
+    "is_disagreement",
+    "quorum_size",
+    "reconcile",
+    "validate_policy",
+]

@@ -1,0 +1,61 @@
+"""Quorum policies for reconciling per-vantage responsiveness verdicts.
+
+One vantage's "unresponsive" is another's "responding": GFW injection,
+loss bursts and rate-limit exposure are all path-dependent, so verdicts
+from different vantage points legitimately disagree.  A quorum policy
+turns the votes of the vantages that actually probed a target into one
+published verdict — the adjustable-quorum idiom (strict / majority /
+any) lets operators trade false negatives against scan artifacts
+without touching the coordinator.
+
+Everything here is pure arithmetic over vote counts; the fleet in
+:mod:`repro.vantage.fleet` supplies the votes.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+#: Supported reconciliation policies, in decreasing strictness.
+QUORUM_POLICIES: Tuple[str, ...] = ("strict", "majority", "any")
+
+
+def validate_policy(policy: str) -> str:
+    """Return ``policy`` or raise a :class:`ValueError` naming it."""
+    if policy not in QUORUM_POLICIES:
+        raise ValueError(
+            f"unknown quorum policy {policy!r}; "
+            f"expected one of {list(QUORUM_POLICIES)}"
+        )
+    return policy
+
+
+def quorum_size(policy: str, voters: int) -> int:
+    """Positive votes needed for a responsive verdict among ``voters``.
+
+    * ``strict``   — every voter must have seen a response;
+    * ``majority`` — more than half (``voters // 2 + 1``);
+    * ``any``      — a single response anywhere suffices.
+
+    A single voter degenerates to 1 under every policy: with no second
+    opinion available, the prober's verdict stands.
+    """
+    validate_policy(policy)
+    if voters < 1:
+        raise ValueError(f"quorum needs at least one voter, got {voters}")
+    if policy == "strict":
+        return voters
+    if policy == "majority":
+        return voters // 2 + 1
+    return 1
+
+
+def reconcile(votes: Sequence[bool], policy: str) -> bool:
+    """The published verdict for one (target, protocol) vote set."""
+    return sum(votes) >= quorum_size(policy, len(votes))
+
+
+def is_disagreement(votes: Sequence[bool]) -> bool:
+    """True when the voters split (some saw a response, some did not)."""
+    positives = sum(votes)
+    return 0 < positives < len(votes)

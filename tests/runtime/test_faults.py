@@ -20,6 +20,7 @@ from repro.runtime import (
     RateLimit,
     RetryPolicy,
     SourceOutage,
+    VantageDegradation,
     VantageOutage,
     load_fault_plan,
 )
@@ -108,6 +109,114 @@ class TestFaultPlanPrimitives:
             FaultPlan.from_dict(
                 {"rate_limits": [{"asn": 1, "budget": 2, "protocols": ["SCTP"]}]}
             )
+
+
+class TestVantageScopedFaults:
+    def test_scoped_outage_roundtrip(self):
+        plan = FaultPlan(
+            seed=11,
+            outages=(
+                VantageOutage(1, 2),
+                VantageOutage(5, 8, vantage="vp2"),
+            ),
+            degradations=(VantageDegradation("vp1", 3, 6, 0.25),),
+        )
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+        assert load_fault_plan(io.StringIO(json.dumps(plan.to_dict()))) == plan
+
+    def test_scoped_entries_do_not_hit_the_global_vantage(self):
+        plan = FaultPlan(outages=(VantageOutage(5, 8, vantage="vp2"),))
+        assert not plan.vantage_down(6)
+        assert plan.vantage_down_for("vp2", 6)
+        assert not plan.vantage_down_for("vp1", 6)
+
+    def test_overlapping_same_vantage_windows_rejected(self):
+        with pytest.raises(ValueError, match=r"overlapping.*vp1"):
+            FaultPlan.from_dict({
+                "vantage_outages": [
+                    {"vantage": "vp1", "start_day": 5, "end_day": 10},
+                    {"vantage": "vp1", "start_day": 8, "end_day": 12},
+                ],
+            })
+
+    def test_overlapping_global_windows_rejected(self):
+        with pytest.raises(ValueError, match=r"overlapping.*<global>"):
+            FaultPlan.from_dict({
+                "vantage_outages": [
+                    {"start_day": 5, "end_day": 10},
+                    {"start_day": 10, "end_day": 12},
+                ],
+            })
+
+    def test_different_vantages_may_overlap(self):
+        plan = FaultPlan.from_dict({
+            "vantage_outages": [
+                {"vantage": "vp1", "start_day": 5, "end_day": 10},
+                {"vantage": "vp2", "start_day": 8, "end_day": 12},
+            ],
+        })
+        assert plan.fleet_vantage_ids == frozenset({"vp1", "vp2"})
+
+    def test_out_of_range_days_rejected_naming_the_entry(self):
+        with pytest.raises(ValueError, match=r"out-of-range.*start_day=-3"):
+            FaultPlan.from_dict({
+                "vantage_outages": [
+                    {"vantage": "vp1", "start_day": -3, "end_day": 2},
+                ],
+            })
+
+    def test_overlapping_degradations_rejected(self):
+        with pytest.raises(ValueError, match="vantage_degradations"):
+            FaultPlan.from_dict({
+                "vantage_degradations": [
+                    {"vantage": "vp1", "start_day": 0, "end_day": 9,
+                     "extra_loss_rate": 0.1},
+                    {"vantage": "vp1", "start_day": 4, "end_day": 6,
+                     "extra_loss_rate": 0.2},
+                ],
+            })
+
+    def test_degradation_validation(self):
+        with pytest.raises(ValueError):
+            VantageDegradation("", 0, 1, 0.1)
+        with pytest.raises(ValueError):
+            VantageDegradation("vp1", 5, 4, 0.1)
+        with pytest.raises(ValueError):
+            VantageDegradation("vp1", 0, 1, 1.5)
+
+    def test_view_lowers_scoped_faults(self):
+        plan = FaultPlan(
+            seed=7,
+            outages=(
+                VantageOutage(1, 2),
+                VantageOutage(5, 8, vantage="vp2"),
+                VantageOutage(20, 22, vantage="vp1"),
+            ),
+            degradations=(VantageDegradation("vp2", 10, 12, 0.5),),
+        )
+        view = plan.view_for("vp2", asn=64500)
+        # global + own outages become plain outages; vp1's vanishes
+        assert view.vantage_down(1) and view.vantage_down(6)
+        assert not view.vantage_down(21)
+        # the degradation turns into a loss burst for this vantage only
+        assert any(b.active(11) and b.loss_rate == 0.5 for b in view.bursts)
+        assert view.seed != plan.view_for("vp1", asn=64501).seed
+
+    def test_fleet_outage_days_require_everyone_down(self):
+        plan = FaultPlan(
+            outages=(
+                VantageOutage(10, 12),                    # global
+                VantageOutage(20, 24, vantage="vp1"),
+                VantageOutage(22, 26, vantage="vp2"),
+            ),
+        )
+        vantages = ("vp1", "vp2")
+        # global window: 3 days; scoped windows only intersect on 22..24
+        assert plan.fleet_outage_days_between(9, 30, vantages) == 6
+        # a single member's downtime never counts against the fleet
+        assert plan.fleet_outage_days_between(19, 21, vantages) == 0
+        # no fleet: falls back to the singleton accounting
+        assert plan.fleet_outage_days_between(9, 30, ()) == 3
 
 
 class TestRetryPolicy:

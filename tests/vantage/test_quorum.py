@@ -1,0 +1,70 @@
+"""Quorum arithmetic: pure-function properties of the vote policies."""
+
+import pytest
+
+from repro.vantage import (
+    QUORUM_POLICIES,
+    is_disagreement,
+    quorum_size,
+    reconcile,
+    validate_policy,
+)
+
+
+class TestValidatePolicy:
+    def test_accepts_known_policies(self):
+        for policy in QUORUM_POLICIES:
+            assert validate_policy(policy) == policy
+
+    def test_rejects_unknown_policy_by_name(self):
+        with pytest.raises(ValueError, match="consensus"):
+            validate_policy("consensus")
+
+
+class TestQuorumSize:
+    def test_strict_requires_every_voter(self):
+        assert [quorum_size("strict", n) for n in (1, 2, 3, 5)] == [1, 2, 3, 5]
+
+    def test_majority_is_more_than_half(self):
+        assert [quorum_size("majority", n) for n in (1, 2, 3, 4, 5)] == [
+            1, 2, 2, 3, 3,
+        ]
+
+    def test_any_needs_one(self):
+        assert [quorum_size("any", n) for n in (1, 3, 5)] == [1, 1, 1]
+
+    def test_single_voter_degenerates_everywhere(self):
+        # with no second opinion, the prober's verdict stands
+        assert all(quorum_size(policy, 1) == 1 for policy in QUORUM_POLICIES)
+
+    def test_zero_voters_rejected(self):
+        with pytest.raises(ValueError, match="at least one voter"):
+            quorum_size("majority", 0)
+
+
+class TestReconcile:
+    def test_policies_order_by_strictness(self):
+        votes = [True, False, False]
+        assert not reconcile(votes, "strict")
+        assert not reconcile(votes, "majority")
+        assert reconcile(votes, "any")
+
+    def test_majority_split_two_of_three(self):
+        assert reconcile([True, True, False], "majority")
+
+    def test_unanimous_yes_passes_strict(self):
+        assert reconcile([True, True, True], "strict")
+
+    def test_unanimous_no_fails_any(self):
+        assert not reconcile([False, False, False], "any")
+
+
+class TestIsDisagreement:
+    def test_split_votes_disagree(self):
+        assert is_disagreement([True, False])
+        assert is_disagreement([True, True, False])
+
+    def test_unanimous_votes_agree(self):
+        assert not is_disagreement([True, True])
+        assert not is_disagreement([False, False, False])
+        assert not is_disagreement([True])
