@@ -8,7 +8,8 @@ Subcommands mirror how the paper's artefacts are used:
 * ``generate`` — run one target generation algorithm over a seed file;
 * ``aggregate`` — aggregate a prefix list (drop nested, merge siblings);
 * ``serve`` — serve a publication snapshot store (``--publish-dir``)
-  over HTTP: full artifacts, deltas, prefix/ASN queries, ``/metrics``;
+  over HTTP: full artifacts, deltas, prefix/ASN queries, ``/metrics``,
+  with a selectable backend (``--backend asyncio|prefork|thread``);
 * ``config`` — dump a scenario configuration as JSON for editing.
 
 Run ``python -m repro.cli --help`` for details.
@@ -314,19 +315,48 @@ def cmd_describe(args: argparse.Namespace) -> int:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
-    from repro.obs.metrics import MetricsRegistry
-    from repro.publish.server import serve
+    import asyncio
 
-    metrics = MetricsRegistry()
-    server, _app = serve(
-        args.store, host=args.host, port=args.port,
-        rate=args.rate, burst=args.burst, metrics=metrics,
+    from repro.obs.metrics import MetricsRegistry
+    from repro.publish import aserve
+    from repro.publish.server import PublishApp, make_server
+    from repro.publish.store import SnapshotStore
+
+    cache_bytes = int(args.cache_mb * 1024 * 1024)
+
+    def announce(address) -> None:
+        host, port = address[:2]
+        if args.port_file:
+            pathlib.Path(args.port_file).write_text(f"{port}\n")
+        print(f"serving snapshot store {args.store} on http://{host}:{port}/ "
+              f"(backend={args.backend}, rate={args.rate}/s, "
+              f"burst={args.burst}, cache={args.cache_mb} MiB)", flush=True)
+
+    if args.backend == "prefork":
+        return aserve.run_prefork(
+            aserve.default_app_factory(
+                args.store, rate=args.rate, burst=args.burst,
+                cache_bytes=cache_bytes,
+            ),
+            host=args.host, port=args.port, workers=args.workers,
+            ready=announce,
+        )
+
+    app = PublishApp(
+        SnapshotStore(args.store), metrics=MetricsRegistry(),
+        rate=args.rate, burst=args.burst, cache_bytes=cache_bytes,
     )
-    host, port = server.server_address[:2]
-    if args.port_file:
-        pathlib.Path(args.port_file).write_text(f"{port}\n")
-    print(f"serving snapshot store {args.store} on http://{host}:{port}/ "
-          f"(rate={args.rate}/s, burst={args.burst})", flush=True)
+    if args.backend == "asyncio":
+        try:
+            asyncio.run(aserve.serve_async(
+                app, host=args.host, port=args.port, ready=announce,
+            ))
+        except KeyboardInterrupt:
+            pass
+        return 0
+
+    server = make_server(app, host=args.host, port=args.port)
+    announce(server.server_address)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -461,6 +491,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_srv.add_argument("--host", default="127.0.0.1")
     p_srv.add_argument("--port", type=int, default=8064,
                        help="TCP port (0 binds an ephemeral port)")
+    p_srv.add_argument("--backend", choices=("thread", "asyncio", "prefork"),
+                       default="asyncio",
+                       help="serving tier: 'asyncio' (default; keep-alive "
+                            "event loop, sendfile), 'prefork' (N asyncio "
+                            "workers sharing one socket), or 'thread' "
+                            "(stdlib ThreadingHTTPServer smoke bridge)")
+    p_srv.add_argument("--workers", type=int, default=2, metavar="N",
+                       help="worker processes for --backend prefork "
+                            "(default: 2)")
+    p_srv.add_argument("--cache-mb", type=float, dest="cache_mb",
+                       default=64.0, metavar="MIB",
+                       help="hot-blob cache byte budget in MiB "
+                            "(default: 64; 0 disables the cache)")
     p_srv.add_argument("--rate", type=float, default=50.0,
                        help="rate-limit tokens per second per client")
     p_srv.add_argument("--burst", type=float, default=100.0,

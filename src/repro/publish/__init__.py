@@ -17,11 +17,18 @@ distribution layer for the reproduction:
   snapshot, built on :class:`repro.net.trie.PrefixTrie`;
 * :mod:`repro.publish.ratelimit` — a deterministic token-bucket rate
   limiter over an injectable :class:`repro.obs.clock.Clock`;
-* :mod:`repro.publish.server` — a stdlib HTTP serving layer (strong
-  ETags, ``If-None-Match`` 304s, gzip, ``/v1`` API, ``/metrics``)
-  instrumented through :mod:`repro.obs`.
+* :mod:`repro.publish.server` — the socket-free HTTP serving core
+  (strong ETags, ``If-None-Match`` 304s, gzip, ``/v1`` API,
+  ``/metrics``) instrumented through :mod:`repro.obs`, plus the stdlib
+  threading bridge;
+* :mod:`repro.publish.cache` — a read-through hot-blob LRU cache with a
+  byte budget, fronting the immutable object store;
+* :mod:`repro.publish.aserve` — the high-throughput asyncio front end
+  (HTTP/1.1 keep-alive, connection metrics, ``os.sendfile``) and the
+  pre-fork worker mode sharing one listening socket.
 """
 
+from repro.publish.cache import BlobCache, CachedBlob
 from repro.publish.delta import (
     DeltaError,
     apply_delta,
@@ -36,15 +43,20 @@ from repro.publish.ratelimit import TokenBucket
 from repro.publish.server import PublishApp, Response, serve
 from repro.publish.store import (
     ARTIFACT_NAMES,
+    GZIP_THRESHOLD,
     Manifest,
     PublishError,
     SnapshotStore,
+    compress_blob,
     publication_artifacts,
 )
 
 __all__ = [
     "ARTIFACT_NAMES",
+    "BlobCache",
+    "CachedBlob",
     "DeltaError",
+    "GZIP_THRESHOLD",
     "Manifest",
     "PublishApp",
     "PublishError",
@@ -52,6 +64,7 @@ __all__ = [
     "Response",
     "SnapshotStore",
     "TokenBucket",
+    "compress_blob",
     "apply_delta",
     "compute_delta",
     "delta_chain",

@@ -1,0 +1,201 @@
+"""Read-through in-memory hot-blob cache with a byte budget.
+
+Serving the same immutable ``objects/<sha256>`` blob to thousands of
+consumers should not touch the filesystem per request.  A
+:class:`BlobCache` keeps the hottest blobs — raw bytes plus their
+precompressed gzip sidecar — in memory under a strict byte budget with
+LRU eviction.  It is *read-through*: ``get(digest, loader)`` returns
+the cached entry or invokes ``loader`` exactly once, caches the result
+and evicts from the cold end until the budget holds again.
+
+Determinism: recency is a pure function of the ``get`` call sequence
+(an internal monotone use-counter orders entries), and the injectable
+:class:`~repro.obs.clock.Clock` only stamps ``last_used`` for
+observability — so tests can assert exact eviction order under a
+:class:`~repro.obs.clock.FakeClock`.
+
+Metrics (all volatile, registered when a registry is passed):
+
+* ``repro_serve_cache_blob_hits_total`` / ``…_blob_misses_total``
+* ``repro_serve_cache_evictions_total``
+* ``repro_serve_cache_bytes`` / ``repro_serve_cache_blobs`` (gauges)
+
+A single blob larger than the whole budget is returned to the caller
+but never cached (caching it would evict everything for one tenant).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.obs.clock import Clock, MonotonicClock
+
+#: Default byte budget of the serving tier's hot-blob cache (64 MiB).
+DEFAULT_CACHE_BYTES = 64 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class CachedBlob:
+    """One cached immutable blob: raw body plus optional gzip encoding."""
+
+    digest: str
+    raw: bytes
+    gz: Optional[bytes]
+    raw_path: str
+    gz_path: Optional[str]
+
+    @property
+    def charge(self) -> int:
+        """Bytes this entry counts against the cache budget."""
+        return len(self.raw) + (len(self.gz) if self.gz is not None else 0)
+
+
+class BlobCache:
+    """LRU blob cache: strict byte budget, read-through loading."""
+
+    def __init__(
+        self,
+        max_bytes: int = DEFAULT_CACHE_BYTES,
+        metrics=None,
+        clock: Optional[Clock] = None,
+    ) -> None:
+        if max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
+        self.max_bytes = int(max_bytes)
+        self._clock: Clock = clock if clock is not None else MonotonicClock()
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, CachedBlob]" = OrderedDict()
+        self._last_used: Dict[str, float] = {}
+        self._bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._m_hits = self._m_misses = self._m_evictions = None
+        self._m_bytes = self._m_blobs = None
+        if metrics is not None:
+            self._m_hits = metrics.counter(
+                "repro_serve_cache_blob_hits_total",
+                "Hot-blob cache hits (blob served from memory).",
+                volatile=True)
+            self._m_misses = metrics.counter(
+                "repro_serve_cache_blob_misses_total",
+                "Hot-blob cache misses (blob loaded from the store).",
+                volatile=True)
+            self._m_evictions = metrics.counter(
+                "repro_serve_cache_evictions_total",
+                "Blobs evicted from the hot-blob cache by the byte budget.",
+                volatile=True)
+            self._m_bytes = metrics.gauge(
+                "repro_serve_cache_bytes",
+                "Bytes currently held by the hot-blob cache.",
+                volatile=True)
+            self._m_blobs = metrics.gauge(
+                "repro_serve_cache_blobs",
+                "Blobs currently held by the hot-blob cache.",
+                volatile=True)
+
+    # ------------------------------------------------------------------
+
+    def get(self, digest: str, loader: Callable[[], CachedBlob]) -> CachedBlob:
+        """The entry for ``digest``, loading (and caching) it on a miss."""
+        with self._lock:
+            entry = self._entries.get(digest)
+            if entry is not None:
+                self.hits += 1
+                self._entries.move_to_end(digest)
+                self._last_used[digest] = self._clock.now()
+                if self._m_hits is not None:
+                    self._m_hits.inc()
+                return entry
+        # load outside the lock: blobs are immutable, so a racing
+        # double-load produces identical bytes and the second insert wins
+        entry = loader()
+        with self._lock:
+            self.misses += 1
+            if self._m_misses is not None:
+                self._m_misses.inc()
+            if entry.charge <= self.max_bytes:
+                if digest in self._entries:
+                    self._bytes -= self._entries.pop(digest).charge
+                self._entries[digest] = entry
+                self._bytes += entry.charge
+                self._last_used[digest] = self._clock.now()
+                self._evict_over_budget()
+            self._export_gauges()
+        return entry
+
+    def _evict_over_budget(self) -> None:
+        while self._bytes > self.max_bytes and self._entries:
+            victim, dropped = self._entries.popitem(last=False)
+            self._bytes -= dropped.charge
+            self._last_used.pop(victim, None)
+            self.evictions += 1
+            if self._m_evictions is not None:
+                self._m_evictions.inc()
+
+    def _export_gauges(self) -> None:
+        if self._m_bytes is not None:
+            self._m_bytes.set(self._bytes)
+            self._m_blobs.set(len(self._entries))
+
+    # ------------------------------------------------------------------
+    # introspection (tests, /metrics handlers)
+
+    @property
+    def total_bytes(self) -> int:
+        """Bytes currently charged against the budget."""
+        with self._lock:
+            return self._bytes
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, digest: str) -> bool:
+        return digest in self._entries
+
+    def lru_order(self) -> List[str]:
+        """Digests from coldest (next victim) to hottest."""
+        with self._lock:
+            return list(self._entries)
+
+    def last_used(self, digest: str) -> Optional[float]:
+        """Clock timestamp of the last ``get`` that touched ``digest``."""
+        return self._last_used.get(digest)
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "bytes": self._bytes,
+                "blobs": len(self._entries),
+                "max_bytes": self.max_bytes,
+            }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._last_used.clear()
+            self._bytes = 0
+            self._export_gauges()
+
+
+def store_loader(store, digest: str) -> Callable[[], CachedBlob]:
+    """A loader pulling one digest's raw + gzip bytes from a store."""
+
+    def load() -> CachedBlob:
+        raw = store.read_blob_bytes(digest)
+        gz = store.read_blob_gzip(digest)
+        return CachedBlob(
+            digest=digest,
+            raw=raw,
+            gz=gz,
+            raw_path=store.blob_path(digest),
+            gz_path=None if gz is None else store.gzip_blob_path(digest),
+        )
+
+    return load

@@ -1,12 +1,19 @@
-"""Instrumented HTTP serving layer for a snapshot store.
+"""Instrumented HTTP serving core for a snapshot store.
 
 The heart is :class:`PublishApp`, a socket-free request handler —
 ``handle(method, target, headers, client)`` returns a
 :class:`Response` — so every endpoint, cache and rate-limit behavior is
 testable without binding a port, with a
 :class:`~repro.obs.clock.FakeClock` making even ``Retry-After`` values
-exact.  :class:`PublishRequestHandler` bridges the app into the stdlib
-:class:`http.server.ThreadingHTTPServer` for the ``repro serve`` CLI.
+exact.  Transport bridges share this one core, so they can never
+disagree about a response's status, headers or body bytes:
+
+* :class:`PublishRequestHandler` / :func:`make_server` — the stdlib
+  :class:`http.server.ThreadingHTTPServer` bridge (one thread per
+  connection; fine for smoke tests and light traffic);
+* :mod:`repro.publish.aserve` — the high-throughput asyncio front end
+  (keep-alive, connection metrics, ``os.sendfile``), plus a pre-fork
+  worker mode sharing one listening socket.
 
 Endpoints (all ``GET``):
 
@@ -21,45 +28,82 @@ Endpoints (all ``GET``):
 Full artifacts carry strong ETags (their SHA-256), JSON endpoints a
 digest of their body; ``If-None-Match`` turns either into a 304.
 Bodies ≥ 128 bytes gzip when the client accepts it (fixed ``mtime`` so
-compression is deterministic).  ``/v1`` traffic passes a per-client
-token bucket; a drained bucket answers 429 with ``Retry-After``.
+compression is deterministic).  Nothing immutable is computed twice on
+the hot path: artifact blobs get their gzip bytes at commit time
+(:mod:`repro.publish.store`) and are served from a read-through
+hot-blob LRU cache (:mod:`repro.publish.cache`); derived JSON documents
+(manifests, deltas, query results — immutable per snapshot id / head)
+are rendered and gzipped once into a bounded render cache.  A repeated
+fetch therefore performs zero compression calls —
+``repro_serve_gzip_compress_total`` counts the (truly dynamic)
+exceptions.  A conditional artifact refetch whose ETag matches never
+touches blob bytes at all.  ``/v1`` traffic passes a per-client token
+bucket; a drained bucket answers 429 with ``Retry-After``.  The client
+key is the peer address unless the request carries an ``X-Client-Id``
+header (load harnesses and reverse proxies use it to keep per-consumer
+fairness).
 """
 
 from __future__ import annotations
 
-import gzip
 import hashlib
 import json
 import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Mapping, Optional, Tuple
-from urllib.parse import parse_qs, urlsplit
+from urllib.parse import parse_qs
 
 from repro.net.address import AddressError, format_ipv6
 from repro.net.prefix import IPv6Prefix
 from repro.obs.clock import Clock, MonotonicClock
 from repro.obs.export import to_prometheus_text
 from repro.obs.metrics import MetricsRegistry
+from repro.publish.cache import DEFAULT_CACHE_BYTES, BlobCache, store_loader
 from repro.publish.delta import DeltaError, compute_delta, delta_to_json
 from repro.publish.index import QueryIndex
 from repro.publish.ratelimit import TokenBucket
-from repro.publish.store import PublishError, SnapshotStore
-
-#: Smallest body worth compressing; below this gzip overhead dominates.
-GZIP_THRESHOLD = 128
+from repro.publish.store import (
+    GZIP_THRESHOLD,
+    PublishError,
+    SnapshotStore,
+    compress_blob,
+)
 
 #: Hard cap on addresses returned by one /v1/query response.
 QUERY_LIMIT = 10_000
 
+#: Entry cap on the derived-document render cache (manifests, deltas,
+#: query results).  Entries are small JSON documents; the cap bounds
+#: pathological key diversity (e.g. query-parameter scans), not memory
+#: in the common case.
+RENDER_CACHE_ENTRIES = 512
 
-@dataclass
+#: Entry cap on the path → (endpoint, handler) routing memo.
+ROUTE_CACHE_ENTRIES = 1024
+
+
+@dataclass(slots=True)
 class Response:
-    """One HTTP response: status, headers and the exact body bytes."""
+    """One HTTP response: status, headers and the exact body bytes.
+
+    The optional fields are serving hints, not part of the HTTP
+    contract: ``gzip_body`` is the precompressed encoding of ``body``
+    (attached for immutable blobs so content negotiation never
+    recompresses), and ``body_path`` — filled in by ``_finalize`` when
+    the final body bytes live verbatim in a store file — lets a bridge
+    hand the kernel the file directly (``os.sendfile``) instead of
+    copying through userspace.
+    """
 
     status: int
     headers: Dict[str, str] = field(default_factory=dict)
     body: bytes = b""
+    gzip_body: Optional[bytes] = None
+    raw_path: Optional[str] = None
+    gzip_path: Optional[str] = None
+    body_path: Optional[str] = None
 
 
 class PublishApp:
@@ -73,6 +117,7 @@ class PublishApp:
         rate: float = 50.0,
         burst: float = 100.0,
         rib=None,
+        cache_bytes: int = DEFAULT_CACHE_BYTES,
     ) -> None:
         self.store = store
         self.metrics = metrics if metrics is not None else MetricsRegistry()
@@ -81,6 +126,20 @@ class PublishApp:
         self._rib = rib
         self._index: Optional[QueryIndex] = None
         self._index_lock = threading.Lock()
+        self._render_cache: "OrderedDict[tuple, Response]" = OrderedDict()
+        self._render_lock = threading.Lock()
+        # labels() resolution (set compare + tuple build) is measurable
+        # at tens of thousands of req/s; series objects are stable, so
+        # memoize them per (endpoint, status)
+        self._series_cache: Dict[Tuple[str, int], tuple] = {}
+        self._hit_series: Dict[str, object] = {}
+        # routing is a pure function of the path; memoize it (bounded,
+        # since clients control path diversity)
+        self._route_cache: Dict[str, tuple] = {}
+        self.blob_cache: Optional[BlobCache] = (
+            BlobCache(cache_bytes, metrics=self.metrics, clock=self.clock)
+            if cache_bytes > 0 else None
+        )
         self._m_requests = self.metrics.counter(
             "repro_serve_requests_total",
             "HTTP requests served, by endpoint and status code.",
@@ -100,6 +159,13 @@ class PublishApp:
             "repro_serve_request_seconds",
             "Wall-clock request handling duration, by endpoint.",
             ("endpoint",), volatile=True)
+        self._m_compress = self.metrics.counter(
+            "repro_serve_gzip_compress_total",
+            "Gzip compressions performed on the serving path: render-"
+            "cache fills (once per derived document) and truly dynamic "
+            "bodies.  Immutable blobs are precompressed at commit time "
+            "and never count here.",
+            volatile=True)
 
     # ------------------------------------------------------------------
     # entry point
@@ -110,13 +176,29 @@ class PublishApp:
         target: str,
         headers: Optional[Mapping[str, str]] = None,
         client: str = "local",
+        lowered: bool = False,
     ) -> Response:
-        """Serve one request; never raises — errors become JSON bodies."""
-        headers = _lower_keys(headers or {})
+        """Serve one request; never raises — errors become JSON bodies.
+
+        ``lowered=True`` promises the header keys are already
+        lowercase (the asyncio bridge normalizes while parsing), which
+        skips one dict rebuild on the hot path.
+        """
+        if not lowered:
+            headers = _lower_keys(headers or {})
+        elif headers is None:
+            headers = {}
+        client = headers.get("x-client-id", client)
         start = self.clock.now()
-        split = urlsplit(target)
-        path = split.path.rstrip("/") or "/"
-        endpoint, handler = self._route(path)
+        path, _, query_string = target.partition("?")
+        route = self._route_cache.get(path)
+        if route is None:
+            normalized = path.rstrip("/") or "/"
+            endpoint, handler = self._route(normalized)
+            route = (endpoint, handler, normalized)
+            if len(self._route_cache) < ROUTE_CACHE_ENTRIES:
+                self._route_cache[path] = route
+        endpoint, handler, path = route
         if method not in ("GET", "HEAD"):
             response = self._error(405, f"method {method} not allowed")
             response.headers["Allow"] = "GET, HEAD"
@@ -131,16 +213,17 @@ class PublishApp:
                     response.headers["Retry-After"] = (
                         self.limiter.retry_after_header(retry_after)
                     )
-                    return self._finish(
+                    return self._finalize(
                         endpoint, response, headers, method, start
                     )
             try:
-                response = handler(path, parse_qs(split.query))
+                query = parse_qs(query_string) if query_string else {}
+                response = handler(path, query, headers)
             except (PublishError, DeltaError) as error:
                 response = self._error(404, str(error))
             except ValueError as error:
                 response = self._error(400, str(error))
-        return self._finish(endpoint, response, headers, method, start)
+        return self._finalize(endpoint, response, headers, method, start)
 
     def _route(self, path: str):
         if path == "/":
@@ -164,7 +247,7 @@ class PublishApp:
             return "query", self._handle_query
         return "unknown", None
 
-    def _finish(
+    def _finalize(
         self,
         endpoint: str,
         response: Response,
@@ -173,38 +256,58 @@ class PublishApp:
         start: float,
     ) -> Response:
         etag = response.headers.get("ETag")
-        if etag is not None and response.status == 200:
-            candidates = headers.get("if-none-match", "")
-            if candidates.strip() == "*" or etag in [
-                token.strip() for token in candidates.split(",")
-            ]:
-                response = Response(
-                    304, {"ETag": etag, "Cache-Control": "no-cache"}, b""
+        if (
+            etag is not None
+            and response.status == 200
+            and _etag_matches(etag, headers.get("if-none-match", ""))
+        ):
+            response = Response(
+                304, {"ETag": etag, "Cache-Control": "no-cache"}, b""
+            )
+            hits = self._hit_series.get(endpoint)
+            if hits is None:
+                hits = self._hit_series[endpoint] = (
+                    self._m_cache_hits.labels(endpoint=endpoint)
                 )
-                self._m_cache_hits.labels(endpoint=endpoint).inc()
+            hits.inc()
         if (
             response.status == 200
             and len(response.body) >= GZIP_THRESHOLD
             and "gzip" in headers.get("accept-encoding", "")
         ):
-            response.body = gzip.compress(response.body, compresslevel=6, mtime=0)
+            if response.gzip_body is not None:
+                response.body = response.gzip_body
+                response.body_path = response.gzip_path
+            else:
+                self._m_compress.inc()
+                response.body = compress_blob(response.body)
+                response.body_path = None
             response.headers["Content-Encoding"] = "gzip"
+        elif response.status == 200 and response.body_path is None:
+            response.body_path = response.raw_path
         response.headers.setdefault("Vary", "Accept-Encoding")
         response.headers["Content-Length"] = str(len(response.body))
         if method == "HEAD":
             response = Response(response.status, dict(response.headers), b"")
-        self._m_requests.labels(endpoint=endpoint, status=str(response.status)).inc()
-        self._m_bytes.labels(endpoint=endpoint).inc(len(response.body))
-        self._m_seconds.labels(endpoint=endpoint).observe(
-            max(0.0, self.clock.now() - start)
-        )
+        fast = self._series_cache.get((endpoint, response.status))
+        if fast is None:
+            fast = self._series_cache[(endpoint, response.status)] = (
+                self._m_requests.labels(
+                    endpoint=endpoint, status=str(response.status)),
+                self._m_bytes.labels(endpoint=endpoint),
+                self._m_seconds.labels(endpoint=endpoint),
+            )
+        fast[0].inc()
+        fast[1].inc(len(response.body))
+        fast[2].observe(max(0.0, self.clock.now() - start))
         return response
 
     # ------------------------------------------------------------------
     # endpoint handlers
 
-    def _handle_root(self, path: str, query) -> Response:
-        return self._json(200, {
+    def _handle_root(self, path: str, query, headers) -> Response:
+        head = self.store.head_id()
+        return self._rendered(("root", head), lambda: self._json(200, {
             "service": "repro-publish",
             "endpoints": [
                 "/v1/snapshots", "/v1/snapshots/<id>",
@@ -212,16 +315,22 @@ class PublishApp:
                 "/v1/latest/<artifact>", "/v1/delta/<from>/<to>",
                 "/v1/query?prefix=&protocol=&asn=", "/metrics",
             ],
-            "head": self.store.head_id(),
-        })
+            "head": head,
+        }))
 
-    def _handle_metrics(self, path: str, query) -> Response:
+    def _handle_metrics(self, path: str, query, headers) -> Response:
         body = to_prometheus_text(self.metrics).encode("utf-8")
         return Response(
             200, {"Content-Type": "text/plain; version=0.0.4"}, body
         )
 
-    def _handle_snapshots(self, path: str, query) -> Response:
+    def _handle_snapshots(self, path: str, query, headers) -> Response:
+        # keyed by (head, count): commits always bump the count, and
+        # reordering commits of older days still move HEAD's tiebreak
+        key = ("snapshots", self.store.head_id(), self.store.manifest_count())
+        return self._rendered(key, self._build_snapshots)
+
+    def _build_snapshots(self) -> Response:
         listing = [
             {
                 "snapshot_id": manifest.snapshot_id,
@@ -233,44 +342,72 @@ class PublishApp:
         ]
         return self._json(200, {"snapshots": listing, "head": self.store.head_id()})
 
-    def _handle_latest(self, path: str, query) -> Response:
+    def _handle_latest(self, path: str, query, headers) -> Response:
         head = self.store.head_id()
         if head is None:
             return self._error(404, "the store has no snapshots yet")
         return self._manifest_response(head)
 
-    def _handle_snapshot(self, path: str, query) -> Response:
+    def _handle_snapshot(self, path: str, query, headers) -> Response:
         snapshot_id = path.strip("/").split("/")[2]
         return self._manifest_response(snapshot_id)
 
     def _manifest_response(self, snapshot_id: str) -> Response:
-        manifest = self.store.manifest(snapshot_id)
-        return self._json(200, manifest.to_dict())
+        return self._rendered(
+            ("manifest", snapshot_id),
+            lambda: self._json(200, self.store.manifest(snapshot_id).to_dict()),
+        )
 
-    def _handle_artifact(self, path: str, query) -> Response:
+    def _handle_artifact(self, path: str, query, headers) -> Response:
         _v1, _snapshots, snapshot_id, name = path.strip("/").split("/")
-        return self._artifact_response(snapshot_id, name)
+        return self._artifact_response(snapshot_id, name, headers)
 
-    def _handle_latest_artifact(self, path: str, query) -> Response:
+    def _handle_latest_artifact(self, path: str, query, headers) -> Response:
         head = self.store.head_id()
         if head is None:
             return self._error(404, "the store has no snapshots yet")
         name = path.strip("/").split("/")[2]
-        return self._artifact_response(head, name)
+        return self._artifact_response(head, name, headers)
 
-    def _artifact_response(self, snapshot_id: str, name: str) -> Response:
+    def _artifact_response(
+        self, snapshot_id: str, name: str, headers: Mapping[str, str]
+    ) -> Response:
         manifest = self.store.manifest(snapshot_id)
         digest = manifest.digest_of(name)
-        body = self.store.read_blob(digest).encode("utf-8")
-        return Response(200, {
+        etag = f'"{digest}"'
+        response_headers = {
             "Content-Type": "text/plain; charset=utf-8",
-            "ETag": f'"{digest}"',
+            "ETag": etag,
             "X-Snapshot-Id": manifest.snapshot_id,
             "Cache-Control": "no-cache",
-        }, body)
+        }
+        if _etag_matches(etag, headers.get("if-none-match", "")):
+            # the blob's ETag is known from the manifest alone; let
+            # ``_finalize`` (same matcher) build the 304 without ever
+            # touching blob bytes
+            return Response(200, response_headers, b"")
+        loader = store_loader(self.store, digest)
+        blob = (
+            self.blob_cache.get(digest, loader)
+            if self.blob_cache is not None else loader()
+        )
+        return Response(
+            200,
+            response_headers,
+            blob.raw,
+            gzip_body=blob.gz,
+            raw_path=blob.raw_path,
+            gzip_path=blob.gz_path,
+        )
 
-    def _handle_delta(self, path: str, query) -> Response:
+    def _handle_delta(self, path: str, query, headers) -> Response:
         _v1, _delta, from_id, to_id = path.strip("/").split("/")
+        return self._rendered(
+            ("delta", from_id, to_id),
+            lambda: self._build_delta(from_id, to_id),
+        )
+
+    def _build_delta(self, from_id: str, to_id: str) -> Response:
         delta = compute_delta(self.store, from_id, to_id)
         body = delta_to_json(delta).encode("utf-8")
         return Response(200, {
@@ -279,8 +416,7 @@ class PublishApp:
             "Cache-Control": "no-cache",
         }, body)
 
-    def _handle_query(self, path: str, query) -> Response:
-        index = self._current_index()
+    def _handle_query(self, path: str, query, headers) -> Response:
         prefix = None
         if query.get("prefix"):
             try:
@@ -294,6 +430,16 @@ class PublishApp:
                 asn = int(query["asn"][0])
             except ValueError:
                 raise ValueError(f"bad asn: {query['asn'][0]!r}") from None
+        key = (
+            "query", self.store.head_id(),
+            str(prefix) if prefix is not None else None, protocol, asn,
+        )
+        return self._rendered(
+            key, lambda: self._build_query(prefix, protocol, asn)
+        )
+
+    def _build_query(self, prefix, protocol, asn) -> Response:
+        index = self._current_index()
         addresses = index.query(prefix=prefix, protocol=protocol, asn=asn)
         truncated = len(addresses) > QUERY_LIMIT
         return self._json(200, {
@@ -319,6 +465,36 @@ class PublishApp:
 
     # ------------------------------------------------------------------
 
+    def _rendered(self, key: tuple, build) -> Response:
+        """Build-once cache for immutable derived documents.
+
+        Manifests, deltas and query results are pure functions of
+        immutable inputs (a snapshot id, a snapshot pair, the head id),
+        so their JSON — and its gzip encoding — is computed on first
+        request and replayed afterwards.  Returns a fresh
+        :class:`Response` each call because ``_finalize`` mutates its
+        argument.
+        """
+        with self._render_lock:
+            cached = self._render_cache.get(key)
+            if cached is not None:
+                self._render_cache.move_to_end(key)
+        if cached is None:
+            cached = build()
+            if cached.status != 200:
+                return cached
+            if len(cached.body) >= GZIP_THRESHOLD:
+                self._m_compress.inc()
+                cached.gzip_body = compress_blob(cached.body)
+            with self._render_lock:
+                self._render_cache[key] = cached
+                while len(self._render_cache) > RENDER_CACHE_ENTRIES:
+                    self._render_cache.popitem(last=False)
+        return Response(
+            cached.status, dict(cached.headers), cached.body,
+            gzip_body=cached.gzip_body,
+        )
+
     def _json(self, status: int, document) -> Response:
         body = (json.dumps(document, indent=2, sort_keys=True) + "\n").encode("utf-8")
         headers = {"Content-Type": "application/json"}
@@ -333,6 +509,19 @@ class PublishApp:
 
 def _lower_keys(headers: Mapping[str, str]) -> Dict[str, str]:
     return {key.lower(): value for key, value in headers.items()}
+
+
+def _etag_matches(etag: str, if_none_match: str) -> bool:
+    """RFC 7232 ``If-None-Match`` evaluation against one strong ETag.
+
+    Shared by ``_finalize`` and the artifact fast path so "skip the
+    blob" and "send the 304" can never disagree.
+    """
+    if not if_none_match:
+        return False
+    if if_none_match.strip() == "*":
+        return True
+    return etag in [token.strip() for token in if_none_match.split(",")]
 
 
 # ---------------------------------------------------------------------------
@@ -381,7 +570,14 @@ def make_server(
     ``server.server_address``.
     """
     handler = type("BoundPublishHandler", (PublishRequestHandler,), {"app": app})
-    return ThreadingHTTPServer((host, port), handler)
+    return _PublishHTTPServer((host, port), handler)
+
+
+class _PublishHTTPServer(ThreadingHTTPServer):
+    # the stdlib default backlog (5) refuses connection bursts long
+    # before the thread-per-connection model is the bottleneck; give the
+    # threading bridge a fair fight under the load harness
+    request_queue_size = 1024
 
 
 def serve(
@@ -391,6 +587,7 @@ def serve(
     rate: float = 50.0,
     burst: float = 100.0,
     metrics: Optional[MetricsRegistry] = None,
+    cache_bytes: int = DEFAULT_CACHE_BYTES,
 ) -> Tuple[ThreadingHTTPServer, PublishApp]:
     """Open a store and return a bound (server, app) pair (not serving yet).
 
@@ -400,5 +597,8 @@ def serve(
         threading.Thread(target=server.serve_forever, daemon=True).start()
     """
     store = SnapshotStore(store_dir, metrics=metrics)
-    app = PublishApp(store, metrics=metrics, rate=rate, burst=burst)
+    app = PublishApp(
+        store, metrics=metrics, rate=rate, burst=burst,
+        cache_bytes=cache_bytes,
+    )
     return make_server(app, host=host, port=port), app

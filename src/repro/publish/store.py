@@ -21,15 +21,28 @@ day attaches to the nearest earlier snapshot without rewriting any
 existing manifest (manifests are immutable — their id embeds the
 parent).
 
+Because blobs are immutable, everything a hot serving path would
+otherwise compute per request is computed **once at commit time**: next
+to every blob at least :data:`GZIP_THRESHOLD` bytes long the store
+writes its deterministic gzip encoding (``<sha256>.gz``, fixed
+compression level and ``mtime=0``), and the strong ETag is the content
+digest the blob is already named by.  Stores written before
+precompression existed upgrade lazily — the first gzip read of a blob
+backfills the ``.gz`` sidecar from the raw bytes without touching any
+manifest (manifest digests cover raw content only, so the fingerprint
+of the store is unchanged).
+
 Layout under the store root::
 
     objects/<d0d1>/<sha256>       artifact blobs (UTF-8 text)
+    objects/<d0d1>/<sha256>.gz    deterministic gzip of the blob
     manifests/<snapshot-id>.json  one manifest per snapshot
     HEAD                          id of the newest snapshot
 """
 
 from __future__ import annotations
 
+import gzip
 import hashlib
 import io
 import json
@@ -41,6 +54,21 @@ from repro.hitlist.export import write_address_list, write_aliased_prefixes
 from repro.protocols import ALL_PROTOCOLS, Protocol
 
 STORE_FORMAT = "repro-publish-v1"
+
+#: Smallest blob worth compressing; below this gzip overhead dominates.
+#: Shared with the serving layer so the precompressed sidecar exists
+#: exactly when a gzip response would be negotiated.
+GZIP_THRESHOLD = 128
+
+#: Fixed gzip parameters so compressed bytes are identical no matter
+#: when (commit time, lazy backfill, per-request fallback) they were
+#: produced.
+GZIP_LEVEL = 6
+
+
+def compress_blob(body: bytes) -> bytes:
+    """The canonical deterministic gzip encoding of a blob body."""
+    return gzip.compress(body, compresslevel=GZIP_LEVEL, mtime=0)
 
 #: URL-safe artifact names of a full publication set, in manifest order:
 #: the cleaned responsive union, one list per probed protocol, the
@@ -162,6 +190,11 @@ class SnapshotStore:
         # parsed-manifest cache: manifests are immutable once written, so
         # per-commit parent resolution does not re-read the whole store
         self._manifest_cache: Dict[str, Manifest] = {}
+        self._head_path = os.path.join(root, "HEAD")
+        # HEAD is re-read only when its stat identity changes; commits
+        # atomically replace the file, so a serving process sees new
+        # heads without paying a file open per request
+        self._head_cache: Optional[Tuple[Tuple[int, int, int], Optional[str]]] = None
         self._m_commits = self._m_bytes = None
         if metrics is not None:
             self._m_commits = metrics.counter(
@@ -179,6 +212,28 @@ class SnapshotStore:
     def _blob_path(self, digest: str) -> str:
         return os.path.join(self._objects, digest[:2], digest)
 
+    def blob_path(self, digest: str) -> str:
+        """Filesystem path of a blob (the raw response body for identity
+        encoding) — bridges may serve it zero-copy via ``os.sendfile``."""
+        return self._blob_path(digest)
+
+    def gzip_blob_path(self, digest: str) -> Optional[str]:
+        """Path of the precompressed sidecar, backfilled on demand.
+
+        Returns ``None`` for blobs below :data:`GZIP_THRESHOLD` (the
+        serving layer never gzips those).  For older stores that predate
+        precompression the sidecar is created here, lazily, from the
+        digest-verified raw bytes — manifests are untouched.
+        """
+        path = self._blob_path(digest) + ".gz"
+        if os.path.exists(path):
+            return path
+        body = self.read_blob_bytes(digest)
+        if len(body) < GZIP_THRESHOLD:
+            return None
+        _atomic_write(path, compress_blob(body))
+        return path
+
     def _write_blob(self, text: str) -> Tuple[str, int, bool]:
         body = text.encode("utf-8")
         digest = hashlib.sha256(body).hexdigest()
@@ -186,6 +241,8 @@ class SnapshotStore:
         if os.path.exists(path):
             return digest, len(body), False
         os.makedirs(os.path.dirname(path), exist_ok=True)
+        if len(body) >= GZIP_THRESHOLD:
+            _atomic_write(path + ".gz", compress_blob(body))
         _atomic_write(path, body)
         return digest, len(body), True
 
@@ -259,6 +316,13 @@ class SnapshotStore:
         """All snapshot ids, ordered by (scan day, id)."""
         return [manifest.snapshot_id for manifest in self.manifests()]
 
+    def manifest_count(self) -> int:
+        """Number of committed snapshots (one ``listdir``, no parsing)."""
+        return sum(
+            1 for name in os.listdir(self._manifests)
+            if name.endswith(".json")
+        )
+
     def manifests(self) -> List[Manifest]:
         """All manifests, ordered by (scan day, id)."""
         out: List[Manifest] = []
@@ -294,11 +358,22 @@ class SnapshotStore:
     def head_id(self) -> Optional[str]:
         """The newest snapshot id, or None for an empty store."""
         try:
-            with open(os.path.join(self.root, "HEAD"), "r", encoding="ascii") as handle:
-                head = handle.read().strip()
+            stat = os.stat(self._head_path)
         except OSError:
+            self._head_cache = None
             return None
-        return head or None
+        token = (stat.st_ino, stat.st_mtime_ns, stat.st_size)
+        cached = self._head_cache
+        if cached is not None and cached[0] == token:
+            return cached[1]
+        try:
+            with open(self._head_path, "r", encoding="ascii") as handle:
+                head = handle.read().strip() or None
+        except OSError:
+            self._head_cache = None
+            return None
+        self._head_cache = (token, head)
+        return head
 
     def read_artifact(self, snapshot_id: str, name: str) -> str:
         """An artifact's full text, digest-verified on the way out."""
@@ -308,6 +383,10 @@ class SnapshotStore:
 
     def read_blob(self, digest: str) -> str:
         """A blob by digest; raises :class:`PublishError` on corruption."""
+        return self.read_blob_bytes(digest).decode("utf-8")
+
+    def read_blob_bytes(self, digest: str) -> bytes:
+        """Raw blob bytes by digest, verified on the way out."""
         try:
             with open(self._blob_path(digest), "rb") as handle:
                 body = handle.read()
@@ -318,13 +397,50 @@ class SnapshotStore:
             raise PublishError(
                 f"object {digest} is corrupted (content hashes to {actual})"
             )
-        return body.decode("utf-8")
+        return body
+
+    def read_blob_gzip(self, digest: str) -> Optional[bytes]:
+        """The precompressed gzip bytes of a blob (``None`` for tiny blobs).
+
+        Verified by decompression against the content digest; a
+        corrupted sidecar is rebuilt from the (verified) raw bytes
+        rather than served.
+        """
+        path = self.gzip_blob_path(digest)
+        if path is None:
+            return None
+        with open(path, "rb") as handle:
+            packed = handle.read()
+        try:
+            inflated = gzip.decompress(packed)
+        except (OSError, EOFError):
+            inflated = b""
+        if hashlib.sha256(inflated).hexdigest() != digest:
+            packed = compress_blob(self.read_blob_bytes(digest))
+            _atomic_write(path, packed)
+        return packed
+
+    def precompress_all(self) -> int:
+        """Backfill missing gzip sidecars store-wide; returns how many
+        were written.  Idempotent — an already-upgraded store is a no-op."""
+        written = 0
+        for dirpath, _dirnames, filenames in os.walk(self._objects):
+            for name in filenames:
+                if name.endswith((".tmp", ".gz")):
+                    continue
+                had = os.path.exists(os.path.join(dirpath, name + ".gz"))
+                if self.gzip_blob_path(name) is not None and not had:
+                    written += 1
+        return written
 
     def object_count(self) -> int:
         """Number of stored blobs (deduplicated artifact bodies)."""
         total = 0
         for _dirpath, _dirnames, filenames in os.walk(self._objects):
-            total += sum(1 for name in filenames if not name.endswith(".tmp"))
+            total += sum(
+                1 for name in filenames
+                if not name.endswith((".tmp", ".gz"))
+            )
         return total
 
 

@@ -1,0 +1,168 @@
+"""Differential conformance: the serving bridges can never drift.
+
+The asyncio front end exists for throughput, not behavior — every
+status, header and body byte must match what the threading bridge
+serves from the same :class:`PublishApp` core.  This suite replays one
+request corpus (200s, 304s, gzip negotiation, deltas, queries,
+deterministic 429s, malformed paths, HEAD, 405s) against both bridges
+over real sockets and asserts byte identity, excluding only the
+headers a bridge legitimately owns (``Date``, ``Server``).
+
+Determinism: each backend gets its own app over the same store with a
+``FakeClock(auto_advance=...)`` — the corpus is replayed sequentially
+on one keep-alive connection, so both apps observe the identical
+timestamp sequence and the token bucket yields the identical 429
+pattern, including ``Retry-After`` values.
+"""
+
+import http.client
+import threading
+
+import pytest
+
+from repro.obs.clock import FakeClock
+from repro.obs.metrics import MetricsRegistry
+from repro.publish import aserve
+from repro.publish.server import PublishApp, make_server
+from repro.publish.store import SnapshotStore
+
+#: Headers owned by the transport bridge, not the PublishApp contract:
+#: ``Date`` moves with the wall clock, ``Server`` names the bridge.
+BRIDGE_HEADERS = frozenset({"date", "server"})
+
+#: Token bucket sizing: small enough that the shared "hammer" id runs
+#: dry mid-corpus, refilling so slowly (vs the FakeClock steps) that
+#: the 429 pattern is exact.
+RATE, BURST = 2.0, 6.0
+
+
+def build_corpus(store):
+    """The replayed (method, target, headers) sequence.
+
+    Every request carries its own ``X-Client-Id`` so rate limiting
+    never bleeds between corpus entries; the trailing hammer block
+    shares one id to drain its bucket deterministically dry.
+    """
+    ids = store.snapshot_ids()
+    head = ids[-1]
+    etag = f'"{store.manifest(head).digest_of("responsive")}"'
+    corpus = [
+        ("GET", "/", {}),
+        ("GET", "/v1/snapshots", {}),
+        ("GET", f"/v1/snapshots/{head}", {}),
+        ("GET", f"/v1/snapshots/{head}/responsive", {}),
+        ("GET", f"/v1/snapshots/{head}/responsive",
+         {"Accept-Encoding": "gzip"}),
+        ("GET", "/v1/latest", {}),
+        ("GET", "/v1/latest/responsive", {"If-None-Match": etag}),
+        ("GET", "/v1/latest/responsive", {"If-None-Match": '"stale"'}),
+        ("GET", f"/v1/delta/{ids[0]}/{ids[1]}", {}),
+        ("GET", f"/v1/delta/{ids[0]}/{ids[1]}",
+         {"Accept-Encoding": "gzip"}),
+        ("GET", "/v1/query?prefix=2001:db8::/32&protocol=icmp", {}),
+        ("GET", "/v1/query?prefix=not-a-prefix", {}),          # 400
+        ("GET", "/v1/no-such-endpoint", {}),                   # 404 route
+        ("GET", "/v1/snapshots/feedfeedfeed", {}),             # 404 store
+        ("GET", "/v1/delta/zzzz/yyyy", {}),                    # 404 delta
+        ("POST", "/v1/snapshots", {}),                         # 405
+        ("HEAD", f"/v1/snapshots/{head}/responsive", {}),
+    ]
+    corpus = [
+        (method, target, {**headers, "X-Client-Id": f"corpus-{index}"})
+        for index, (method, target, headers) in enumerate(corpus)
+    ]
+    corpus += [
+        ("GET", "/v1/latest", {"X-Client-Id": "hammer"})
+    ] * (int(BURST) + 4)
+    return corpus
+
+
+def replay(address, corpus):
+    """Observed (status, headers-sans-bridge, body) per corpus entry."""
+    host, port = address
+    conn = http.client.HTTPConnection(host, port, timeout=10)
+    observed = []
+    try:
+        for method, target, headers in corpus:
+            conn.request(method, target, headers=headers)
+            response = conn.getresponse()
+            body = response.read()
+            kept = {
+                name.lower(): value
+                for name, value in response.getheaders()
+                if name.lower() not in BRIDGE_HEADERS
+            }
+            observed.append((response.status, kept, body))
+    finally:
+        conn.close()
+    return observed
+
+
+def fresh_app(store_root):
+    return PublishApp(
+        SnapshotStore(store_root), metrics=MetricsRegistry(),
+        clock=FakeClock(auto_advance=0.001), rate=RATE, burst=BURST,
+    )
+
+
+@pytest.fixture()
+def thread_address(populated_store):
+    server = make_server(fresh_app(populated_store.root), "127.0.0.1", 0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server.server_address[:2]
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5)
+
+
+@pytest.fixture()
+def asyncio_address(populated_store):
+    handle = aserve.start_in_thread(fresh_app(populated_store.root))
+    yield handle.address
+    handle.stop()
+
+
+def test_bridges_serve_identical_bytes(
+    populated_store, thread_address, asyncio_address
+):
+    corpus = build_corpus(populated_store)
+    via_thread = replay(thread_address, corpus)
+    via_asyncio = replay(asyncio_address, corpus)
+    for index, entry in enumerate(corpus):
+        method, target, _headers = entry
+        t_status, t_headers, t_body = via_thread[index]
+        a_status, a_headers, a_body = via_asyncio[index]
+        where = f"corpus[{index}] {method} {target}"
+        assert t_status == a_status, (
+            f"{where}: status {t_status} (thread) != {a_status} (asyncio)")
+        assert t_headers == a_headers, (
+            f"{where}: headers diverge: {t_headers} != {a_headers}")
+        assert t_body == a_body, (
+            f"{where}: bodies diverge ({len(t_body)} vs {len(a_body)} "
+            f"bytes)")
+
+
+def test_corpus_exercises_every_contract_path(
+    populated_store, thread_address, asyncio_address
+):
+    """The identity assertion is only as strong as the corpus."""
+    corpus = build_corpus(populated_store)
+    observed = replay(thread_address, corpus)
+    statuses = {status for status, _headers, _body in observed}
+    assert {200, 304, 400, 404, 405, 429} <= statuses
+    encodings = {
+        headers.get("content-encoding")
+        for _status, headers, _body in observed
+    }
+    assert "gzip" in encodings
+    retry_after = [
+        headers["retry-after"]
+        for status, headers, _body in observed if status == 429
+    ]
+    assert retry_after, "the hammer block never tripped the rate limit"
+    # and the asyncio bridge must agree on that 429 pattern exactly
+    via_asyncio = replay(asyncio_address, corpus)
+    assert [status for status, _h, _b in via_asyncio] == [
+        status for status, _h, _b in observed
+    ]

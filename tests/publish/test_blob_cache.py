@@ -1,0 +1,119 @@
+"""Property tests for the hot-blob LRU cache (hypothesis).
+
+The cache is modeled against a reference ``OrderedDict`` LRU: for any
+interleaving of ``get`` calls over any blob-size assignment and any
+byte budget, the real cache must agree with the model on hit/miss
+counts, eviction count, byte accounting, and exact LRU order — and it
+must never exceed the budget, never serve bytes that differ from the
+store's, and never invoke a loader more than once per miss.
+"""
+
+from collections import OrderedDict
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.obs.clock import FakeClock  # noqa: E402
+from repro.publish.cache import BlobCache, CachedBlob  # noqa: E402
+
+#: How many distinct blobs an example draws from.
+UNIVERSE = 8
+
+
+def make_blob(index: int, size: int) -> CachedBlob:
+    """A synthetic blob: content derived from its index, half with a
+    gzip sidecar so the budget charge covers both shapes."""
+    raw = bytes([index + 1]) * size
+    gz = (b"gz:" + raw[: size // 2]) if index % 2 else None
+    return CachedBlob(
+        digest=f"digest-{index}",
+        raw=raw,
+        gz=gz,
+        raw_path=f"/objects/{index}",
+        gz_path=f"/objects/{index}.gz" if gz is not None else None,
+    )
+
+
+budgets = st.integers(min_value=0, max_value=500)
+sizes = st.lists(
+    st.integers(min_value=1, max_value=150),
+    min_size=UNIVERSE, max_size=UNIVERSE,
+)
+accesses = st.lists(
+    st.integers(min_value=0, max_value=UNIVERSE - 1), max_size=80
+)
+
+
+@settings(deadline=None)
+@given(budget=budgets, blob_sizes=sizes, ops=accesses)
+def test_cache_matches_reference_lru_model(budget, blob_sizes, ops):
+    blobs = [make_blob(i, blob_sizes[i]) for i in range(UNIVERSE)]
+    cache = BlobCache(budget, clock=FakeClock(auto_advance=1.0))
+    model = OrderedDict()  # digest -> charge, coldest first
+    model_hits = model_evictions = 0
+    loads = {blob.digest: 0 for blob in blobs}
+
+    for index in ops:
+        blob = blobs[index]
+
+        def loader(blob=blob):
+            loads[blob.digest] += 1
+            return blob
+
+        got = cache.get(blob.digest, loader)
+        # cached bytes always equal store bytes
+        assert got.raw == blob.raw
+        assert got.gz == blob.gz
+        # reference model step
+        if blob.digest in model:
+            model_hits += 1
+            model.move_to_end(blob.digest)
+        elif blob.charge <= budget:
+            model[blob.digest] = blob.charge
+            while sum(model.values()) > budget:
+                model.popitem(last=False)
+                model_evictions += 1
+        # the budget is an invariant, not an eventual property
+        assert cache.total_bytes <= budget
+
+    assert cache.hits == model_hits
+    assert cache.misses == len(ops) - model_hits
+    assert cache.evictions == model_evictions
+    assert cache.total_bytes == sum(model.values())
+    assert cache.lru_order() == list(model)
+    # loaders run exactly once per miss, never on a hit
+    assert sum(loads.values()) == cache.misses
+
+
+@settings(deadline=None)
+@given(budget=budgets, blob_sizes=sizes, ops=accesses)
+def test_lru_order_is_deterministic_under_injected_clock(
+    budget, blob_sizes, ops
+):
+    """Replaying the same access sequence reproduces the cache state
+    exactly — recency depends on the call sequence, not wall time."""
+    results = []
+    for _ in range(2):
+        cache = BlobCache(budget, clock=FakeClock(auto_advance=1.0))
+        for index in ops:
+            blob = make_blob(index, blob_sizes[index])
+            cache.get(blob.digest, lambda blob=blob: blob)
+        results.append((cache.lru_order(), cache.stats()))
+    assert results[0] == results[1]
+
+
+@settings(deadline=None)
+@given(blob_sizes=sizes, ops=accesses)
+def test_oversized_blobs_are_served_but_never_cached(blob_sizes, ops):
+    """A blob larger than the whole budget must not evict everything."""
+    budget = 40
+    cache = BlobCache(budget, clock=FakeClock(auto_advance=1.0))
+    for index in ops:
+        blob = make_blob(index, blob_sizes[index])
+        got = cache.get(blob.digest, lambda blob=blob: blob)
+        assert got.raw == blob.raw
+        if blob.charge > budget:
+            assert blob.digest not in cache
+        assert cache.total_bytes <= budget

@@ -280,3 +280,52 @@ class TestRealServer:
             server.shutdown()
             server.server_close()
             thread.join(timeout=5)
+
+
+class TestZeroCompressionServing:
+    """The serving hot path never gzips: immutable blobs carry their
+    commit-time sidecar, derived documents compress once on the first
+    render — a repeated fetch performs *zero* compression calls."""
+
+    def compressions(self, app):
+        return app.metrics.counter_total("repro_serve_gzip_compress_total")
+
+    def test_repeated_artifact_fetch_never_compresses(self, app):
+        head = app.store.head_id()
+        target = f"/v1/snapshots/{head}/responsive"
+        bodies = set()
+        for _ in range(5):
+            response = app.handle(
+                "GET", target, {"Accept-Encoding": "gzip"})
+            assert response.status == 200
+            assert response.headers["Content-Encoding"] == "gzip"
+            bodies.add(response.body)
+        assert len(bodies) == 1
+        assert gzip.decompress(bodies.pop()).decode() == (
+            address_artifact(day_addresses(8)))
+        assert self.compressions(app) == 0
+
+    def test_derived_documents_compress_exactly_once(self, app):
+        first, second = app.store.snapshot_ids()[:2]
+        target = f"/v1/delta/{first}/{second}"
+        bodies = set()
+        for _ in range(5):
+            response = app.handle(
+                "GET", target, {"Accept-Encoding": "gzip"})
+            assert response.status == 200
+            assert response.headers["Content-Encoding"] == "gzip"
+            bodies.add(response.body)
+        assert len(bodies) == 1
+        # one render-cache fill, then replay: the counter must not move
+        assert self.compressions(app) == 1
+
+    def test_conditional_refetch_skips_blob_and_compression(self, app):
+        head = app.store.head_id()
+        target = f"/v1/snapshots/{head}/responsive"
+        etag = app.handle("GET", target, {}).headers["ETag"]
+        for _ in range(3):
+            response = app.handle("GET", target, {
+                "Accept-Encoding": "gzip", "If-None-Match": etag})
+            assert response.status == 304
+            assert response.body == b""
+        assert self.compressions(app) == 0

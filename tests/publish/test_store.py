@@ -8,9 +8,11 @@ import pytest
 
 from repro.publish.store import (
     ARTIFACT_NAMES,
+    GZIP_THRESHOLD,
     PublishError,
     SnapshotStore,
     artifact_digest,
+    compress_blob,
     publication_artifacts,
 )
 from repro.protocols import Protocol
@@ -144,3 +146,90 @@ def test_manifest_json_is_canonical(populated_store):
     # the id is the digest of the manifest core, so recommitting the
     # same content can never produce a different file name
     assert sorted(data["artifacts"]) == list(sorted(data["artifacts"]))
+
+
+class TestPrecompressionMigration:
+    """Stores that predate commit-time gzip must upgrade in place:
+    sidecars are backfilled lazily (or in bulk via ``precompress_all``)
+    without a single byte of manifest, HEAD or raw-blob churn."""
+
+    @staticmethod
+    def fingerprint(root):
+        """Digest of every durable file except the ``.gz`` sidecars."""
+        out = {}
+        for dirpath, _dirnames, filenames in os.walk(root):
+            for name in filenames:
+                if name.endswith((".gz", ".tmp")):
+                    continue
+                path = os.path.join(dirpath, name)
+                with open(path, "rb") as handle:
+                    digest = hashlib.sha256(handle.read()).hexdigest()
+                out[os.path.relpath(path, root)] = digest
+        return out
+
+    @staticmethod
+    def strip_sidecars(root):
+        removed = []
+        for dirpath, _dirnames, filenames in os.walk(root):
+            for name in filenames:
+                if name.endswith(".gz"):
+                    os.unlink(os.path.join(dirpath, name))
+                    removed.append(name)
+        return removed
+
+    def test_precompress_all_backfills_without_digest_churn(
+        self, populated_store
+    ):
+        root = populated_store.root
+        before = self.fingerprint(root)
+        removed = self.strip_sidecars(root)
+        assert removed, "populated store should have commit-time sidecars"
+
+        legacy = SnapshotStore(root)  # reopen, as an operator would
+        written = legacy.precompress_all()
+        assert written > 0
+        # every blob at or over the threshold has its sidecar again,
+        # with byte-identical deterministic compression
+        compressible = set()
+        for manifest in legacy.manifests():
+            for entry in manifest.artifacts.values():
+                digest = entry["sha256"]
+                raw = legacy.read_blob_bytes(digest)
+                path = legacy.gzip_blob_path(digest)
+                if len(raw) < GZIP_THRESHOLD:
+                    assert path is None
+                    continue
+                with open(path, "rb") as handle:
+                    assert handle.read() == compress_blob(raw)
+                compressible.add(digest)
+        assert written == len(compressible)
+        # manifests, HEAD and raw blobs are untouched
+        assert self.fingerprint(root) == before
+        # idempotent: a second pass writes nothing
+        assert legacy.precompress_all() == 0
+
+    def test_read_blob_gzip_backfills_lazily(self, populated_store):
+        root = populated_store.root
+        head = populated_store.head_id()
+        digest = populated_store.manifest(head).digest_of("responsive")
+        before = self.fingerprint(root)
+        self.strip_sidecars(root)
+
+        legacy = SnapshotStore(root)
+        packed = legacy.read_blob_gzip(digest)
+        raw = legacy.read_blob_bytes(digest)
+        assert packed == compress_blob(raw)
+        assert os.path.exists(legacy.blob_path(digest) + ".gz")
+        assert self.fingerprint(root) == before
+
+    def test_corrupt_sidecar_is_rebuilt_not_served(self, populated_store):
+        head = populated_store.head_id()
+        digest = populated_store.manifest(head).digest_of("responsive")
+        path = populated_store.gzip_blob_path(digest)
+        with open(path, "wb") as handle:
+            handle.write(b"not gzip at all")
+        packed = populated_store.read_blob_gzip(digest)
+        raw = populated_store.read_blob_bytes(digest)
+        assert packed == compress_blob(raw)
+        with open(path, "rb") as handle:
+            assert handle.read() == packed

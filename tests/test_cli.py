@@ -204,40 +204,40 @@ class TestRuntimeFlags:
 
 
 class TestServeCommand:
-    def test_serve_end_to_end(self, tmp_path, monkeypatch):
-        import threading
+    def test_serve_end_to_end(self, tmp_path):
+        """The default (asyncio) backend serves over a real socket and
+        exits cleanly on SIGTERM."""
+        import os
+        import pathlib
+        import signal
+        import subprocess
+        import sys
         import time
         import urllib.request
 
-        import repro.publish.server as publish_server
         from repro.publish.store import SnapshotStore
 
         store_dir = tmp_path / "store"
         SnapshotStore(str(store_dir)).commit(0, {"responsive": "::1\n"})
 
-        # capture the bound server so the test can stop serve_forever
-        captured = {}
-        real_serve = publish_server.serve
-
-        def capturing_serve(*args, **kwargs):
-            server, app = real_serve(*args, **kwargs)
-            captured["server"] = server
-            return server, app
-
-        monkeypatch.setattr(publish_server, "serve", capturing_serve)
-
         port_file = tmp_path / "port"
-        thread = threading.Thread(
-            target=main,
-            args=(["serve", "--store", str(store_dir), "--port", "0",
-                   "--port-file", str(port_file)],),
-            daemon=True,
+        repo_root = pathlib.Path(__file__).resolve().parents[1]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = (
+            str(repo_root / "src") + os.pathsep + env.get("PYTHONPATH", "")
+        ).rstrip(os.pathsep)
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve",
+             "--store", str(store_dir), "--port", "0",
+             "--port-file", str(port_file)],
+            env=env, cwd=str(repo_root),
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
         )
-        thread.start()
         try:
             for _ in range(200):
                 if port_file.exists() and port_file.read_text().strip():
                     break
+                assert process.poll() is None, "serve exited prematurely"
                 time.sleep(0.05)
             port = int(port_file.read_text())
             with urllib.request.urlopen(
@@ -246,9 +246,12 @@ class TestServeCommand:
                 assert response.read() == b"::1\n"
                 assert response.headers["ETag"].startswith('"')
         finally:
-            captured["server"].shutdown()
-            thread.join(timeout=5)
-        assert not thread.is_alive()
+            process.send_signal(signal.SIGTERM)
+            try:
+                assert process.wait(timeout=10) == 0
+            except subprocess.TimeoutExpired:
+                process.kill()
+                raise
 
     def test_simulate_publish_dir_writes_a_store(self, tmp_path):
         from repro.publish.store import SnapshotStore
