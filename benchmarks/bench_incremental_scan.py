@@ -1,0 +1,242 @@
+"""Incremental-scheduler differential bench (standalone, CI-friendly).
+
+Runs the same campaign twice — ``scan_mode="full"`` and
+``scan_mode="incremental"`` — over one world build per mode, and gates
+the scheduler's two contracts:
+
+* **correctness**: the per-scan-day cleaned (published) hitlist's
+  symmetric difference against the full-scan baseline stays within the
+  divergence budget (0.5 % of the day's cleaned responders), and the
+  final published list — produced by the campaign's forced full
+  re-probe — diverges by exactly zero addresses;
+* **performance**: at steady state (the last
+  :data:`STEADY_WINDOW_SCANS` scans) the incremental run sends at least
+  the baseline's ``min_probe_reduction`` fewer probes (≥3x by default).
+
+Probe totals land in ``results/BENCH_incremental_scan.json`` via the
+shared ``_perf.record_bench_time`` helper; each sample carries the
+``refresh_interval`` and ``sample_rate`` knobs so reduction trajectories
+stay interpretable after tuning.
+
+Runs without pytest so the CI perf-smoke job can call it directly::
+
+    PYTHONPATH=src python benchmarks/bench_incremental_scan.py \
+        --preset small --days 240 \
+        --check-baseline benchmarks/baselines/incremental_scan_default.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+from _perf import record_bench_time
+
+from repro.hitlist import HitlistService, default_scan_days
+from repro.hitlist.service import ServiceSettings
+from repro.simnet import build_internet, default_config, small_config
+
+PRESETS = {"small": small_config, "default": default_config}
+
+#: per-scan-day budget: |cleaned_full ^ cleaned_incremental| as a
+#: fraction of the day's full-mode cleaned responders
+DIVERGENCE_BUDGET = 0.005
+#: "steady state" = the last this-many scans of the campaign
+STEADY_WINDOW_SCANS = 30
+
+
+def run_mode(
+    preset: str,
+    days_cap: int | None,
+    mode: str,
+    refresh_interval: int | None,
+    sample_rate: float | None,
+):
+    config = PRESETS[preset]()
+    days = default_scan_days(config.final_day)
+    if days_cap is not None:
+        days = [day for day in days if day <= days_cap]
+    world = build_internet(config)
+    kwargs = {}
+    if refresh_interval is not None:
+        kwargs["refresh_interval"] = refresh_interval
+    if sample_rate is not None:
+        kwargs["sample_rate"] = sample_rate
+    settings = ServiceSettings(
+        gfw_filter_deploy_day=config.gfw_filter_deploy_day,
+        trace_sample_rate=0.5 if preset == "default" else 1.0,
+        scan_mode=mode,
+        **kwargs,
+    )
+    service = HitlistService(world, config, settings=settings)
+
+    # capture each scan day's cleaned (published) responder set: the
+    # divergence gate compares sets, which snapshots do not carry
+    cleaned = {}
+    original = service.run_scan
+
+    def capturing_run_scan(day, prev_day, force_full=False):
+        snapshot = original(day, prev_day, force_full=force_full)
+        cleaned[day] = frozenset(service._prev_responsive_any)
+        return snapshot
+
+    service.run_scan = capturing_run_scan
+    start = time.perf_counter()
+    history = service.run(days)
+    wall = time.perf_counter() - start
+    return history, cleaned, wall
+
+
+def probes_of(snapshot) -> int:
+    probed = snapshot.probed_target_count
+    return probed if probed >= 0 else snapshot.scan_target_count
+
+
+def run_bench(args) -> dict:
+    full_history, full_cleaned, full_wall = run_mode(
+        args.preset, args.days, "full", None, None
+    )
+    inc_history, inc_cleaned, inc_wall = run_mode(
+        args.preset, args.days, "incremental",
+        args.refresh_interval, args.sample_rate,
+    )
+
+    failures = []
+
+    # --- correctness gate: per-day divergence within budget ------------
+    assert full_cleaned.keys() == inc_cleaned.keys()
+    scan_days = sorted(full_cleaned)
+    worst_day, worst_frac = None, 0.0
+    for day in scan_days:
+        baseline = full_cleaned[day]
+        symdiff = len(baseline ^ inc_cleaned[day])
+        frac = symdiff / max(1, len(baseline))
+        if frac > worst_frac:
+            worst_day, worst_frac = day, frac
+        if frac > DIVERGENCE_BUDGET:
+            failures.append(
+                f"day {day}: published-hitlist symdiff {symdiff} "
+                f"({frac:.2%} of {len(baseline)}) exceeds "
+                f"{DIVERGENCE_BUDGET:.2%} budget"
+            )
+    final_day = scan_days[-1]
+    final_symdiff = len(full_cleaned[final_day] ^ inc_cleaned[final_day])
+    if final_symdiff != 0:
+        failures.append(
+            f"final published list (day {final_day}, forced full re-probe) "
+            f"diverges by {final_symdiff} addresses; must be 0"
+        )
+
+    # --- performance: probe reduction ---------------------------------
+    full_total = sum(s.scan_target_count for s in full_history.snapshots)
+    inc_total = sum(probes_of(s) for s in inc_history.snapshots)
+    window = min(STEADY_WINDOW_SCANS, len(scan_days))
+    steady_full = sum(
+        s.scan_target_count for s in full_history.snapshots[-window:]
+    )
+    steady_inc = sum(probes_of(s) for s in inc_history.snapshots[-window:])
+    steady_reduction = steady_full / max(1, steady_inc)
+    carried = sum(
+        s.metrics.get("sched_carried", 0) for s in inc_history.snapshots
+    )
+
+    print(
+        f"incremental_scan[{args.preset}]: {len(scan_days)} scans, "
+        f"walls full={full_wall:.1f}s inc={inc_wall:.1f}s"
+    )
+    print(
+        f"  probes: full={full_total} inc={inc_total} "
+        f"({full_total / max(1, inc_total):.2f}x); steady last {window} "
+        f"scans: full={steady_full} inc={steady_inc} "
+        f"({steady_reduction:.2f}x); carried={carried}"
+    )
+    print(
+        f"  divergence: worst day {worst_day} at {worst_frac:.2%} "
+        f"(budget {DIVERGENCE_BUDGET:.2%}); final day {final_day} "
+        f"symdiff={final_symdiff}"
+    )
+    return {
+        "failures": failures,
+        "wall_full": full_wall,
+        "wall_incremental": inc_wall,
+        "probes_full": full_total,
+        "probes_incremental": inc_total,
+        "steady_reduction": steady_reduction,
+        "worst_divergence": worst_frac,
+        "final_symdiff": final_symdiff,
+        "carried_targets": carried,
+        "scans": len(scan_days),
+    }
+
+
+def check_baseline(path: pathlib.Path, outcome: dict) -> list[str]:
+    baseline = json.loads(path.read_text())
+    floor = baseline["min_probe_reduction"]
+    failures = []
+    if outcome["steady_reduction"] < floor:
+        failures.append(
+            f"PERF REGRESSION: steady-state probe reduction "
+            f"{outcome['steady_reduction']:.2f}x below the "
+            f"{floor:.1f}x floor"
+        )
+    else:
+        print(
+            f"perf floor OK: {outcome['steady_reduction']:.2f}x >= {floor:.1f}x"
+        )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--preset", choices=sorted(PRESETS), default="small")
+    parser.add_argument(
+        "--days", type=int, default=None,
+        help="only run scan days <= this (default: full schedule)",
+    )
+    parser.add_argument(
+        "--refresh-interval", type=int, default=None,
+        help="override the scheduler's stable-prefix refresh interval",
+    )
+    parser.add_argument(
+        "--sample-rate", type=float, default=None,
+        help="override the confirmation-sample rate",
+    )
+    parser.add_argument(
+        "--check-baseline", type=pathlib.Path, default=None,
+        help="baseline JSON ({min_probe_reduction}); exit 1 on breach",
+    )
+    args = parser.parse_args(argv)
+
+    outcome = run_bench(args)
+    failures = outcome.pop("failures")
+    scenario = (
+        args.preset if args.days is None else f"{args.preset}-{args.days}d"
+    )
+    record_bench_time(
+        "incremental_scan",
+        outcome["wall_incremental"],
+        scenario=scenario,
+        extra={
+            "refresh_interval": args.refresh_interval,
+            "sample_rate": args.sample_rate,
+            "probes_full": outcome["probes_full"],
+            "probes_incremental": outcome["probes_incremental"],
+            "steady_reduction": round(outcome["steady_reduction"], 3),
+            "worst_divergence": round(outcome["worst_divergence"], 5),
+            "final_symdiff": outcome["final_symdiff"],
+            "scans": outcome["scans"],
+        },
+    )
+    if args.check_baseline is not None:
+        failures += check_baseline(args.check_baseline, outcome)
+    for failure in failures:
+        print(failure, file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

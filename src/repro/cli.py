@@ -153,6 +153,7 @@ def _run_pipeline(args: argparse.Namespace):
         return service.config, service.internet, history, service
     config = _resolve_config(args)
     internet = build_internet(config)
+    sample_rate = getattr(args, "sample_rate", None)
     settings = ServiceSettings(
         gfw_filter_deploy_day=config.gfw_filter_deploy_day,
         retry_attempts=getattr(args, "retry_attempts", None) or 1,
@@ -160,6 +161,10 @@ def _run_pipeline(args: argparse.Namespace):
         scan_chunk_size=getattr(args, "scan_chunk_size", None) or 4096,
         vantages=getattr(args, "vantages", None) or 1,
         quorum=getattr(args, "quorum", None) or "majority",
+        scan_mode=getattr(args, "scan_mode", None) or "full",
+        refresh_interval=getattr(args, "refresh_interval", None) or 6,
+        # 0.0 is a legal rate (never confirm), so no `or` defaulting
+        sample_rate=sample_rate if sample_rate is not None else 0.0625,
     )
     service = HitlistService(
         internet, config, settings=settings, fault_plan=_load_faults(args)
@@ -424,6 +429,21 @@ def build_parser() -> argparse.ArgumentParser:
                        help="targets per scan-engine chunk (default: 4096; "
                             "scheduling knob only, results are identical "
                             "for any value)")
+        p.add_argument("--scan-mode", choices=("full", "incremental"),
+                       dest="scan_mode", default="full",
+                       help="'incremental' probes only churned/new/degraded/"
+                            "refresh-due prefixes plus confirmation samples "
+                            "and carries stable prefixes forward "
+                            "(default: full)")
+        p.add_argument("--refresh-interval", type=int, dest="refresh_interval",
+                       default=None, metavar="SCANS",
+                       help="incremental mode: fully re-probe every stable "
+                            "prefix at least every SCANS scans (default: 10)")
+        p.add_argument("--sample-rate", type=float, dest="sample_rate",
+                       default=None, metavar="RATE",
+                       help="incremental mode: deterministic per-day "
+                            "fraction of stable prefixes probed as "
+                            "confirmation samples (default: 0.03125)")
         p.add_argument("--checkpoint-dir", dest="checkpoint_dir",
                        help="write per-scan state checkpoints to this "
                             "directory (created if missing)")

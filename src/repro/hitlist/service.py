@@ -27,11 +27,20 @@ from repro.protocols import ALL_PROTOCOLS, Protocol
 from repro.runtime.faults import FaultPlan, RetryPolicy
 from repro.scan.blocklist import Blocklist
 from repro.scan.engine import ScanEngine
+from repro.scan.scheduler import (
+    DEFAULT_REFRESH_INTERVAL,
+    DEFAULT_SAMPLE_RATE,
+    IncrementalScheduler,
+)
 from repro.scan.yarrp import YarrpTracer
 from repro.scan.zmap import ZMapScanner
 from repro.simnet.config import DAY_2021_12_01, SNAPSHOT_DAYS, ScenarioConfig
 from repro.simnet.internet import SimInternet
 from repro.vantage import VantageFleet, default_vantage_specs, validate_policy
+
+#: Addresses within this many days of the 30-day filter's deadline are
+#: force-probed under incremental scheduling (see _eviction_watchlist).
+_LAST_CHANCE_DAYS = 4
 
 #: The per-scan metrics block of a :class:`ScanSnapshot`: short key ->
 #: registry counter whose per-scan delta it records.
@@ -47,6 +56,10 @@ SCAN_METRIC_COUNTERS: Dict[str, str] = {
     "gfw_dropped": "repro_gfw_dropped_total",
     "faults_absorbed": "repro_faults_absorbed_total",
     "excluded": "repro_excluded_total",
+    "sched_full": "repro_sched_full_targets_total",
+    "sched_sampled": "repro_sched_sampled_targets_total",
+    "sched_carried": "repro_sched_carried_targets_total",
+    "sched_repairs": "repro_sched_divergence_repairs_total",
 }
 
 
@@ -169,6 +182,17 @@ class ServiceSettings:
     quorum: str = "majority"
     #: fraction of targets cross-checked by a multi-vantage witness panel
     vantage_overlap: float = 0.0625
+    #: "full" probes the whole pool every scan; "incremental" routes the
+    #: pool through repro.scan.scheduler, probing only churned/new/
+    #: degraded/refresh-due prefixes plus confirmation samples and
+    #: carrying stable prefixes forward
+    scan_mode: str = "full"
+    #: incremental mode: a stable prefix is fully re-probed at least
+    #: every this many scans
+    refresh_interval: int = DEFAULT_REFRESH_INTERVAL
+    #: incremental mode: deterministic per-day fraction of stable
+    #: prefixes probed as confirmation samples
+    sample_rate: float = DEFAULT_SAMPLE_RATE
 
 
 @dataclass
@@ -179,6 +203,10 @@ class ScanSnapshot:
     input_total: int
     scan_target_count: int
     aliased_prefix_count: int
+    #: targets actually probed this scan; equals ``scan_target_count``
+    #: in full mode, and shrinks to the full+sampled partition under
+    #: incremental scheduling (-1 on snapshots from older checkpoints)
+    probed_target_count: int = -1
     published_counts: Dict[Protocol, int] = field(default_factory=dict)
     cleaned_counts: Dict[Protocol, int] = field(default_factory=dict)
     published_total: int = 0
@@ -331,6 +359,24 @@ class HitlistService:
                 metrics=self.metrics,
                 tracer=self.spans,
             )
+        if self.settings.scan_mode not in ("full", "incremental"):
+            raise ValueError(
+                f"settings.scan_mode must be 'full' or 'incremental', "
+                f"got {self.settings.scan_mode!r}"
+            )
+        #: the incremental churn-aware scheduler; None keeps the
+        #: probe-everything path bit-identical to earlier releases
+        self.scheduler: Optional[IncrementalScheduler] = None
+        if self.settings.scan_mode == "incremental":
+            self.scheduler = IncrementalScheduler(
+                seed=config.seed,
+                refresh_interval=self.settings.refresh_interval,
+                sample_rate=self.settings.sample_rate,
+                loss_rate=self.settings.loss_rate,
+                retry_attempts=self.settings.retry_attempts,
+                fault_plan=fault_plan,
+                metrics=self.metrics,
+            )
         self.tracer = YarrpTracer(
             internet, blocklist=self.blocklist,
             sample_rate=self.settings.trace_sample_rate, seed=config.seed,
@@ -481,6 +527,26 @@ class HitlistService:
             self._m_excluded.labels(reason="30day").inc(len(to_remove))
         return len(to_remove)
 
+    def _eviction_watchlist(self, day: int) -> Set[int]:
+        """Addresses close to the 30-day filter's eviction deadline.
+
+        The incremental scheduler must not carry these: a first response
+        blooming while carried would go unrecorded and the address would
+        be evicted, a divergence the final full scan cannot repair
+        (full-scan mode would have kept it).  Scheduled-outage credits
+        are deliberately ignored here — that only widens the watchlist,
+        never narrows it.
+        """
+        horizon = self.settings.unresponsive_days - _LAST_CHANCE_DAYS
+        watch: Set[int] = set()
+        for address in self._scan_pool:
+            reference = self._last_responsive.get(
+                address, self._first_seen.get(address, day)
+            )
+            if day - reference >= horizon:
+                watch.add(address)
+        return watch
+
     def _apply_gfw_historical_purge(self) -> None:
         """The one-time removal of injection-only addresses (Sec. 4.2)."""
         purge = self.gfw_filter.historical_filter_set()
@@ -538,7 +604,7 @@ class HitlistService:
 
     # ------------------------------------------------------------------
 
-    def run_scan(self, day: int, prev_day: int) -> ScanSnapshot:
+    def run_scan(self, day: int, prev_day: int, force_full: bool = False) -> ScanSnapshot:
         """Execute one full pipeline iteration.
 
         The iteration is fault-tolerant: a raising source is skipped
@@ -549,6 +615,11 @@ class HitlistService:
         Each stage runs inside a tracing span, and the snapshot carries
         a per-scan :attr:`ScanSnapshot.metrics` block: the deltas of the
         deterministic registry counters caused by this scan.
+
+        ``force_full`` makes an incremental-mode scan probe the whole
+        pool regardless of scheduler state (used for the final scan of
+        a campaign so the published list carries zero divergence); it
+        is a no-op in full mode.
         """
         metrics = self.metrics
         before = {
@@ -556,7 +627,7 @@ class HitlistService:
             for key, name in SCAN_METRIC_COUNTERS.items()
         }
         with self.spans.span("scan", day=day):
-            snapshot = self._run_scan_stages(day, prev_day)
+            snapshot = self._run_scan_stages(day, prev_day, force_full)
         for component in snapshot.degraded:
             self._m_faults.labels(component=component).inc()
         self._m_scans.labels(
@@ -569,7 +640,9 @@ class HitlistService:
         }
         return snapshot
 
-    def _run_scan_stages(self, day: int, prev_day: int) -> ScanSnapshot:
+    def _run_scan_stages(
+        self, day: int, prev_day: int, force_full: bool = False
+    ) -> ScanSnapshot:
         """The pipeline stages of one scan (see :meth:`run_scan`)."""
         settings = self.settings
         history = self.history
@@ -616,6 +689,7 @@ class HitlistService:
                 day=day,
                 input_total=len(history.input_ever),
                 scan_target_count=len(self._scan_pool),
+                probed_target_count=0,
                 aliased_prefix_count=self.apd.aliased_count,
                 published_counts={protocol: 0 for protocol in ALL_PROTOCOLS},
                 cleaned_counts={protocol: 0 for protocol in ALL_PROTOCOLS},
@@ -655,20 +729,41 @@ class HitlistService:
             excluded_now = self._apply_30day_filter(day)
 
         # 5. scans — one engine pass, or the fleet's shard/probe/
-        # reconcile cycle when multiple vantages are configured
+        # reconcile cycle when multiple vantages are configured.  Under
+        # incremental scheduling the scheduler partitions the pool
+        # fleet-globally (before sharding): only the probe set enters
+        # the mmap/packed-wire path, carried responders replay during
+        # the in-order merge, and absorb() folds probed outcomes back
+        # into the priority state and re-attributes carried-injected
+        # responders that the GFW filter saw without response objects.
+        scheduler = self.scheduler
         with self.spans.span("probe"):
-            targets = list(self._scan_pool)
+            sched_plan = None
+            carried = None
+            if scheduler is not None:
+                sched_plan = scheduler.plan(
+                    day,
+                    self._scan_pool,
+                    force_full,
+                    must_probe=self._eviction_watchlist(day),
+                )
+                targets = sched_plan.probe_targets
+                carried = scheduler.carried_scan(sched_plan)
+            else:
+                targets = list(self._scan_pool)
             vantage_block = None
             if self.fleet is not None:
                 results, udp53, fleet_report = self.fleet.scan(
-                    targets, day, settings.qname, roster
+                    targets, day, settings.qname, roster, carried=carried
                 )
                 vantage_block = fleet_report.to_json()
             else:
                 results, udp53 = self.engine.scan_all_protocols(
-                    targets, day, settings.qname
+                    targets, day, settings.qname, carried=carried
                 )
             cleaning = self.gfw_filter.clean_scan(udp53)
+            if sched_plan is not None:
+                scheduler.absorb(sched_plan, results, udp53, cleaning)
 
             other_responders: Set[int] = set()
             for protocol in (Protocol.ICMP, Protocol.TCP80, Protocol.TCP443,
@@ -750,9 +845,14 @@ class HitlistService:
             else:
                 history.ever_responsive[protocol] |= responders[protocol]
 
-        # 7. the service's own traceroutes feed the next scan's input
+        # 7. the service's own traceroutes feed the next scan's input.
+        # Incremental scheduling still traces the whole pool: probe
+        # reduction targets the ZMap probe budget, while hop discovery
+        # must keep feeding input identically to full mode or the two
+        # modes' pools would drift apart
         with self.spans.span("trace"):
-            trace_result = self.tracer.trace_targets(targets, day)
+            trace_pool = targets if scheduler is None else list(self._scan_pool)
+            trace_result = self.tracer.trace_targets(trace_pool, day)
             self._ingest("yarrp", trace_result.hops, day)
 
         # stash full sets so a retention request for this day reuses the
@@ -762,7 +862,13 @@ class HitlistService:
         snapshot = ScanSnapshot(
             day=day,
             input_total=len(history.input_ever),
-            scan_target_count=len(targets),
+            # scan_target_count stays the full post-filter pool (what
+            # the scan *covers*); probed_target_count is what actually
+            # went through the probe path this day
+            scan_target_count=(
+                len(targets) if sched_plan is None else sched_plan.pool_size
+            ),
+            probed_target_count=len(targets),
             aliased_prefix_count=self.apd.aliased_count,
             published_counts=published_counts,
             cleaned_counts=cleaned_counts,
@@ -869,7 +975,12 @@ class HitlistService:
         try:
             for index in range(start_index, len(scan_days)):
                 day = scan_days[index]
-                snapshot = self.run_scan(day, prev_day)
+                # the campaign's last scan always probes everything:
+                # the final published hitlist must carry zero carried-
+                # forward divergence (no-op in full mode)
+                snapshot = self.run_scan(
+                    day, prev_day, force_full=(index + 1 == len(scan_days))
+                )
                 if "vantage_outage" not in snapshot.degraded:
                     # retention needs real scan data; during an outage the
                     # pending day waits for the next working scan
@@ -1010,7 +1121,17 @@ class HitlistService:
                     self._retain(day)
                     retain_pending.pop(0)
                 prev_day = day
-                runtime_days = -(-5 * snapshot.scan_target_count // rate)  # ceil
+                # adaptive pacing charges what was actually probed: the
+                # scheduler keeps its priority state across rounds, so
+                # steady-state incremental rounds are cheaper and the
+                # cadence recovers instead of degrading forever.  Full
+                # mode keeps the original pool-sized model bit for bit.
+                probed = (
+                    snapshot.scan_target_count
+                    if self.scheduler is None
+                    else snapshot.probed_target_count
+                )
+                runtime_days = -(-5 * probed // rate)  # ceil
                 day += max(base_interval, runtime_days)
         finally:
             if self.fleet is not None:

@@ -188,6 +188,7 @@ def _snapshot_to_dict(snapshot) -> Dict[str, Any]:
         "day": snapshot.day,
         "input_total": snapshot.input_total,
         "scan_target_count": snapshot.scan_target_count,
+        "probed_target_count": snapshot.probed_target_count,
         "aliased_prefix_count": snapshot.aliased_prefix_count,
         "published_counts": {
             protocol.label: count
@@ -218,6 +219,7 @@ def _snapshot_from_dict(data: Dict[str, Any]):
         day=int(data["day"]),
         input_total=int(data["input_total"]),
         scan_target_count=int(data["scan_target_count"]),
+        probed_target_count=int(data.get("probed_target_count", -1)),
         aliased_prefix_count=int(data["aliased_prefix_count"]),
         published_counts={
             _LABEL_TO_PROTOCOL[label]: int(count)
@@ -285,6 +287,12 @@ def service_state(service: "HitlistService") -> Dict[str, Any]:
             "fleet": (
                 service.fleet.state_dict()
                 if service.fleet is not None else None
+            ),
+            # incremental-scheduler priority + carry state; None for
+            # full-mode runs
+            "scheduler": (
+                service.scheduler.state_dict()
+                if service.scheduler is not None else None
             ),
         },
         "history": {
@@ -355,6 +363,9 @@ def restore_service_state(service: "HitlistService", payload: Dict[str, Any]) ->
     fleet_state = state.get("fleet")
     if fleet_state is not None and service.fleet is not None:
         service.fleet.restore_state(fleet_state)
+    sched_state = state.get("scheduler")
+    if sched_state is not None and service.scheduler is not None:
+        service.scheduler.restore_state(sched_state)
     stash = state.get("last_scan_full")
     if stash is not None:
         service._last_scan_full = (

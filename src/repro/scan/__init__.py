@@ -9,6 +9,7 @@ the measurement ethics of Sec. 3.3.
 
 from repro.scan.blocklist import Blocklist
 from repro.scan.engine import ScanEngine
+from repro.scan.scheduler import CarriedScan, IncrementalScheduler, ScanPlan
 from repro.scan.zmap import ScanResult, Udp53Result, ZMapScanner
 from repro.scan.yarrp import YarrpTracer
 from repro.scan.dnsscan import DnsScanner, ControlExperimentResult
@@ -17,11 +18,14 @@ from repro.scan.fingerprint import FingerprintClass, PrefixFingerprint, TcpFinge
 
 __all__ = [
     "Blocklist",
+    "CarriedScan",
     "ControlExperimentResult",
     "DnsScanner",
     "FingerprintClass",
+    "IncrementalScheduler",
     "PrefixFingerprint",
     "ScanEngine",
+    "ScanPlan",
     "ScanResult",
     "TbtOutcome",
     "TbtProber",

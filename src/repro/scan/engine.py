@@ -54,6 +54,7 @@ from repro.simnet.hosts import DnsBehavior
 from repro.simnet.internet import ControlNsQuery
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.scan.scheduler import CarriedScan
     from repro.scan.zmap import ScanResult, Udp53Result, ZMapScanner
 
 _M64 = 0xFFFFFFFFFFFFFFFF
@@ -602,13 +603,22 @@ class ScanEngine:
     # scanning
 
     def scan_all_protocols(
-        self, targets: Sequence[int], day: int, qname: str
+        self, targets: Sequence[int], day: int, qname: str,
+        carried: Optional["CarriedScan"] = None,
     ) -> Tuple[Dict[Protocol, "ScanResult"], "Udp53Result"]:
         """Fused scan of all five hitlist protocols over one target set.
 
         Drop-in equivalent of ``ZMapScanner.scan_all_protocols`` —
         identical responder sets, metric totals, retry/burst accounting
         and control-NS log, for any ``workers``/``chunk_size``.
+
+        ``carried`` (from the incremental scheduler) folds previously
+        probed responders into the merged results without probing them:
+        their addresses join the responder sets and target counts after
+        the probe metrics flush, so ``repro_probes_sent_total`` reflects
+        only real probes.  Carried UDP/53 responders carry no response
+        objects — injection re-attribution happens in the scheduler's
+        ``absorb`` step.
         """
         from repro.scan.zmap import ScanResult, Udp53Result
 
@@ -665,7 +675,7 @@ class ScanEngine:
             log.append(ControlNsQuery(qname=logged_qname, source=egress))
 
         # per-AS rate limiting needs the full probed list, so it runs
-        # after the merge (identical to the legacy per-scan ordering)
+        # after the merge (identical to the pre-engine per-scan ordering)
         rate_limited: Dict[Protocol, int] = {}
         udp_rate_limited = 0
         if limited and scannable is not None:
@@ -694,6 +704,12 @@ class ScanEngine:
             count, burst_targets, fast_draws + udp_draws, fast_sets,
             udp53, rate_limited, udp_rate_limited, len(ranges),
         )
+        if carried is not None and carried.targets:
+            count += carried.targets
+            for found, replayed in zip(fast_sets, carried.fast):
+                found |= replayed
+            udp53.responders |= carried.udp_responders
+            udp53.targets = count
         results = {
             protocol: ScanResult(
                 protocol=protocol, day=day, targets=count,
@@ -876,7 +892,7 @@ class ScanEngine:
         udp_rate_limited: int,
         chunk_count: int,
     ) -> None:
-        """Identical counter totals to the legacy two-stage flush."""
+        """Identical counter totals to the pre-engine two-stage flush."""
         scanner = self._scanner
         scanner.probes_sent += 5 * count
         if self._m_chunks is not None:

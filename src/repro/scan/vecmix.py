@@ -20,7 +20,8 @@ probe stage's draw loops is 2-3x at the default chunk size (4096).
 
 Every function here is bit-exact against :func:`repro._util.mix64`:
 ``tests/scan/test_vecmix.py`` pins the equivalence property-based, and
-the engine-vs-legacy differential tests pin it end to end.
+the incremental scheduler's replay gate pins it end to end (the carry
+store's loss replay must match the engine's draws bit for bit).
 """
 
 from __future__ import annotations

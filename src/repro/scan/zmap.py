@@ -271,108 +271,3 @@ class ZMapScanner:
 
             engine = self._engine = ScanEngine(self)
         return engine.scan_all_protocols(targets, day, qname)
-
-    def scan_all_protocols_legacy(
-        self, targets: Iterable[int], day: int, qname: str
-    ) -> Tuple[Dict[Protocol, ScanResult], Udp53Result]:
-        """Pre-engine reference implementation of the fused scan.
-
-        Kept as the differential baseline: it walks the ground truth a
-        second time for UDP/53 (via :meth:`scan_udp53`), which the
-        engine's fused pass eliminates.  Equivalence tests and the perf
-        benchmarks compare the two paths bit for bit.
-        """
-        fast_protocols = (Protocol.ICMP, Protocol.TCP80, Protocol.TCP443, Protocol.UDP443)
-        plan = self._fault_plan
-        if plan is not None and plan.vantage_down(day):
-            empty = {
-                protocol: ScanResult(
-                    protocol=protocol, day=day, targets=0, responders=frozenset()
-                )
-                for protocol in fast_protocols
-            }
-            return empty, Udp53Result(day=day, qname=qname)
-        responders: Dict[Protocol, set] = {protocol: set() for protocol in fast_protocols}
-        internet = self._internet
-        blocklist = self._blocklist
-        threshold16 = int(self._loss_rate * 65536.0)
-        attempts = self._retry_attempts
-        count = 0
-        burst_targets = 0
-        scannable = []
-        for target in targets:
-            if blocklist.is_blocked(target):
-                continue
-            scannable.append(target)
-            count += 1
-            if plan is not None and plan.burst_lost(target, day):
-                burst_targets += 1
-                continue
-            mask = internet.response_mask(target, day)
-            if not mask:
-                continue
-            if threshold16:
-                # bit i set = some attempt's probe of fast protocol i survived
-                surviving = 0
-                base = (target & _M64) ^ (target >> 64)
-                for attempt in range(attempts):
-                    draw = mix64(
-                        base
-                        ^ mix64(
-                            (day << 8)
-                            ^ self._seed
-                            ^ 0x5CA11
-                            ^ ((attempt * RETRY_SALT) & _M64)
-                        )
-                    )
-                    for index in range(4):
-                        if ((draw >> (16 * index)) & 0xFFFF) >= threshold16:
-                            surviving |= 1 << index
-                    if surviving == 0b1111:
-                        break
-                self._retry_draws += attempt
-            else:
-                surviving = 0b1111
-            for index, protocol in enumerate(fast_protocols):
-                if not mask & protocol:
-                    continue
-                if not (surviving >> index) & 1:
-                    continue
-                responders[protocol].add(target)
-        rate_limited: Dict[Protocol, int] = {}
-        if plan is not None:
-            for protocol in fast_protocols:
-                if plan.limits_protocol(protocol):
-                    suppressed = self._suppressed(scannable, protocol, day)
-                    rate_limited[protocol] = len(responders[protocol] & suppressed)
-                    responders[protocol] -= suppressed
-        self.probes_sent += 4 * count
-        if self._metrics is not None:
-            retry_draws, self._retry_draws = self._retry_draws, 0
-            if retry_draws:
-                self._m_retries.inc(retry_draws)
-            # a burst swallows all four fast probes of a target at once
-            if burst_targets:
-                self._m_burst.inc(4 * burst_targets)
-            for protocol in fast_protocols:
-                self._m_probes.labels(protocol=protocol.label).inc(count)
-                self._m_hits.labels(protocol=protocol.label).inc(
-                    len(responders[protocol])
-                )
-                if rate_limited.get(protocol):
-                    self._m_rate_limited.labels(protocol=protocol.label).inc(
-                        rate_limited[protocol]
-                    )
-        else:
-            self._retry_draws = 0
-        results = {
-            protocol: ScanResult(
-                protocol=protocol,
-                day=day,
-                targets=count,
-                responders=frozenset(found),
-            )
-            for protocol, found in responders.items()
-        }
-        udp53 = self.scan_udp53(scannable, day, qname)
-        return results, udp53

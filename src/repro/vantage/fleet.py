@@ -29,13 +29,16 @@ killed mid-reconciliation resumes bit-identically.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple, TYPE_CHECKING
 
 from repro._util import mix64
 from repro.protocols import Protocol
 from repro.scan.engine import ScanEngine
 from repro.scan.zmap import ZMapScanner
 from repro.vantage.quorum import quorum_size, validate_policy
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.scan.scheduler import CarriedScan
 
 _M64 = 0xFFFFFFFFFFFFFFFF
 _UINT64_SPAN = 1 << 64
@@ -453,6 +456,7 @@ class VantageFleet:
     def scan(
         self, targets: Sequence[int], day: int, qname: str,
         roster: Optional[FleetRoster] = None,
+        carried: Optional["CarriedScan"] = None,
     ):
         """One fleet scan: shard, probe per vantage, reconcile.
 
@@ -463,6 +467,12 @@ class VantageFleet:
         schedule): targets are walked in sorted order, vantages in spec
         order, and every reconciliation decision is a pure function of
         the per-vantage responder sets.
+
+        ``carried`` holds the incremental scheduler's carried-forward
+        responders.  Scheduler priorities are fleet-global, so carried
+        targets never enter sharding or witness panels — they merge
+        into the reconciled result after quorum, exactly as the
+        single-engine path merges them after its metrics flush.
         """
         from repro.scan.zmap import ScanResult, Udp53Result
 
@@ -525,12 +535,12 @@ class VantageFleet:
             with tracer.span("reconcile", day=day):
                 merged = self._reconcile(
                     day, qname, witness_panels, witness_dedup, live_indices,
-                    per_results, per_udp, report,
+                    per_results, per_udp, report, carried,
                 )
         else:
             merged = self._reconcile(
                 day, qname, witness_panels, witness_dedup, live_indices,
-                per_results, per_udp, report,
+                per_results, per_udp, report, carried,
             )
         if self._m_scans is not None:
             self._m_resharded.inc(resharded)
@@ -544,7 +554,7 @@ class VantageFleet:
 
     def _reconcile(
         self, day, qname, witness_panels, witness_dedup, live_indices,
-        per_results, per_udp, report,
+        per_results, per_udp, report, carried=None,
     ):
         """Merge per-vantage verdicts into one published scan result."""
         from repro.scan.zmap import ScanResult, Udp53Result
@@ -647,6 +657,11 @@ class VantageFleet:
         for vid, split_votes in dissent.items():
             report.per_vantage[vid]["dissent"] = split_votes
 
+        if carried is not None and carried.targets:
+            count += carried.targets
+            for protocol, replayed in zip(_FAST_PROTOCOLS, carried.fast):
+                fast_sets[protocol] |= replayed
+            udp_responders |= carried.udp_responders
         results = {
             protocol: ScanResult(
                 protocol=protocol, day=day, targets=count,

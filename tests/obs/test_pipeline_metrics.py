@@ -146,11 +146,11 @@ class TestKillAndResume:
         original = service.run_scan
         executed = {"count": 0}
 
-        def dying_run_scan(day, prev_day):
+        def dying_run_scan(day, prev_day, force_full=False):
             if executed["count"] == 6:  # dies mid-outage window
                 raise Killed()
             executed["count"] += 1
-            return original(day, prev_day)
+            return original(day, prev_day, force_full=force_full)
 
         service.run_scan = dying_run_scan
         with pytest.raises(Killed):

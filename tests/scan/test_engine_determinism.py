@@ -4,8 +4,7 @@ The property under test (the engine's core contract): for any
 ``scan_workers`` value, the service produces bit-identical scan
 snapshots, identical deterministic-metrics views, and byte-identical
 checkpoints — sharding chunks across a process pool only changes wall
-time, never results.  Also pins the engine's fused pass against the
-pre-engine reference implementation.
+time, never results.
 """
 
 import os
@@ -89,11 +88,11 @@ def test_checkpoint_bytes_worker_invariant(config, checkpoint_dir, workers, refe
     original = service.run_scan
     executed = {"count": 0}
 
-    def dying_run_scan(day, prev_day):
+    def dying_run_scan(day, prev_day, force_full=False):
         if executed["count"] == kill_after:
             raise _Killed()
         executed["count"] += 1
-        return original(day, prev_day)
+        return original(day, prev_day, force_full=force_full)
 
     service.run_scan = dying_run_scan
     # every worker count writes to the SAME path: the schedule embeds
@@ -125,33 +124,6 @@ def test_checkpoint_bytes_worker_invariant(config, checkpoint_dir, workers, refe
     resumed = HitlistService.resume(str(target / files[-1]))
     ref_history, _ = reference
     assert history_summary(resumed.run()) == history_summary(ref_history)
-
-
-def test_engine_matches_legacy_reference(config):
-    """The fused single-pass engine reproduces the two-walk legacy path."""
-    service = _build(config, workers=1)
-    service.bootstrap(0)
-    targets = list(service._scan_pool)
-    scanner = service.scanner
-
-    for day in (0, 15):
-        before = scanner.probes_sent
-        legacy_results, legacy_udp = scanner.scan_all_protocols_legacy(
-            targets, day, "www.google.com"
-        )
-        legacy_probes = scanner.probes_sent - before
-        engine = ScanEngine(scanner, workers=1, chunk_size=CHUNK_SIZE)
-        before = scanner.probes_sent
-        results, udp = engine.scan_all_protocols(targets, day, "www.google.com")
-        assert scanner.probes_sent - before == legacy_probes
-
-        for protocol in (Protocol.ICMP, Protocol.TCP80, Protocol.TCP443,
-                         Protocol.UDP443):
-            assert results[protocol].responders == legacy_results[protocol].responders
-            assert results[protocol].targets == legacy_results[protocol].targets
-        assert udp.responders == legacy_udp.responders
-        assert udp.responses == legacy_udp.responses
-        assert udp.qname == legacy_udp.qname
 
 
 def test_udp53_ground_truth_not_rewalked(config, monkeypatch):
