@@ -62,23 +62,57 @@ _GENERATORS = {
 }
 
 
+def _resolve_scenario_context(args: argparse.Namespace):
+    """The expanded-scenario context behind ``--config``, if any.
+
+    When ``--config`` points at an expanded-scenario artifact (the
+    output of ``repro-cli scenario expand``), the run inherits the
+    scenario's settings overrides, fault plan and run schedule — not
+    just its world config.  ``--seed`` applies *after* expansion and is
+    recorded in the artifact's provenance (``seed_override``).
+    """
+    path = getattr(args, "config", None)
+    if not path:
+        return None
+    import json
+
+    from repro.scenario.artifact import artifact_from_dict, is_expanded_artifact
+
+    with open(path, "r", encoding="ascii") as handle:
+        data = json.load(handle)
+    if not is_expanded_artifact(data):
+        return None
+    expanded = artifact_from_dict(data)
+    if getattr(args, "seed", None) is not None:
+        expanded = expanded.with_seed(args.seed)
+    return expanded
+
+
 def _resolve_config(args: argparse.Namespace):
     if getattr(args, "config", None):
         with open(args.config, "r", encoding="ascii") as handle:
-            return load_config(handle)
-    preset = getattr(args, "preset", "small")
-    if preset == "default":
-        config = default_config()
+            config = load_config(handle)
     else:
-        config = small_config()
+        preset = getattr(args, "preset", "small")
+        if preset == "default":
+            config = default_config()
+        else:
+            config = small_config()
+    # the seed override applies last — after any file/scenario loading —
+    # so `--config expanded.json --seed N` reproduces under seed N
     if getattr(args, "seed", None) is not None:
         config = config.with_seed(args.seed)
     return config
 
 
-def _scan_days(args: argparse.Namespace, config) -> List[int]:
-    until = args.days if getattr(args, "days", None) else config.final_day
-    step = getattr(args, "interval", None)
+def _scan_days(args: argparse.Namespace, config, run=None) -> List[int]:
+    """The scan schedule: CLI flags override the scenario's ``run:``."""
+    until = (
+        getattr(args, "days", None)
+        or (run or {}).get("days")
+        or config.final_day
+    )
+    step = getattr(args, "interval", None) or (run or {}).get("interval")
     if step:
         return list(range(0, until + 1, step))
     return [day for day in default_scan_days(config.final_day) if day <= until]
@@ -109,9 +143,11 @@ def _parse_vantage_faults(spec: str):
     return tuple(entries)
 
 
-def _load_faults(args: argparse.Namespace):
+def _load_faults(args: argparse.Namespace, base=None):
+    """The run's fault plan: ``--faults`` replaces a scenario's plan
+    (``base``); ``--vantage-faults`` merges into whichever is active."""
     path = getattr(args, "faults", None)
-    plan = None
+    plan = base
     if path:
         from repro.runtime import load_fault_plan
 
@@ -151,26 +187,46 @@ def _run_pipeline(args: argparse.Namespace):
             publish_dir=publish_dir,
         )
         return service.config, service.internet, history, service
-    config = _resolve_config(args)
+    context = _resolve_scenario_context(args)
+    if context is not None:
+        # scenario-context run: the artifact's config/settings/faults/run
+        # are the baseline; explicit CLI flags still override
+        import dataclasses
+
+        config = context.config
+        overrides = {}
+        for attr in ("retry_attempts", "scan_workers", "scan_chunk_size",
+                     "vantages", "quorum", "scan_mode", "refresh_interval",
+                     "sample_rate"):
+            value = getattr(args, attr, None)
+            if value is not None:
+                overrides[attr] = value
+        settings = dataclasses.replace(context.settings(), **overrides)
+        fault_plan = _load_faults(args, base=context.fault_plan)
+        scan_days = _scan_days(args, config, run=context.run)
+    else:
+        config = _resolve_config(args)
+        sample_rate = getattr(args, "sample_rate", None)
+        settings = ServiceSettings(
+            gfw_filter_deploy_day=config.gfw_filter_deploy_day,
+            retry_attempts=getattr(args, "retry_attempts", None) or 1,
+            scan_workers=getattr(args, "scan_workers", None) or 1,
+            scan_chunk_size=getattr(args, "scan_chunk_size", None) or 4096,
+            vantages=getattr(args, "vantages", None) or 1,
+            quorum=getattr(args, "quorum", None) or "majority",
+            scan_mode=getattr(args, "scan_mode", None) or "full",
+            refresh_interval=getattr(args, "refresh_interval", None) or 6,
+            # 0.0 is a legal rate (never confirm), so no `or` defaulting
+            sample_rate=sample_rate if sample_rate is not None else 0.0625,
+        )
+        fault_plan = _load_faults(args)
+        scan_days = _scan_days(args, config)
     internet = build_internet(config)
-    sample_rate = getattr(args, "sample_rate", None)
-    settings = ServiceSettings(
-        gfw_filter_deploy_day=config.gfw_filter_deploy_day,
-        retry_attempts=getattr(args, "retry_attempts", None) or 1,
-        scan_workers=getattr(args, "scan_workers", None) or 1,
-        scan_chunk_size=getattr(args, "scan_chunk_size", None) or 4096,
-        vantages=getattr(args, "vantages", None) or 1,
-        quorum=getattr(args, "quorum", None) or "majority",
-        scan_mode=getattr(args, "scan_mode", None) or "full",
-        refresh_interval=getattr(args, "refresh_interval", None) or 6,
-        # 0.0 is a legal rate (never confirm), so no `or` defaulting
-        sample_rate=sample_rate if sample_rate is not None else 0.0625,
-    )
     service = HitlistService(
-        internet, config, settings=settings, fault_plan=_load_faults(args)
+        internet, config, settings=settings, fault_plan=fault_plan
     )
     history = service.run(
-        _scan_days(args, config),
+        scan_days,
         checkpoint_every=checkpoint_every,
         checkpoint_path=checkpoint_dir,
         publish_dir=publish_dir,
@@ -210,9 +266,14 @@ def _write_observability(args: argparse.Namespace, service) -> None:
         print(f"wrote stage trace to {trace_path}")
 
 
-def cmd_simulate(args: argparse.Namespace) -> int:
-    config, internet, history, service = _run_pipeline(args)
-    outdir = pathlib.Path(args.output)
+def _write_run_outputs(outdir: pathlib.Path, config, internet, history):
+    """Publish a finished campaign's artefacts into ``outdir``.
+
+    Shared by ``simulate``/``pipeline`` and ``scenario run`` so every
+    run directory has the same layout: responsive.txt,
+    aliased-prefixes.txt, report.txt, scenario.json, figures/,
+    validation.txt and summary.json.
+    """
     outdir.mkdir(parents=True, exist_ok=True)
     with open(outdir / "responsive.txt", "w", encoding="ascii") as handle:
         count = write_address_list(handle, history.final.cleaned_any())
@@ -230,6 +291,15 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     (outdir / "validation.txt").write_text(validation.render() + "\n")
     with open(outdir / "summary.json", "w", encoding="ascii") as handle:
         save_history_summary(history, handle)
+    return count, aliased, validation
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    config, internet, history, service = _run_pipeline(args)
+    outdir = pathlib.Path(args.output)
+    count, aliased, validation = _write_run_outputs(
+        outdir, config, internet, history
+    )
     _write_observability(args, service)
     print(f"wrote {count} responsive addresses, {aliased} aliased prefixes, "
           f"report.txt, figures/, validation.txt and scenario.json to {outdir}")
@@ -382,6 +452,103 @@ def cmd_config(args: argparse.Namespace) -> int:
     return 0
 
 
+# ---------------------------------------------------------------------------
+# scenario subcommands
+
+def _expand_scenario_ref(
+    ref: str, scale: Optional[str], seed: Optional[int]
+):
+    """Expand a scenario reference: a library name or a file path.
+
+    Anything that exists on disk (or looks like a path) is expanded as
+    a file — ``.scn`` source or an already expanded artifact; otherwise
+    the reference names a library scenario.
+    """
+    from repro.scenario import expand_library_scenario, expand_path
+
+    path = pathlib.Path(ref)
+    if path.is_file() or path.suffix in (".scn", ".json") or "/" in ref:
+        return expand_path(str(path), scale=scale, seed=seed)
+    return expand_library_scenario(ref, scale=scale, seed=seed)
+
+
+def cmd_scenario_list(args: argparse.Namespace) -> int:
+    from repro.scenario import list_scenarios, load_scenario_source
+    from repro.scenario.sdl import parse as parse_scn
+
+    names = list_scenarios()
+    if not names:
+        print("no library scenarios found")
+        return 1
+    for name in names:
+        document = parse_scn(load_scenario_source(name))
+        title = document.get("title", "")
+        print(f"{name:24s} {title}")
+    return 0
+
+
+def cmd_scenario_show(args: argparse.Namespace) -> int:
+    from repro.scenario import load_scenario_source
+
+    try:
+        source = load_scenario_source(args.scenario)
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 1
+    sys.stdout.write(source)
+    return 0
+
+
+def cmd_scenario_expand(args: argparse.Namespace) -> int:
+    from repro.scenario import artifact_to_json
+
+    try:
+        expanded = _expand_scenario_ref(args.scenario, args.scale, args.seed)
+    except ValueError as error:
+        print(f"scenario expansion failed: {error}", file=sys.stderr)
+        return 1
+    text = artifact_to_json(expanded)
+    if args.output == "-":
+        sys.stdout.write(text)
+    else:
+        pathlib.Path(args.output).write_text(text, encoding="ascii")
+        print(f"wrote expanded scenario {expanded.name!r} to {args.output}")
+    return 0
+
+
+def cmd_scenario_run(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.scenario import artifact_to_json, check_summary, render_results
+
+    try:
+        expanded = _expand_scenario_ref(args.scenario, args.scale, args.seed)
+    except ValueError as error:
+        print(f"scenario expansion failed: {error}", file=sys.stderr)
+        return 1
+    config = expanded.config
+    internet = build_internet(config)
+    service = HitlistService(
+        internet, config,
+        settings=expanded.settings(),
+        fault_plan=expanded.fault_plan,
+    )
+    history = service.run(_scan_days(args, config, run=expanded.run))
+    outdir = pathlib.Path(args.output)
+    count, aliased, _ = _write_run_outputs(outdir, config, internet, history)
+    # the exact artifact this run executed, --seed override included
+    (outdir / "scenario-expanded.json").write_text(
+        artifact_to_json(expanded), encoding="ascii"
+    )
+    with open(outdir / "summary.json", "r", encoding="ascii") as handle:
+        summary = json.load(handle)
+    print(f"scenario {expanded.name!r}: wrote {count} responsive addresses, "
+          f"{aliased} aliased prefixes and scenario-expanded.json to {outdir}")
+    results = check_summary(expanded.invariants, summary)
+    print(render_results(results))
+    return 0 if all(result.passed for result in results) else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-cli",
@@ -401,14 +568,14 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--faults",
                        help="JSON fault plan (outages, rate limits, loss "
                             "bursts, source failures) to inject")
-        p.add_argument("--vantages", type=int, dest="vantages", default=1,
+        p.add_argument("--vantages", type=int, dest="vantages", default=None,
                        metavar="N",
                        help="simulated vantage points scanning as a fleet "
                             "(default: 1, the paper's single TUM vantage; "
                             ">1 shards targets across AS-diverse members "
                             "with quorum reconciliation)")
         p.add_argument("--quorum", choices=("strict", "majority", "any"),
-                       default="majority",
+                       default=None,
                        help="policy reconciling witness-target verdicts "
                             "that disagree across vantages "
                             "(default: majority)")
@@ -421,7 +588,7 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--retry-attempts", type=int, dest="retry_attempts",
                        help="probe tries per target per scan (default: 1)")
         p.add_argument("--scan-workers", type=int, dest="scan_workers",
-                       default=1, metavar="N",
+                       default=None, metavar="N",
                        help="scan-engine worker processes for the probe "
                             "stage (results are identical for any N)")
         p.add_argument("--scan-chunk-size", type=int, dest="scan_chunk_size",
@@ -430,7 +597,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "scheduling knob only, results are identical "
                             "for any value)")
         p.add_argument("--scan-mode", choices=("full", "incremental"),
-                       dest="scan_mode", default="full",
+                       dest="scan_mode", default=None,
                        help="'incremental' probes only churned/new/degraded/"
                             "refresh-due prefixes plus confirmation samples "
                             "and carries stable prefixes forward "
@@ -466,13 +633,17 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--trace", dest="trace", metavar="PATH",
                        help="write per-stage span timings to PATH as JSON")
 
-    p_sim = sub.add_parser("simulate", help="run the hitlist pipeline")
-    add_world_args(p_sim)
-    p_sim.add_argument("--output", "-o", default="repro-out",
-                       help="output directory")
-    p_sim.add_argument("--strict", action="store_true",
-                       help="exit non-zero when paper-shape validation fails")
-    p_sim.set_defaults(func=cmd_simulate)
+    # `pipeline` is an alias of `simulate` — the scenario workflow's
+    # natural verb (`scenario expand` output feeds `pipeline --config`)
+    for verb in ("simulate", "pipeline"):
+        p_sim = sub.add_parser(verb, help="run the hitlist pipeline")
+        add_world_args(p_sim)
+        p_sim.add_argument("--output", "-o", default="repro-out",
+                           help="output directory")
+        p_sim.add_argument("--strict", action="store_true",
+                           help="exit non-zero when paper-shape validation "
+                                "fails")
+        p_sim.set_defaults(func=cmd_simulate)
 
     p_eval = sub.add_parser("evaluate",
                             help="run the pipeline plus the Sec. 6 evaluation")
@@ -532,6 +703,51 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the bound port number to PATH (useful "
                             "with --port 0)")
     p_srv.set_defaults(func=cmd_serve)
+
+    p_scn = sub.add_parser(
+        "scenario",
+        help="work with scenario files (list/show/expand/run)",
+    )
+    scn_sub = p_scn.add_subparsers(dest="scenario_command", required=True)
+
+    p_scn_list = scn_sub.add_parser(
+        "list", help="list the named library scenarios")
+    p_scn_list.set_defaults(func=cmd_scenario_list)
+
+    p_scn_show = scn_sub.add_parser(
+        "show", help="print a library scenario's source")
+    p_scn_show.add_argument("scenario", help="library scenario name")
+    p_scn_show.set_defaults(func=cmd_scenario_show)
+
+    def add_scenario_args(p):
+        p.add_argument("scenario",
+                       help="library scenario name or path to a .scn "
+                            "source / expanded artifact")
+        p.add_argument("--scale", choices=("small", "default"),
+                       help="override the scenario's base preset")
+        p.add_argument("--seed", type=int,
+                       help="post-expansion seed override (recorded in "
+                            "the artifact's provenance)")
+
+    p_scn_exp = scn_sub.add_parser(
+        "expand",
+        help="expand a scenario to its flat artifact (deterministic JSON)")
+    add_scenario_args(p_scn_exp)
+    p_scn_exp.add_argument("--output", "-o", default="-",
+                           help="artifact path (default: stdout)")
+    p_scn_exp.set_defaults(func=cmd_scenario_expand)
+
+    p_scn_run = scn_sub.add_parser(
+        "run",
+        help="expand a scenario, run its campaign and check its invariants")
+    add_scenario_args(p_scn_run)
+    p_scn_run.add_argument("--output", "-o", default="repro-out",
+                           help="output directory")
+    p_scn_run.add_argument("--days", type=int,
+                           help="override the scenario's run.days")
+    p_scn_run.add_argument("--interval", type=int,
+                           help="override the scenario's run.interval")
+    p_scn_run.set_defaults(func=cmd_scenario_run)
 
     p_cfg = sub.add_parser("config", help="dump a scenario config as JSON")
     p_cfg.add_argument("--preset", choices=("small", "default"), default="small")

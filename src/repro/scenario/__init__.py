@@ -1,0 +1,70 @@
+"""Scenario DSL: compact world declarations that expand to flat configs.
+
+The subsystem sits between the config dataclasses and a campaign run:
+a ``.scn`` source names a base preset and overlays world knobs, farm /
+fleet / era templates (with brace-range and stagger expansion), service
+settings, a fault plan, a run schedule and machine-checkable
+invariants.  :mod:`repro.scenario.expand` compiles the source into an
+:class:`~repro.scenario.artifact.ExpandedScenario`, whose canonical
+JSON form is accepted verbatim by ``repro-cli pipeline --config``.
+
+See ``docs/scenarios.md`` for the format reference and library catalog.
+"""
+
+from repro.scenario.artifact import (
+    ARTIFACT_FORMAT,
+    ExpandedScenario,
+    artifact_from_dict,
+    artifact_to_dict,
+    artifact_to_json,
+    is_expanded_artifact,
+    load_artifact,
+    make_settings,
+)
+from repro.scenario.expand import (
+    expand_document,
+    expand_entries,
+    expand_path,
+    expand_source,
+    expand_text,
+)
+from repro.scenario.invariants import (
+    Invariant,
+    InvariantResult,
+    check_summary,
+    evaluate_metric,
+    render_results,
+)
+from repro.scenario.library import (
+    expand_library_scenario,
+    library_dir,
+    list_scenarios,
+    load_scenario_source,
+    scenario_path,
+)
+
+__all__ = [
+    "ARTIFACT_FORMAT",
+    "ExpandedScenario",
+    "Invariant",
+    "InvariantResult",
+    "artifact_from_dict",
+    "artifact_to_dict",
+    "artifact_to_json",
+    "check_summary",
+    "evaluate_metric",
+    "expand_document",
+    "expand_entries",
+    "expand_library_scenario",
+    "expand_path",
+    "expand_source",
+    "expand_text",
+    "is_expanded_artifact",
+    "library_dir",
+    "list_scenarios",
+    "load_artifact",
+    "load_scenario_source",
+    "make_settings",
+    "render_results",
+    "scenario_path",
+]

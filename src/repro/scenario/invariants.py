@@ -1,0 +1,337 @@
+"""Machine-checkable scenario invariants over ``summary.json``.
+
+Each library scenario declares the shape its world must produce —
+"aliased detections inside this band", "EUI-64 observations are at
+least this share of the input", "the fleet survived two concurrent
+member failures with a nonempty hitlist".  After a campaign the checker
+evaluates those declarations against the run's summary document (the
+artefact :func:`repro.hitlist.history_io.save_history_summary` writes),
+so a scenario regression fails CI with the *offending invariant named*
+instead of a silent drift.
+
+Metric grammar (one scalar per expression)::
+
+    final.<field>        last snapshot's <field>
+    sum.<field>          sum of <field> over all snapshots
+    max.<field>          max of <field> over all snapshots
+    min.<field>          min of <field> over all snapshots
+    sum_from:<day>.<field>  sum over snapshots with day >= <day>
+    top.<field>          top-level summary field
+    source.<name>        per_source_counts[<name>] (0 when absent)
+    fleet.<field>        vantage-fleet aggregate over snapshot blocks
+
+Snapshot fields: ``input_total scan_targets aliased_prefixes
+published_total cleaned_total injected udp53_hit_rate``.
+Top-level fields: ``input_total excluded_total gfw_impacted
+ever_responsive_total``.
+Fleet fields: ``max_down`` (peak concurrently-down vantages),
+``resharded`` (orphaned shard re-homings, summed), ``disagreements``
+(witness-panel disagreements, summed), ``accepted``/``rejected``
+(quorum decisions, summed), ``scans`` (snapshots with a fleet block).
+
+An invariant bounds one metric — optionally divided by a second
+(``over``) for shares and ratios — between ``min`` and ``max``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "Invariant",
+    "InvariantResult",
+    "check_summary",
+    "evaluate_metric",
+    "render_results",
+    "validate_metric",
+]
+
+SNAPSHOT_FIELDS = frozenset((
+    "input_total",
+    "scan_targets",
+    "aliased_prefixes",
+    "published_total",
+    "cleaned_total",
+    "injected",
+    "udp53_hit_rate",
+))
+
+TOP_FIELDS = frozenset((
+    "input_total",
+    "excluded_total",
+    "gfw_impacted",
+    "ever_responsive_total",
+))
+
+FLEET_FIELDS = frozenset((
+    "max_down",
+    "resharded",
+    "disagreements",
+    "accepted",
+    "rejected",
+    "scans",
+))
+
+_SNAPSHOT_SCOPES = frozenset(("final", "sum", "max", "min", "sum_from"))
+
+
+def _parse_metric(expression: str) -> Tuple[str, Optional[int], str]:
+    """Split a metric expression into (scope, scope_arg, field)."""
+    scope_token, separator, field = expression.partition(".")
+    if not separator or not field:
+        raise ValueError(
+            f"malformed metric {expression!r}: expected '<scope>.<field>'"
+        )
+    scope, _, argument = scope_token.partition(":")
+    scope_arg: Optional[int] = None
+    if scope == "sum_from":
+        if not argument:
+            raise ValueError(
+                f"metric {expression!r}: sum_from needs a day, "
+                f"e.g. 'sum_from:98.injected'"
+            )
+        try:
+            scope_arg = int(argument)
+        except ValueError:
+            raise ValueError(
+                f"metric {expression!r}: sum_from day {argument!r} "
+                f"is not an integer"
+            ) from None
+    elif argument:
+        raise ValueError(
+            f"metric {expression!r}: scope {scope!r} takes no ':' argument"
+        )
+    if scope in _SNAPSHOT_SCOPES:
+        if field not in SNAPSHOT_FIELDS:
+            raise ValueError(
+                f"metric {expression!r}: unknown snapshot field {field!r}; "
+                f"expected one of {sorted(SNAPSHOT_FIELDS)}"
+            )
+    elif scope == "top":
+        if field not in TOP_FIELDS:
+            raise ValueError(
+                f"metric {expression!r}: unknown summary field {field!r}; "
+                f"expected one of {sorted(TOP_FIELDS)}"
+            )
+    elif scope == "fleet":
+        if field not in FLEET_FIELDS:
+            raise ValueError(
+                f"metric {expression!r}: unknown fleet field {field!r}; "
+                f"expected one of {sorted(FLEET_FIELDS)}"
+            )
+    elif scope != "source":
+        raise ValueError(
+            f"metric {expression!r}: unknown scope {scope!r}; expected "
+            f"final/sum/max/min/sum_from:<day>/top/source/fleet"
+        )
+    return scope, scope_arg, field
+
+
+def validate_metric(expression: str) -> None:
+    """Raise :class:`ValueError` when the expression is malformed."""
+    _parse_metric(expression)
+
+
+def evaluate_metric(expression: str, summary: Mapping[str, Any]) -> float:
+    """Evaluate a metric expression against a loaded summary document."""
+    scope, scope_arg, field = _parse_metric(expression)
+    if scope == "top":
+        return float(summary.get(field, 0))
+    if scope == "source":
+        return float(summary.get("per_source_counts", {}).get(field, 0))
+    snapshots: Sequence[Mapping[str, Any]] = summary.get("snapshots", ())
+    if scope == "fleet":
+        blocks = [s["vantage"] for s in snapshots if "vantage" in s]
+        if field == "scans":
+            return float(len(blocks))
+        if not blocks:
+            return 0.0
+        if field == "max_down":
+            return float(max(len(b.get("down", ())) for b in blocks))
+        if field == "resharded":
+            return float(sum(b.get("resharded", 0) for b in blocks))
+        if field == "disagreements":
+            return float(sum(
+                sum(b.get("disagreements", {}).values()) for b in blocks
+            ))
+        # accepted / rejected
+        return float(sum(b.get("quorum", {}).get(field, 0) for b in blocks))
+    if not snapshots:
+        raise ValueError(
+            f"metric {expression!r}: summary contains no snapshots"
+        )
+    if scope == "final":
+        return float(snapshots[-1][field])
+    if scope == "sum_from":
+        assert scope_arg is not None
+        return float(sum(
+            s[field] for s in snapshots if s["day"] >= scope_arg
+        ))
+    values = [s[field] for s in snapshots]
+    if scope == "sum":
+        return float(sum(values))
+    if scope == "max":
+        return float(max(values))
+    return float(min(values))  # scope == "min"
+
+
+@dataclass(frozen=True)
+class Invariant:
+    """One named bound over a metric (optionally a ratio of two)."""
+
+    name: str
+    metric: str
+    over: Optional[str] = None
+    min_value: Optional[float] = None
+    max_value: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("invariant needs a non-empty name")
+        validate_metric(self.metric)
+        if self.over is not None:
+            validate_metric(self.over)
+        if self.min_value is None and self.max_value is None:
+            raise ValueError(
+                f"invariant {self.name!r} declares no bound "
+                f"(set 'min', 'max' or both)"
+            )
+        if (
+            self.min_value is not None
+            and self.max_value is not None
+            and self.max_value < self.min_value
+        ):
+            raise ValueError(
+                f"invariant {self.name!r} has max < min "
+                f"({self.max_value} < {self.min_value})"
+            )
+
+    @property
+    def expression(self) -> str:
+        if self.over:
+            return f"{self.metric} / {self.over}"
+        return self.metric
+
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {"name": self.name, "metric": self.metric}
+        if self.over is not None:
+            data["over"] = self.over
+        if self.min_value is not None:
+            data["min"] = self.min_value
+        if self.max_value is not None:
+            data["max"] = self.max_value
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any], where: str = "invariant") -> "Invariant":
+        if not isinstance(data, Mapping):
+            raise ValueError(f"{where}: expected a mapping, got {type(data).__name__}")
+        unknown = set(data) - {"name", "metric", "over", "min", "max"}
+        if unknown:
+            raise ValueError(
+                f"{where}: unknown field(s) {sorted(unknown)}; "
+                f"expected name/metric/over/min/max"
+            )
+        for required in ("name", "metric"):
+            if required not in data:
+                raise ValueError(f"{where}: missing required field {required!r}")
+        def number(key: str) -> Optional[float]:
+            value = data.get(key)
+            if value is None:
+                return None
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise ValueError(
+                    f"{where}: {key} must be a number, got {value!r}"
+                )
+            return float(value)
+        try:
+            return cls(
+                name=str(data["name"]),
+                metric=str(data["metric"]),
+                over=str(data["over"]) if data.get("over") is not None else None,
+                min_value=number("min"),
+                max_value=number("max"),
+            )
+        except ValueError as error:
+            raise ValueError(f"{where}: {error}") from None
+
+
+@dataclass(frozen=True)
+class InvariantResult:
+    """Outcome of checking one invariant against one summary."""
+
+    invariant: Invariant
+    value: Optional[float]
+    passed: bool
+    reason: str
+
+    def render(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        shown = "n/a" if self.value is None else f"{self.value:g}"
+        bounds = []
+        if self.invariant.min_value is not None:
+            bounds.append(f">= {self.invariant.min_value:g}")
+        if self.invariant.max_value is not None:
+            bounds.append(f"<= {self.invariant.max_value:g}")
+        detail = f" ({self.reason})" if not self.passed else ""
+        return (
+            f"[{status}] {self.invariant.name}: "
+            f"{self.invariant.expression} = {shown} "
+            f"(required {' and '.join(bounds)}){detail}"
+        )
+
+
+def check_invariant(
+    invariant: Invariant, summary: Mapping[str, Any]
+) -> InvariantResult:
+    """Evaluate one invariant; never raises on summary shape problems."""
+    try:
+        value = evaluate_metric(invariant.metric, summary)
+        if invariant.over is not None:
+            denominator = evaluate_metric(invariant.over, summary)
+            if denominator == 0:
+                return InvariantResult(
+                    invariant=invariant, value=None, passed=False,
+                    reason=f"denominator {invariant.over} is zero",
+                )
+            value = value / denominator
+    except (KeyError, TypeError, ValueError) as error:
+        return InvariantResult(
+            invariant=invariant, value=None, passed=False,
+            reason=f"metric evaluation failed: {error}",
+        )
+    if invariant.min_value is not None and value < invariant.min_value:
+        return InvariantResult(
+            invariant=invariant, value=value, passed=False,
+            reason=f"{value:g} is below the floor {invariant.min_value:g}",
+        )
+    if invariant.max_value is not None and value > invariant.max_value:
+        return InvariantResult(
+            invariant=invariant, value=value, passed=False,
+            reason=f"{value:g} is above the ceiling {invariant.max_value:g}",
+        )
+    return InvariantResult(
+        invariant=invariant, value=value, passed=True, reason="within bounds"
+    )
+
+
+def check_summary(
+    invariants: Sequence[Invariant], summary: Mapping[str, Any]
+) -> List[InvariantResult]:
+    """Check every invariant; results keep declaration order."""
+    return [check_invariant(invariant, summary) for invariant in invariants]
+
+
+def render_results(results: Sequence[InvariantResult]) -> str:
+    """Human-readable report, one line per invariant plus a verdict."""
+    lines = [result.render() for result in results]
+    failed = [r for r in results if not r.passed]
+    if not results:
+        lines.append("no invariants declared")
+    elif failed:
+        names = ", ".join(r.invariant.name for r in failed)
+        lines.append(f"{len(failed)}/{len(results)} invariant(s) failed: {names}")
+    else:
+        lines.append(f"all {len(results)} invariant(s) passed")
+    return "\n".join(lines)

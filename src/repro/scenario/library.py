@@ -1,0 +1,77 @@
+"""The named scenario library.
+
+``src/repro/scenario/library/`` ships curated ``.scn`` files — world
+shapes the related work warns about, each carrying machine-checkable
+invariants so CI regression-tests the pathology forever:
+
+* ``residential-eui64`` — Bruns-style broadband ASes: EUI-64-dense
+  /64s from rotating CPE fleets dominate the accumulated input;
+* ``alias-pathology`` — Rye/Levin-style fully-aliased expansion plus a
+  fast periodic-rotation regime, bounded by an alias-detection band;
+* ``gfw-transition`` — injection-era flip and filter deploy
+  mid-campaign;
+* ``cdn-expansion-wave`` — staggered CDN endpoint growth inflating the
+  input accumulation;
+* ``byzantine-fleet`` — a 5-vantage fleet under staggered member
+  outages and degradations, asserting k=2 survival.
+
+The loader is path-based (``Path(__file__)``) rather than
+``importlib.resources`` so it works identically from a checkout and an
+installed wheel (the ``.scn`` files ship as package data).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional
+
+from repro.scenario.artifact import ExpandedScenario
+from repro.scenario.expand import expand_source
+
+__all__ = [
+    "expand_library_scenario",
+    "library_dir",
+    "list_scenarios",
+    "load_scenario_source",
+    "scenario_path",
+]
+
+_SUFFIX = ".scn"
+
+
+def library_dir() -> Path:
+    """The directory holding the shipped ``.scn`` files."""
+    return Path(__file__).resolve().parent / "library"
+
+
+def list_scenarios() -> List[str]:
+    """Names of every shipped scenario, sorted."""
+    return sorted(path.stem for path in library_dir().glob(f"*{_SUFFIX}"))
+
+
+def scenario_path(name: str) -> Path:
+    """Path of a named library scenario; raises naming the known set."""
+    path = library_dir() / f"{name}{_SUFFIX}"
+    if not path.is_file():
+        known = ", ".join(list_scenarios()) or "<none>"
+        raise ValueError(
+            f"unknown scenario {name!r}; library scenarios: {known}"
+        )
+    return path
+
+
+def load_scenario_source(name: str) -> str:
+    """The raw ``.scn`` source of a named library scenario."""
+    return scenario_path(name).read_text(encoding="utf-8")
+
+
+def expand_library_scenario(
+    name: str,
+    *,
+    scale: Optional[str] = None,
+    seed: Optional[int] = None,
+) -> ExpandedScenario:
+    """Expand a named library scenario to its flat artifact."""
+    return expand_source(
+        load_scenario_source(name), name=name, scale=scale, seed=seed
+    )

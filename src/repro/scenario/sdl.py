@@ -1,0 +1,349 @@
+"""Parser for the compact scenario source format (``.scn`` files).
+
+A scenario source is an indentation-structured document (a strict,
+dependency-free subset of YAML's look) that names a base preset and
+overlays world knobs, farm/fleet/era templates, service settings, fault
+plans and invariants on top of it.  The parser knows nothing about
+scenario *semantics* — it produces plain mappings/lists/scalars plus
+three special tokens the expander consumes:
+
+* :data:`AUTO` — the literal ``auto``, resolved by a derivation rule
+  during expansion (see :mod:`repro.scenario.expand`);
+* :class:`NumberRange` — ``{64512..64611}``, a brace range that expands
+  a list entry into one entry per value (zero-padding is auto-detected
+  from the start literal, monerosim-style);
+* :class:`TemplatedString` — a string with one embedded brace range
+  (``vp{1..4}``), expanded alongside the entry.
+
+Grammar, informally::
+
+    document   := mapping
+    mapping    := (KEY ':' scalar | KEY ':' NEWLINE block)*
+    block      := mapping | list          # one indent level deeper
+    list       := ('-' scalar | '-' KEY ':' ... mapping-item)*
+    scalar     := quoted string | bool | null | auto | range |
+                  templated string | hex int | int | float | bare string
+
+Comments start with ``#`` (full line, or after a value separated by
+whitespace).  Indentation is spaces only; every error names its line.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+__all__ = [
+    "AUTO",
+    "Auto",
+    "NumberRange",
+    "TemplatedString",
+    "ScenarioSyntaxError",
+    "parse",
+    "parse_scalar",
+]
+
+
+class ScenarioSyntaxError(ValueError):
+    """A malformed scenario source; carries the 1-based line number."""
+
+    def __init__(self, message: str, line_number: int) -> None:
+        super().__init__(f"line {line_number}: {message}")
+        self.line_number = line_number
+
+
+class Auto:
+    """Singleton sentinel for the literal ``auto``."""
+
+    _instance: Optional["Auto"] = None
+
+    def __new__(cls) -> "Auto":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "AUTO"
+
+
+AUTO = Auto()
+
+
+@dataclass(frozen=True)
+class NumberRange:
+    """An inclusive brace range ``{start..end}``.
+
+    ``pad`` is the zero-padding width (0 = none), detected from a
+    leading zero in the start literal: ``{001..100}`` pads to 3 digits.
+    """
+
+    start: int
+    end: int
+    pad: int = 0
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(
+                f"descending range {{{self.start}..{self.end}}} "
+                f"(start must be <= end)"
+            )
+
+    def __len__(self) -> int:
+        return self.end - self.start + 1
+
+    def value_at(self, index: int) -> int:
+        return self.start + index
+
+    def text_at(self, index: int) -> str:
+        return str(self.start + index).zfill(self.pad)
+
+
+@dataclass(frozen=True)
+class TemplatedString:
+    """A string containing exactly one embedded :class:`NumberRange`."""
+
+    prefix: str
+    range: NumberRange
+    suffix: str
+
+    def __len__(self) -> int:
+        return len(self.range)
+
+    def text_at(self, index: int) -> str:
+        return f"{self.prefix}{self.range.text_at(index)}{self.suffix}"
+
+
+Scalar = Union[None, bool, int, float, str, Auto, NumberRange, TemplatedString]
+
+_RANGE_RE = re.compile(r"\{(\d+)\.\.(\d+)\}")
+_KEY_RE = re.compile(r"^([A-Za-z_][A-Za-z0-9_+-]*):(?:[ \t]+(.*))?$")
+_INT_RE = re.compile(r"^[+-]?\d+$")
+_HEX_RE = re.compile(r"^[+-]?0[xX][0-9a-fA-F]+$")
+_FLOAT_RE = re.compile(
+    r"^[+-]?(?:\d+\.\d*|\.\d+|\d+)(?:[eE][+-]?\d+)?$"
+)
+
+
+def _make_range(start_text: str, end_text: str, line_number: int) -> NumberRange:
+    pad = len(start_text) if start_text.startswith("0") and len(start_text) > 1 else 0
+    try:
+        made = NumberRange(start=int(start_text), end=int(end_text), pad=pad)
+    except ValueError as error:
+        raise ScenarioSyntaxError(str(error), line_number) from None
+    if pad and len(end_text) > pad:
+        raise ScenarioSyntaxError(
+            f"range end {end_text!r} is wider than the zero-padded "
+            f"start {start_text!r}", line_number,
+        )
+    return made
+
+
+def parse_scalar(token: str, line_number: int = 0) -> Scalar:
+    """Parse one scalar value token."""
+    token = token.strip()
+    if not token:
+        raise ScenarioSyntaxError("empty value", line_number)
+    if token.startswith('"'):
+        try:
+            value = json.loads(token)
+        except json.JSONDecodeError:
+            raise ScenarioSyntaxError(
+                f"malformed quoted string: {token}", line_number
+            ) from None
+        if not isinstance(value, str):  # pragma: no cover - json guarantees
+            raise ScenarioSyntaxError(f"not a string: {token}", line_number)
+        return value
+    if token == "true":
+        return True
+    if token == "false":
+        return False
+    if token in ("null", "~"):
+        return None
+    if token == "auto":
+        return AUTO
+    full = re.fullmatch(r"\{(\d+)\.\.(\d+)\}", token)
+    if full:
+        return _make_range(full.group(1), full.group(2), line_number)
+    if "{" in token or "}" in token:
+        matches = list(_RANGE_RE.finditer(token))
+        if len(matches) != 1:
+            raise ScenarioSyntaxError(
+                f"value {token!r} must contain exactly one {{A..B}} range",
+                line_number,
+            )
+        match = matches[0]
+        prefix, suffix = token[: match.start()], token[match.end() :]
+        if "{" in prefix + suffix or "}" in prefix + suffix:
+            raise ScenarioSyntaxError(
+                f"stray brace outside the range in {token!r}", line_number
+            )
+        return TemplatedString(
+            prefix=prefix,
+            range=_make_range(match.group(1), match.group(2), line_number),
+            suffix=suffix,
+        )
+    if _HEX_RE.match(token):
+        return int(token, 16)
+    if _INT_RE.match(token):
+        return int(token)
+    if _FLOAT_RE.match(token):
+        return float(token)
+    return token
+
+
+@dataclass(frozen=True)
+class _Line:
+    number: int
+    indent: int
+    content: str
+
+
+def _strip_comment(raw: str, number: int) -> str:
+    """Drop a trailing comment; ``#`` must follow whitespace (or start)."""
+    in_quote = False
+    for index, char in enumerate(raw):
+        if char == '"' and (index == 0 or raw[index - 1] != "\\"):
+            in_quote = not in_quote
+        elif char == "#" and not in_quote:
+            if index == 0 or raw[index - 1] in " \t":
+                return raw[:index]
+    if in_quote:
+        raise ScenarioSyntaxError("unterminated string", number)
+    return raw
+
+
+def _tokenize(text: str) -> List[_Line]:
+    lines: List[_Line] = []
+    for number, raw in enumerate(text.splitlines(), start=1):
+        stripped_leading = raw.lstrip(" ")
+        if stripped_leading.startswith("\t") or "\t" in raw[: len(raw) - len(raw.lstrip())]:
+            raise ScenarioSyntaxError("tabs are not allowed in indentation", number)
+        content = _strip_comment(raw, number).rstrip()
+        if not content.strip():
+            continue
+        indent = len(content) - len(content.lstrip(" "))
+        lines.append(_Line(number=number, indent=indent, content=content.strip()))
+    return lines
+
+
+def parse(text: str) -> Dict[str, Any]:
+    """Parse a scenario source into plain mappings/lists/scalars."""
+    lines = _tokenize(text)
+    if not lines:
+        raise ScenarioSyntaxError("empty scenario document", 1)
+    if lines[0].indent != 0:
+        raise ScenarioSyntaxError("top level must not be indented", lines[0].number)
+    value, position = _parse_block(lines, 0, 0)
+    if position != len(lines):
+        raise ScenarioSyntaxError(
+            f"unexpected indentation (expected {lines[0].indent} spaces)",
+            lines[position].number,
+        )
+    if not isinstance(value, dict):
+        raise ScenarioSyntaxError("top level must be a mapping", lines[0].number)
+    return value
+
+
+def _parse_block(
+    lines: List[_Line], position: int, indent: int
+) -> Tuple[Any, int]:
+    line = lines[position]
+    if line.content == "-" or line.content.startswith("- "):
+        return _parse_list(lines, position, indent)
+    return _parse_mapping(lines, position, indent)
+
+
+def _parse_mapping(
+    lines: List[_Line], position: int, indent: int
+) -> Tuple[Dict[str, Any], int]:
+    mapping: Dict[str, Any] = {}
+    while position < len(lines):
+        line = lines[position]
+        if line.indent < indent:
+            break
+        if line.indent > indent:
+            raise ScenarioSyntaxError(
+                f"unexpected indentation (expected {indent} spaces)", line.number
+            )
+        if line.content == "-" or line.content.startswith("- "):
+            raise ScenarioSyntaxError(
+                "list item in a mapping context (mixed '-' and 'key:' "
+                "entries at one indent level)", line.number,
+            )
+        match = _KEY_RE.match(line.content)
+        if not match:
+            raise ScenarioSyntaxError(
+                f"expected 'key: value' or 'key:', got {line.content!r}",
+                line.number,
+            )
+        key, inline = match.group(1), match.group(2)
+        if key in mapping:
+            raise ScenarioSyntaxError(f"duplicate key {key!r}", line.number)
+        if inline is not None and inline.strip():
+            mapping[key] = parse_scalar(inline, line.number)
+            position += 1
+            continue
+        # block value: children must be strictly deeper
+        position += 1
+        if position >= len(lines) or lines[position].indent <= indent:
+            raise ScenarioSyntaxError(
+                f"section {key!r} has no value (expected an indented block)",
+                line.number,
+            )
+        mapping[key], position = _parse_block(
+            lines, position, lines[position].indent
+        )
+    return mapping, position
+
+
+def _parse_list(
+    lines: List[_Line], position: int, indent: int
+) -> Tuple[List[Any], int]:
+    items: List[Any] = []
+    while position < len(lines):
+        line = lines[position]
+        if line.indent < indent:
+            break
+        if line.indent > indent:
+            raise ScenarioSyntaxError(
+                f"unexpected indentation (expected {indent} spaces)", line.number
+            )
+        if not (line.content == "-" or line.content.startswith("- ")):
+            raise ScenarioSyntaxError(
+                "mapping entry in a list context (mixed '-' and 'key:' "
+                "entries at one indent level)", line.number,
+            )
+        rest = line.content[1:].strip()
+        item_indent = indent + 2
+        if not rest:
+            # block item: the whole entry is on the following lines
+            position += 1
+            if position >= len(lines) or lines[position].indent <= indent:
+                raise ScenarioSyntaxError(
+                    "empty list item", line.number
+                )
+            item, position = _parse_block(lines, position, lines[position].indent)
+            items.append(item)
+            continue
+        key_match = _KEY_RE.match(rest)
+        if key_match:
+            # inline mapping item: re-inject the remainder as a synthetic
+            # line two spaces deeper, so continuation keys align with it
+            synthetic = _Line(number=line.number, indent=item_indent, content=rest)
+            sub_lines = [synthetic]
+            position += 1
+            while position < len(lines) and lines[position].indent >= item_indent:
+                sub_lines.append(lines[position])
+                position += 1
+            item, consumed = _parse_mapping(sub_lines, 0, item_indent)
+            if consumed != len(sub_lines):  # pragma: no cover - defensive
+                raise ScenarioSyntaxError(
+                    "malformed list item", sub_lines[consumed].number
+                )
+            items.append(item)
+            continue
+        items.append(parse_scalar(rest, line.number))
+        position += 1
+    return items, position

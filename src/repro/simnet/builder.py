@@ -253,6 +253,19 @@ def _build_registry(world: _World) -> None:
                    category=AsCategory.ISP)
         )
         world.generic_cn_asns.append(asn)
+    # Scenario files may declare farms/fleets on ASes the paper never
+    # names (private-range ASNs and the like).  Register them here — after
+    # the generic loops, so existing presets keep identical rng draws —
+    # or the farm builder would silently skip them for lack of announced
+    # space and the fleet builder would KeyError.
+    for farm in config.farms:
+        if farm.asn not in world.registry:
+            world.registry.add(AsInfo(asn=farm.asn, name=f"SCN-AS{farm.asn}",
+                                      country="ZZ", category=AsCategory.HOSTING))
+    for fleet in config.fleets:
+        if fleet.asn not in world.registry:
+            world.registry.add(AsInfo(asn=fleet.asn, name=f"SCN-AS{fleet.asn}",
+                                      country="ZZ", category=AsCategory.ISP))
 
 
 def _announce_space(world: _World) -> None:

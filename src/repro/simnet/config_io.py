@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
-from typing import IO, Any, Dict
+from typing import IO, Any, Dict, Tuple
 
 from repro.simnet.config import (
     FarmSpec,
@@ -29,30 +29,101 @@ def config_to_dict(config: ScenarioConfig) -> Dict[str, Any]:
     return raw
 
 
+def _canonical_order(mapping: Dict[Any, Any], reference: Dict[Any, Any]) -> Dict[Any, Any]:
+    """Restore a dict field's canonical insertion order after a round-trip.
+
+    JSON serialization sorts object keys, but the world builders iterate
+    these dicts and consume rng draws per entry — so a loaded config must
+    iterate in the same order as the in-code presets or the same config
+    builds a (slightly) different world.  Known keys take the default
+    declaration order; unknown extras follow, sorted, so the result is a
+    pure function of the dict's *content*, never of the file's key order.
+    """
+    ordered = {key: mapping[key] for key in reference if key in mapping}
+    for key in sorted(set(mapping) - set(reference), key=str):
+        ordered[key] = mapping[key]
+    return ordered
+
+
+def _build_specs(cls: type, entries: Any, section: str) -> Tuple[Any, ...]:
+    """Construct nested spec dataclasses with located error reporting.
+
+    An unknown, missing or mistyped key raises :class:`ValueError` naming
+    the section and entry index (``farms[3]: unknown field(s) ['asnn']``)
+    instead of the bare :class:`TypeError` ``cls(**entry)`` would leak —
+    scenario files are hand-edited, so errors must point at the entry.
+    """
+    field_names = {field.name for field in dataclasses.fields(cls)}
+    specs = []
+    for index, entry in enumerate(entries):
+        where = f"{section}[{index}]"
+        if not isinstance(entry, dict):
+            raise ValueError(
+                f"{where}: expected a mapping of {cls.__name__} fields, "
+                f"got {type(entry).__name__}"
+            )
+        unknown = set(entry) - field_names
+        if unknown:
+            raise ValueError(
+                f"{where}: unknown field(s) {sorted(unknown)}; "
+                f"{cls.__name__} fields are {sorted(field_names)}"
+            )
+        try:
+            specs.append(cls(**entry))
+        except TypeError as error:
+            raise ValueError(f"{where}: {error}") from None
+    return tuple(specs)
+
+
 def config_from_dict(data: Dict[str, Any]) -> ScenarioConfig:
-    """Rebuild a :class:`ScenarioConfig` from :func:`config_to_dict` output."""
+    """Rebuild a :class:`ScenarioConfig` from :func:`config_to_dict` output.
+
+    Also accepts an expanded-scenario artifact document (the wrapper
+    written by ``repro-cli scenario expand``): the embedded ``config``
+    section is used and the rest of the wrapper ignored, so plain
+    ``--config expanded.json`` reproduces the scenario's world.
+    """
+    if (
+        isinstance(data.get("provenance"), dict)
+        and str(data["provenance"].get("format", "")).startswith(
+            "repro-scenario-expanded/"
+        )
+        and isinstance(data.get("config"), dict)
+    ):
+        data = data["config"]
     payload = dict(data)
-    payload["farms"] = tuple(FarmSpec(**farm) for farm in payload.get("farms", ()))
-    payload["fleets"] = tuple(FleetSpec(**fleet) for fleet in payload.get("fleets", ()))
-    payload["gfw_eras"] = tuple(
-        GfwEraConfig(**era) for era in payload.get("gfw_eras", ())
+    payload["farms"] = _build_specs(FarmSpec, payload.get("farms", ()), "farms")
+    payload["fleets"] = _build_specs(
+        FleetSpec, payload.get("fleets", ()), "fleets"
+    )
+    payload["gfw_eras"] = _build_specs(
+        GfwEraConfig, payload.get("gfw_eras", ()), "gfw_eras"
     )
     payload["gfw_as_shares"] = tuple(
         (int(asn), float(share)) for asn, share in payload.get("gfw_as_shares", ())
     )
     payload["blocked_domains"] = tuple(payload.get("blocked_domains", ()))
-    payload["responsive_org_shares"] = {
-        int(asn): float(share)
-        for asn, share in payload.get("responsive_org_shares", {}).items()
-    }
-    payload["top_list_aliased_rates"] = {
-        str(name): float(rate)
-        for name, rate in payload.get("top_list_aliased_rates", {}).items()
-    }
-    payload["dns_behavior_weights"] = {
-        str(name): float(weight)
-        for name, weight in payload.get("dns_behavior_weights", {}).items()
-    }
+    payload["responsive_org_shares"] = _canonical_order(
+        {
+            int(asn): float(share)
+            for asn, share in payload.get("responsive_org_shares", {}).items()
+        },
+        ScenarioConfig().responsive_org_shares,
+    )
+    payload["top_list_aliased_rates"] = _canonical_order(
+        {
+            str(name): float(rate)
+            for name, rate in payload.get("top_list_aliased_rates", {}).items()
+        },
+        ScenarioConfig().top_list_aliased_rates,
+    )
+    payload["dns_behavior_weights"] = _canonical_order(
+        {
+            str(name): float(weight)
+            for name, weight in payload.get("dns_behavior_weights", {}).items()
+        },
+        ScenarioConfig().dns_behavior_weights,
+    )
     field_names = {field.name for field in dataclasses.fields(ScenarioConfig)}
     unknown = set(payload) - field_names
     if unknown:

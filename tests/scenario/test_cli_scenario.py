@@ -1,0 +1,151 @@
+"""CLI-level scenario tests: verbs, artifact acceptance, seed override."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+TINY = (
+    "title: \"tiny\"\n"
+    "base: small\n"
+    "seed: 13\n"
+    "run:\n"
+    "  days: 21\n"
+    "  interval: 7\n"
+    "invariants:\n"
+    "  - name: hitlist-nonempty\n"
+    "    metric: final.published_total\n"
+    "    min: 1\n"
+)
+
+
+@pytest.fixture()
+def tiny_scn(tmp_path):
+    path = tmp_path / "tiny.scn"
+    path.write_text(TINY, encoding="utf-8")
+    return path
+
+
+def test_scenario_list(capsys):
+    assert main(["scenario", "list"]) == 0
+    out = capsys.readouterr().out
+    assert "residential-eui64" in out
+    assert "byzantine-fleet" in out
+
+
+def test_scenario_show(capsys):
+    assert main(["scenario", "show", "gfw-transition"]) == 0
+    out = capsys.readouterr().out
+    assert "gfw_eras:" in out
+    assert main(["scenario", "show", "missing-name"]) == 1
+
+
+def test_scenario_expand_deterministic(tiny_scn, tmp_path, capsys):
+    out_a = tmp_path / "a.json"
+    out_b = tmp_path / "b.json"
+    assert main(["scenario", "expand", str(tiny_scn), "-o", str(out_a)]) == 0
+    assert main(["scenario", "expand", str(tiny_scn), "-o", str(out_b)]) == 0
+    assert out_a.read_bytes() == out_b.read_bytes()
+    data = json.loads(out_a.read_text())
+    assert data["provenance"]["scenario"] == "tiny"
+    assert data["provenance"]["seed"] == 13
+
+
+def test_scenario_expand_stdout_and_errors(tiny_scn, tmp_path, capsys):
+    assert main(["scenario", "expand", str(tiny_scn)]) == 0
+    assert json.loads(capsys.readouterr().out)["provenance"]["seed"] == 13
+    bad = tmp_path / "bad.scn"
+    bad.write_text("bogus_section: 1\n", encoding="utf-8")
+    assert main(["scenario", "expand", str(bad)]) == 1
+    assert "scenario expansion failed" in capsys.readouterr().err
+
+
+def test_scenario_run_checks_invariants(tiny_scn, tmp_path, capsys):
+    outdir = tmp_path / "run"
+    assert main([
+        "scenario", "run", str(tiny_scn), "--output", str(outdir),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "[PASS] hitlist-nonempty" in out
+    assert "all 1 invariant(s) passed" in out
+    assert (outdir / "summary.json").is_file()
+    artifact = json.loads((outdir / "scenario-expanded.json").read_text())
+    assert artifact["provenance"]["scenario"] == "tiny"
+
+
+def test_scenario_run_fails_naming_invariant(tmp_path, capsys):
+    path = tmp_path / "impossible.scn"
+    path.write_text(
+        TINY.replace("min: 1", "min: 10000000"), encoding="utf-8"
+    )
+    outdir = tmp_path / "run"
+    assert main([
+        "scenario", "run", str(path), "--output", str(outdir),
+    ]) == 1
+    out = capsys.readouterr().out
+    assert "[FAIL] hitlist-nonempty" in out
+    assert "1/1 invariant(s) failed: hitlist-nonempty" in out
+
+
+def test_scenario_run_seed_reproduces_byte_identically(tiny_scn, tmp_path):
+    """--seed applies post-expansion and pins the whole run."""
+    out_a = tmp_path / "a"
+    out_b = tmp_path / "b"
+    for outdir in (out_a, out_b):
+        assert main([
+            "scenario", "run", str(tiny_scn), "--seed", "31337",
+            "--output", str(outdir),
+        ]) == 0
+    for name in ("summary.json", "responsive.txt", "aliased-prefixes.txt",
+                 "scenario-expanded.json"):
+        assert (out_a / name).read_bytes() == (out_b / name).read_bytes()
+    artifact = json.loads((out_a / "scenario-expanded.json").read_text())
+    assert artifact["provenance"]["seed"] == 31337
+    assert artifact["provenance"]["seed_override"] == 31337
+    assert artifact["config"]["seed"] == 31337
+
+
+def test_pipeline_accepts_expanded_artifact(tiny_scn, tmp_path, capsys):
+    """`pipeline --config <artifact>` reproduces `scenario run` exactly."""
+    artifact_path = tmp_path / "tiny.json"
+    assert main([
+        "scenario", "expand", str(tiny_scn), "-o", str(artifact_path),
+    ]) == 0
+    run_dir = tmp_path / "scn-run"
+    assert main([
+        "scenario", "run", str(tiny_scn), "--output", str(run_dir),
+    ]) == 0
+    pipe_dir = tmp_path / "pipe-run"
+    assert main([
+        "pipeline", "--config", str(artifact_path),
+        "--output", str(pipe_dir),
+    ]) == 0
+    assert (
+        (pipe_dir / "summary.json").read_bytes()
+        == (run_dir / "summary.json").read_bytes()
+    )
+
+
+def test_pipeline_artifact_seed_override(tiny_scn, tmp_path):
+    artifact_path = tmp_path / "tiny.json"
+    assert main([
+        "scenario", "expand", str(tiny_scn), "-o", str(artifact_path),
+    ]) == 0
+    seeded_dir = tmp_path / "seeded"
+    assert main([
+        "pipeline", "--config", str(artifact_path), "--seed", "777",
+        "--output", str(seeded_dir),
+    ]) == 0
+    scenario = json.loads((seeded_dir / "scenario.json").read_text())
+    assert scenario["seed"] == 777
+
+
+def test_scenario_run_day_override(tiny_scn, tmp_path):
+    outdir = tmp_path / "short"
+    assert main([
+        "scenario", "run", str(tiny_scn), "--days", "7",
+        "--output", str(outdir),
+    ]) in (0, 1)  # invariant may fail on a truncated run; exit code aside,
+    summary = json.loads((outdir / "summary.json").read_text())
+    assert [s["day"] for s in summary["snapshots"]] == [0, 7]

@@ -1,0 +1,142 @@
+"""Unit tests for the invariant metric grammar and checker."""
+
+import pytest
+
+from repro.scenario.invariants import (
+    Invariant,
+    check_summary,
+    evaluate_metric,
+    render_results,
+    validate_metric,
+)
+
+SUMMARY = {
+    "input_total": 1000,
+    "excluded_total": 120,
+    "gfw_impacted": 40,
+    "ever_responsive_total": 300,
+    "per_source_counts": {"atlas": 600, "yarrp": 50},
+    "snapshots": [
+        {"day": 0, "input_total": 100, "scan_targets": 90,
+         "aliased_prefixes": 10, "published_total": 80,
+         "cleaned_total": 80, "injected": 0, "udp53_hit_rate": 0.5},
+        {"day": 7, "input_total": 400, "scan_targets": 300,
+         "aliased_prefixes": 20, "published_total": 250,
+         "cleaned_total": 260, "injected": 5, "udp53_hit_rate": 0.4,
+         "vantage": {"down": ["vp1"], "resharded": 3,
+                     "disagreements": {"vp2": 2},
+                     "quorum": {"accepted": 10, "rejected": 1}}},
+        {"day": 14, "input_total": 1000, "scan_targets": 700,
+         "aliased_prefixes": 30, "published_total": 600,
+         "cleaned_total": 610, "injected": 12, "udp53_hit_rate": 0.3,
+         "vantage": {"down": ["vp1", "vp3"], "resharded": 4,
+                     "disagreements": {},
+                     "quorum": {"accepted": 20, "rejected": 2}}},
+    ],
+}
+
+
+class TestEvaluateMetric:
+    def test_snapshot_scopes(self):
+        assert evaluate_metric("final.published_total", SUMMARY) == 600
+        assert evaluate_metric("sum.injected", SUMMARY) == 17
+        assert evaluate_metric("max.aliased_prefixes", SUMMARY) == 30
+        assert evaluate_metric("min.input_total", SUMMARY) == 100
+        assert evaluate_metric("sum_from:7.injected", SUMMARY) == 17
+        assert evaluate_metric("sum_from:8.injected", SUMMARY) == 12
+
+    def test_top_and_source(self):
+        assert evaluate_metric("top.input_total", SUMMARY) == 1000
+        assert evaluate_metric("top.gfw_impacted", SUMMARY) == 40
+        assert evaluate_metric("source.atlas", SUMMARY) == 600
+        assert evaluate_metric("source.missing", SUMMARY) == 0
+
+    def test_fleet_aggregates(self):
+        assert evaluate_metric("fleet.max_down", SUMMARY) == 2
+        assert evaluate_metric("fleet.resharded", SUMMARY) == 7
+        assert evaluate_metric("fleet.disagreements", SUMMARY) == 2
+        assert evaluate_metric("fleet.accepted", SUMMARY) == 30
+        assert evaluate_metric("fleet.rejected", SUMMARY) == 3
+        assert evaluate_metric("fleet.scans", SUMMARY) == 2
+
+    def test_fleet_empty_summary(self):
+        assert evaluate_metric("fleet.scans", {"snapshots": []}) == 0
+        assert evaluate_metric("fleet.max_down", {"snapshots": []}) == 0
+
+    def test_malformed_metrics(self):
+        for expression in (
+            "final", "final.", "bogus.input_total", "final.bogus",
+            "top.published_total", "fleet.bogus", "sum_from.injected",
+            "sum_from:x.injected", "final:3.input_total",
+        ):
+            with pytest.raises(ValueError):
+                validate_metric(expression)
+
+    def test_no_snapshots_raises(self):
+        with pytest.raises(ValueError, match="no snapshots"):
+            evaluate_metric("final.input_total", {"snapshots": []})
+
+
+class TestInvariant:
+    def test_bounds_required(self):
+        with pytest.raises(ValueError, match="no bound"):
+            Invariant(name="x", metric="final.input_total")
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(ValueError, match="max < min"):
+            Invariant(name="x", metric="final.input_total",
+                      min_value=5, max_value=1)
+
+    def test_round_trip(self):
+        invariant = Invariant(name="share", metric="source.atlas",
+                              over="top.input_total", min_value=0.5)
+        again = Invariant.from_dict(invariant.to_dict())
+        assert again == invariant
+
+    def test_from_dict_errors_name_location(self):
+        with pytest.raises(ValueError, match=r"invariants\[2\]"):
+            Invariant.from_dict({"name": "x", "metric": "final.bogus",
+                                 "min": 1}, where="invariants[2]")
+        with pytest.raises(ValueError, match="unknown field"):
+            Invariant.from_dict({"name": "x", "metric": "final.injected",
+                                 "min": 1, "typo": 2})
+        with pytest.raises(ValueError, match="missing required"):
+            Invariant.from_dict({"metric": "final.injected", "min": 1})
+
+
+class TestCheckSummary:
+    def test_pass_fail_and_ratio(self):
+        invariants = [
+            Invariant(name="ok", metric="final.published_total", min_value=500),
+            Invariant(name="too-low", metric="final.published_total",
+                      min_value=10_000),
+            Invariant(name="share", metric="source.atlas",
+                      over="top.input_total", min_value=0.5, max_value=0.7),
+        ]
+        results = check_summary(invariants, SUMMARY)
+        assert [r.passed for r in results] == [True, False, True]
+        assert results[2].value == pytest.approx(0.6)
+        rendered = render_results(results)
+        assert "[FAIL] too-low" in rendered
+        assert "1/3 invariant(s) failed: too-low" in rendered
+
+    def test_zero_denominator_fails_cleanly(self):
+        invariant = Invariant(name="ratio", metric="final.published_total",
+                              over="source.missing", min_value=1)
+        (result,) = check_summary([invariant], SUMMARY)
+        assert not result.passed
+        assert "zero" in result.reason
+
+    def test_evaluation_error_fails_cleanly(self):
+        invariant = Invariant(name="broken", metric="final.injected",
+                              min_value=1)
+        (result,) = check_summary([invariant], {"snapshots": []})
+        assert not result.passed
+        assert result.value is None
+
+    def test_render_all_passed_and_empty(self):
+        invariant = Invariant(name="ok", metric="top.input_total", min_value=1)
+        assert "all 1 invariant(s) passed" in render_results(
+            check_summary([invariant], SUMMARY)
+        )
+        assert "no invariants declared" in render_results([])

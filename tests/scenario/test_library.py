@@ -1,0 +1,101 @@
+"""Library catalog checks: every shipped scenario expands, validates,
+and round-trips through config_io."""
+
+import json
+
+import pytest
+
+from repro.scenario import (
+    artifact_from_dict,
+    artifact_to_json,
+    expand_library_scenario,
+    expand_text,
+    list_scenarios,
+    load_scenario_source,
+    scenario_path,
+)
+from repro.scenario.sdl import parse
+from repro.simnet.config_io import config_from_dict, config_to_dict
+
+EXPECTED = {
+    "alias-pathology",
+    "byzantine-fleet",
+    "cdn-expansion-wave",
+    "gfw-transition",
+    "residential-eui64",
+}
+
+
+def test_catalog_complete():
+    assert set(list_scenarios()) == EXPECTED
+
+
+def test_unknown_scenario_names_catalog():
+    with pytest.raises(ValueError, match="alias-pathology"):
+        scenario_path("no-such-scenario")
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED))
+def test_expands_and_validates(name):
+    expanded = expand_library_scenario(name)
+    assert expanded.name == name
+    assert expanded.run.get("days"), "library scenarios must bound their run"
+    assert expanded.invariants, "library scenarios must declare invariants"
+    # settings overrides resolve against ServiceSettings
+    expanded.settings()
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED))
+def test_expansion_deterministic_and_fixed_point(name):
+    first = artifact_to_json(expand_library_scenario(name))
+    second = artifact_to_json(expand_library_scenario(name))
+    assert first == second
+    assert artifact_to_json(expand_text(first, name=name)) == first
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED))
+def test_config_round_trips_through_config_io(name):
+    expanded = expand_library_scenario(name)
+    config = expanded.config
+    rebuilt = config_from_dict(json.loads(json.dumps(config_to_dict(config))))
+    assert rebuilt == config
+    # iteration order of dict fields is canonical after the round-trip
+    assert list(rebuilt.responsive_org_shares) == list(
+        config.responsive_org_shares
+    )
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED))
+def test_artifact_round_trips(name):
+    expanded = expand_library_scenario(name)
+    text = artifact_to_json(expanded)
+    again = artifact_from_dict(json.loads(text))
+    assert artifact_to_json(again) == text
+    assert again.config == expanded.config
+    assert again.invariants == expanded.invariants
+    assert again.fault_plan == expanded.fault_plan
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED))
+def test_sources_carry_titles(name):
+    document = parse(load_scenario_source(name))
+    assert isinstance(document.get("title"), str) and document["title"]
+
+
+def test_scale_override():
+    small = expand_library_scenario("gfw-transition")
+    big = expand_library_scenario("gfw-transition", scale="default")
+    assert small.provenance["scale"] == "small"
+    assert big.provenance["scale"] == "default"
+    assert big.config.domain_count > small.config.domain_count
+    # the era overlay applies on either scale
+    assert small.config.gfw_eras == big.config.gfw_eras
+
+
+def test_seed_override_recorded():
+    expanded = expand_library_scenario("alias-pathology", seed=4242)
+    assert expanded.config.seed == 4242
+    assert expanded.provenance["seed_override"] == 4242
+    baseline = expand_library_scenario("alias-pathology")
+    assert baseline.provenance["seed_override"] is None
+    assert baseline.config.seed != 4242

@@ -1,0 +1,153 @@
+"""Property tests: expansion against a reference implementation.
+
+Two properties the whole subsystem leans on:
+
+* brace-range / stagger expansion matches an independently written
+  reference expander for hypothesis-generated template entries;
+* expansion is a fixed point — expanding an expanded artifact returns
+  it unchanged, byte for byte.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scenario.artifact import artifact_to_json
+from repro.scenario.expand import expand_entries, expand_source, expand_text
+from repro.scenario.sdl import NumberRange, TemplatedString
+
+
+# ---------------------------------------------------------------------------
+# reference implementation (deliberately naive: build every entry by index)
+
+def reference_expand(entry):
+    ranges = {
+        key: value for key, value in entry.items()
+        if isinstance(value, (NumberRange, TemplatedString))
+    }
+    if not ranges:
+        return [dict(entry)]
+    count = len(next(iter(ranges.values())))
+    result = []
+    for index in range(count):
+        item = {}
+        for key, value in entry.items():
+            if key.endswith("_stagger"):
+                continue
+            if isinstance(value, NumberRange):
+                item[key] = value.start + index
+            elif isinstance(value, TemplatedString):
+                item[key] = (
+                    value.prefix
+                    + str(value.range.start + index).zfill(value.range.pad)
+                    + value.suffix
+                )
+            else:
+                item[key] = value
+        for key, value in entry.items():
+            if key.endswith("_stagger"):
+                base = key[: -len("_stagger")]
+                item[base] = entry[base] + value * index
+        result.append(item)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# strategies
+
+_names = st.sampled_from(["asn", "born", "count", "period", "weight"])
+
+
+@st.composite
+def template_entries(draw):
+    """One template entry: a range field, plain fields, optional staggers."""
+    start = draw(st.integers(min_value=0, max_value=10_000))
+    width = draw(st.integers(min_value=1, max_value=50))
+    pad = draw(st.sampled_from([0, 5]))
+    made = NumberRange(start=start, end=start + width - 1, pad=pad)
+    range_key = draw(_names)
+    entry = {}
+    templated = draw(st.booleans())
+    if templated:
+        entry["vantage"] = TemplatedString(prefix="vp", range=made, suffix="")
+        if draw(st.booleans()):
+            entry[range_key] = made
+    else:
+        entry[range_key] = made
+    plain_keys = draw(st.lists(_names, unique=True, max_size=3))
+    for key in plain_keys:
+        if key in entry:
+            continue
+        entry[key] = draw(st.integers(min_value=-1000, max_value=1000))
+        if draw(st.booleans()):
+            entry[key + "_stagger"] = draw(
+                st.integers(min_value=-20, max_value=20)
+            )
+    return entry
+
+
+@settings(max_examples=200, deadline=None)
+@given(template_entries())
+def test_expansion_matches_reference(entry):
+    assert expand_entries([entry], "x") == reference_expand(entry)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    start=st.integers(min_value=0, max_value=99_999),
+    width=st.integers(min_value=1, max_value=200),
+)
+def test_range_width_and_values(start, width):
+    made = NumberRange(start=start, end=start + width - 1)
+    (entry,) = [{"asn": made}]
+    expanded = expand_entries([entry], "x")
+    assert len(expanded) == width
+    assert [e["asn"] for e in expanded] == list(range(start, start + width))
+
+
+# ---------------------------------------------------------------------------
+# fixed point over generated scenario sources
+
+@st.composite
+def scenario_sources(draw):
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    days = draw(st.integers(min_value=7, max_value=200))
+    asn_start = draw(st.integers(min_value=64512, max_value=65000))
+    fleet_count = draw(st.integers(min_value=1, max_value=8))
+    devices = draw(st.integers(min_value=64, max_value=1024))
+    rotation = draw(st.integers(min_value=3, max_value=28))
+    stagger = draw(st.integers(min_value=0, max_value=3))
+    return (
+        f"title: \"generated\"\n"
+        f"base: small\n"
+        f"seed: {seed}\n"
+        f"fleets+:\n"
+        f"  - asn: {{{asn_start}..{asn_start + fleet_count - 1}}}\n"
+        f"    device_count: {devices}\n"
+        f"    vendor: \"GEN\"\n"
+        f"    oui: 0x00AA11\n"
+        f"    rotation_period: {rotation}\n"
+        f"    rotation_period_stagger: {stagger}\n"
+        f"    daily_observations: auto\n"
+        f"run:\n"
+        f"  days: {days}\n"
+        f"  interval: 7\n"
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(scenario_sources())
+def test_expand_is_fixed_point(source):
+    expanded = expand_source(source, name="gen")
+    text = artifact_to_json(expanded)
+    again = expand_text(text, name="gen")
+    assert artifact_to_json(again) == text
+    # and a third pass, for good measure: expand(expand(s)) == expand(s)
+    assert artifact_to_json(expand_text(artifact_to_json(again), name="gen")) == text
+
+
+@settings(max_examples=25, deadline=None)
+@given(scenario_sources())
+def test_expansion_deterministic(source):
+    first = artifact_to_json(expand_source(source, name="gen"))
+    second = artifact_to_json(expand_source(source, name="gen"))
+    assert first == second

@@ -1,0 +1,160 @@
+"""Unit tests for the scenario source parser."""
+
+import pytest
+
+from repro.scenario.sdl import (
+    AUTO,
+    NumberRange,
+    ScenarioSyntaxError,
+    TemplatedString,
+    parse,
+    parse_scalar,
+)
+
+
+class TestParseScalar:
+    def test_basic_types(self):
+        assert parse_scalar("42") == 42
+        assert parse_scalar("-3") == -3
+        assert parse_scalar("0.25") == 0.25
+        assert parse_scalar("1e3") == 1000.0
+        assert parse_scalar("true") is True
+        assert parse_scalar("false") is False
+        assert parse_scalar("null") is None
+        assert parse_scalar("~") is None
+        assert parse_scalar("auto") is AUTO
+        assert parse_scalar("bare-word") == "bare-word"
+        assert parse_scalar('"quoted # not comment"') == "quoted # not comment"
+
+    def test_hex_int(self):
+        assert parse_scalar("0x001E73") == 0x001E73
+        assert parse_scalar("0XFF") == 255
+
+    def test_full_range(self):
+        made = parse_scalar("{64512..64611}")
+        assert isinstance(made, NumberRange)
+        assert made.start == 64512 and made.end == 64611
+        assert len(made) == 100
+        assert made.value_at(0) == 64512
+        assert made.value_at(99) == 64611
+
+    def test_zero_padded_range(self):
+        made = parse_scalar("{001..100}")
+        assert made.pad == 3
+        assert made.text_at(0) == "001"
+        assert made.text_at(99) == "100"
+
+    def test_templated_string(self):
+        made = parse_scalar("vp{1..4}")
+        assert isinstance(made, TemplatedString)
+        assert made.text_at(0) == "vp1"
+        assert made.text_at(3) == "vp4"
+        assert len(made) == 4
+
+    def test_templated_with_suffix(self):
+        made = parse_scalar("node{01..12}.example")
+        assert made.text_at(0) == "node01.example"
+        assert made.text_at(11) == "node12.example"
+
+    def test_descending_range_rejected(self):
+        with pytest.raises(ScenarioSyntaxError):
+            parse_scalar("{9..3}")
+
+    def test_two_ranges_rejected(self):
+        with pytest.raises(ScenarioSyntaxError):
+            parse_scalar("a{1..2}b{3..4}")
+
+    def test_stray_brace_rejected(self):
+        with pytest.raises(ScenarioSyntaxError):
+            parse_scalar("{1..2}}")
+
+    def test_pad_narrower_than_end_rejected(self):
+        with pytest.raises(ScenarioSyntaxError):
+            parse_scalar("{01..100}")
+
+
+class TestParse:
+    def test_nested_document(self):
+        doc = parse(
+            "title: \"T\"\n"
+            "base: small\n"
+            "world:\n"
+            "  seed: 7\n"
+            "  nested:\n"
+            "    deep: true\n"
+        )
+        assert doc == {
+            "title": "T", "base": "small",
+            "world": {"seed": 7, "nested": {"deep": True}},
+        }
+
+    def test_list_of_mappings(self):
+        doc = parse(
+            "farms:\n"
+            "  - asn: 1\n"
+            "    subnet_count: 2\n"
+            "  - asn: 3\n"
+        )
+        assert doc["farms"] == [
+            {"asn": 1, "subnet_count": 2}, {"asn": 3},
+        ]
+
+    def test_list_of_scalars(self):
+        doc = parse("days:\n  - 1\n  - 2\n  - 3\n")
+        assert doc["days"] == [1, 2, 3]
+
+    def test_comments_and_blanks(self):
+        doc = parse(
+            "# leading comment\n"
+            "\n"
+            "key: 1  # trailing comment\n"
+            "other: \"#keeps hash\"\n"
+        )
+        assert doc == {"key": 1, "other": "#keeps hash"}
+
+    def test_plus_suffixed_key(self):
+        doc = parse("fleets+:\n  - asn: 9\n")
+        assert doc["fleets+"] == [{"asn": 9}]
+
+    def test_duplicate_key_rejected(self):
+        with pytest.raises(ScenarioSyntaxError, match="duplicate key"):
+            parse("a: 1\na: 2\n")
+
+    def test_tab_indentation_rejected(self):
+        with pytest.raises(ScenarioSyntaxError, match="tabs"):
+            parse("a:\n\tb: 1\n")
+
+    def test_empty_document_rejected(self):
+        with pytest.raises(ScenarioSyntaxError):
+            parse("# nothing but comments\n")
+
+    def test_empty_section_rejected(self):
+        with pytest.raises(ScenarioSyntaxError, match="no value"):
+            parse("world:\nother: 1\n")
+
+    def test_mixed_list_and_mapping_rejected(self):
+        with pytest.raises(ScenarioSyntaxError, match="list item"):
+            parse("world:\n  a: 1\n  - 2\n")
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(ScenarioSyntaxError) as info:
+            parse("a: 1\nb:\n  !bogus\n")
+        assert info.value.line_number == 3
+        assert "line 3" in str(info.value)
+
+    def test_unterminated_string_rejected(self):
+        with pytest.raises(ScenarioSyntaxError, match="unterminated"):
+            parse('a: "open\n')
+
+    def test_top_level_indent_rejected(self):
+        with pytest.raises(ScenarioSyntaxError):
+            parse("  a: 1\n")
+
+    def test_nested_block_inside_list_item(self):
+        doc = parse(
+            "entries:\n"
+            "  - name: x\n"
+            "    sub:\n"
+            "      k: 1\n"
+        )
+        assert doc["entries"] == [{"name": "x", "sub": {"k": 1}}]

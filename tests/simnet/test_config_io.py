@@ -1,6 +1,7 @@
 """Tests for scenario config JSON round-tripping."""
 
 import io
+import json
 
 import pytest
 
@@ -42,3 +43,79 @@ class TestRoundTrip:
 
     def test_with_seed_helper(self):
         assert small_config().with_seed(99).seed == 99
+
+
+class TestLocatedErrors:
+    def test_unknown_nested_field_names_section_and_index(self):
+        data = config_to_dict(small_config())
+        data["farms"][1]["bogus"] = 1
+        with pytest.raises(ValueError, match=r"farms\[1\]: unknown field"):
+            config_from_dict(data)
+
+    def test_missing_required_field_located(self):
+        data = config_to_dict(small_config())
+        del data["fleets"][0]["asn"]
+        with pytest.raises(ValueError, match=r"fleets\[0\]"):
+            config_from_dict(data)
+
+    def test_non_mapping_entry_located(self):
+        data = config_to_dict(small_config())
+        data["gfw_eras"] = ["not-a-mapping"] + list(data["gfw_eras"][1:])
+        with pytest.raises(ValueError, match=r"gfw_eras\[0\]: expected a mapping"):
+            config_from_dict(data)
+
+    def test_top_level_unknowns_listed(self):
+        data = config_to_dict(small_config())
+        data["first_bogus"] = 1
+        data["second_bogus"] = 2
+        with pytest.raises(ValueError, match="first_bogus.*second_bogus"):
+            config_from_dict(data)
+
+
+class TestCanonicalOrdering:
+    def test_sorted_json_order_restored_to_declaration_order(self):
+        config = small_config()
+        shuffled = config_to_dict(config)
+        shuffled["responsive_org_shares"] = dict(
+            sorted(shuffled["responsive_org_shares"].items())
+        )
+        rebuilt = config_from_dict(shuffled)
+        assert list(rebuilt.responsive_org_shares) == list(
+            config.responsive_org_shares
+        )
+
+    def test_unknown_extra_keys_follow_sorted(self):
+        config = small_config()
+        data = config_to_dict(config)
+        data["responsive_org_shares"]["99999"] = 0.0
+        data["responsive_org_shares"]["88888"] = 0.0
+        rebuilt = config_from_dict(data)
+        assert list(rebuilt.responsive_org_shares)[-2:] == [88888, 99999]
+
+    def test_string_keyed_dicts_also_canonical(self):
+        config = small_config()
+        data = config_to_dict(config)
+        data["dns_behavior_weights"] = dict(
+            reversed(list(data["dns_behavior_weights"].items()))
+        )
+        rebuilt = config_from_dict(data)
+        assert list(rebuilt.dns_behavior_weights) == list(
+            config.dns_behavior_weights
+        )
+
+
+class TestArtifactWrapper:
+    def test_expanded_artifact_accepted(self):
+        from repro.scenario import artifact_to_json, expand_source
+
+        expanded = expand_source(
+            "base: small\nseed: 7\nrun:\n  days: 7\n", name="wrap"
+        )
+        data = json.loads(artifact_to_json(expanded))
+        rebuilt = config_from_dict(data)
+        assert rebuilt == expanded.config
+        assert rebuilt.seed == 7
+
+    def test_non_artifact_wrapper_rejected(self):
+        with pytest.raises(ValueError):
+            config_from_dict({"provenance": {"format": "other/1"}, "config": {}})
